@@ -1,0 +1,10 @@
+int vec[512];
+
+int kernel() {
+  int sum = 0;
+  int i;
+  for (i = 0; i < 512; i++) {
+    sum += vec[i] * vec[i];
+  }
+  return sum;
+}
