@@ -1,0 +1,115 @@
+(* The benchmark harness: regenerates every figure of the paper's
+   evaluation (there are no numbered tables; Figures 1, 2, 5, 6, 7, 8, 9
+   are the artifacts), plus the ablation benches DESIGN.md calls out and a
+   Bechamel microbenchmark suite for the toolchain itself.
+
+     dune exec bench/main.exe               # everything
+     dune exec bench/main.exe -- fig1 fig7  # selected experiments
+     NEUROVEC_SCALE=0.2 dune exec ...       # faster smoke run
+
+   Results and paper-vs-measured commentary are recorded in
+   EXPERIMENTS.md. *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ("fig1", "dot-product (VF, IF) grid vs baseline", Experiments.Fig1.print);
+    ("fig2", "brute force vs baseline on the LLVM suite", Experiments.Fig2.print);
+    ("fig5", "hyperparameter sweeps (lr / arch / batch)", Experiments.Fig5.print);
+    ("fig6", "action-space definitions", Experiments.Fig6.print);
+    ("fig7", "12 held-out benchmarks, all methods", Experiments.Fig7.print);
+    ("fig8", "PolyBench transfer", Experiments.Fig8.print);
+    ("fig9", "MiBench transfer", Experiments.Fig9.print);
+    ("ablations", "design-choice ablations", Experiments.Ablations.print);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the toolchain itself                     *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let dot = Experiments.Fig1.dot_kernel in
+  let parse_test =
+    Test.make ~name:"parse+lower dot kernel"
+      (Staged.stage (fun () ->
+           ignore
+             (Ir_lower.lower_program
+                (Minic.Parser.parse_string dot.Dataset.Program.p_source))))
+  in
+  let compile_test =
+    Test.make ~name:"full pipeline (baseline)"
+      (Staged.stage (fun () -> ignore (Neurovec.Pipeline.run_baseline dot)))
+  in
+  let vectorize_test =
+    Test.make ~name:"full pipeline (VF=8, IF=4 pragma)"
+      (Staged.stage (fun () ->
+           ignore (Neurovec.Pipeline.run_with_pragma dot ~vf:8 ~if_:4)))
+  in
+  let embed_test =
+    let rng = Nn.Rng.create 1 in
+    let c2v = Embedding.Code2vec.create rng in
+    let prog = Minic.Parser.parse_string dot.Dataset.Program.p_source in
+    let ctxs =
+      Embedding.Ast_path.contexts_of_stmt
+        (Neurovec.Extractor.embedding_stmt prog)
+    in
+    let ids = Embedding.Code2vec.encode c2v ctxs in
+    Test.make ~name:"code2vec forward"
+      (Staged.stage (fun () -> ignore (Embedding.Code2vec.forward_ids c2v ids)))
+  in
+  let interp_test =
+    let m =
+      Ir_lower.lower_program
+        (Minic.Parser.parse_string dot.Dataset.Program.p_source)
+    in
+    let fn = List.hd m.Ir.m_funcs in
+    Test.make ~name:"interpreter: dot kernel"
+      (Staged.stage (fun () ->
+           let st = Ir_interp.init_state m in
+           ignore (Ir_interp.run_func st fn ())))
+  in
+  let tests =
+    Test.make_grouped ~name:"neurovectorizer"
+      [ parse_test; compile_test; vectorize_test; embed_test; interp_test ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Printf.printf "\n=== Microbenchmarks (ns per run) ===\n";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name v ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "%-48s %14.0f ns\n" name est)
+    (List.sort compare !rows)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let selected =
+    match args with
+    | [] -> List.map (fun (id, _, _) -> id) experiments @ [ "micro" ]
+    | _ -> args
+  in
+  Printf.printf "NeuroVectorizer benchmark harness (scale %.2f)\n"
+    Experiments.Common.scale;
+  List.iter
+    (fun id ->
+      if id = "micro" then micro ()
+      else
+        match List.find_opt (fun (i, _, _) -> i = id) experiments with
+        | Some (_, _, f) ->
+            let t0 = Sys.time () in
+            f ();
+            Printf.printf "[%s done in %.1fs cpu]\n%!" id (Sys.time () -. t0)
+        | None ->
+            Printf.printf "unknown experiment %s; available: %s micro\n" id
+              (String.concat " " (List.map (fun (i, _, _) -> i) experiments)))
+    selected

@@ -1,0 +1,194 @@
+(* The neurovec command-line driver.
+
+   Subcommands:
+     compile  — compile a C file through the pipeline and report times
+     sweep    — exhaustive (VF, IF) grid for a C file
+     dataset  — generate the synthetic loop corpus to a directory
+     train    — train the RL agent and report greedy performance
+
+   Examples:
+     dune exec bin/neurovec.exe -- compile examples/dot.c --vf 8 --if 2
+     dune exec bin/neurovec.exe -- sweep examples/dot.c
+     dune exec bin/neurovec.exe -- dataset --count 100 --out /tmp/loops
+     dune exec bin/neurovec.exe -- train --programs 200 --steps 4000 *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let program_of_file ?(kernel = "kernel") path =
+  Dataset.Program.make ~kernel ~family:"cli" (Filename.basename path)
+    (read_file path)
+
+(* ---- compile ----------------------------------------------------- *)
+
+let compile_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let vf = Arg.(value & opt (some int) None & info [ "vf" ] ~doc:"Force vectorize_width.") in
+  let if_ = Arg.(value & opt (some int) None & info [ "if" ] ~doc:"Force interleave_count.") in
+  let polly = Arg.(value & flag & info [ "polly" ] ~doc:"Run the polyhedral pipeline first.") in
+  let kernel = Arg.(value & opt string "kernel" & info [ "kernel" ] ~doc:"Function to time.") in
+  let run file vf if_ polly kernel =
+    let p = program_of_file ~kernel file in
+    let options = { Neurovec.Pipeline.default_options with polly } in
+    let result =
+      match (vf, if_) with
+      | Some v, Some i -> Neurovec.Pipeline.run_with_pragma ~options p ~vf:v ~if_:i
+      | _ -> Neurovec.Pipeline.run ~options p
+    in
+    List.iter
+      (fun d ->
+        Printf.printf "loop %d: VF=%d IF=%d%s%s\n" d.Vectorizer.Planner.d_loop_id
+          d.Vectorizer.Planner.d_applied.Vectorizer.Transform.vf
+          d.Vectorizer.Planner.d_applied.Vectorizer.Transform.if_
+          (match d.Vectorizer.Planner.d_requested with
+          | Some p ->
+              Printf.sprintf " (pragma requested VF=%d IF=%d)"
+                p.Vectorizer.Transform.vf p.Vectorizer.Transform.if_
+          | None -> " (baseline cost model)")
+          (if d.Vectorizer.Planner.d_legal then ""
+           else
+             Printf.sprintf " [not vectorizable: %s]"
+               (String.concat "; " d.Vectorizer.Planner.d_reasons)))
+      result.Neurovec.Pipeline.decisions;
+    Printf.printf "compile time: %.3f s (simulated)\n"
+      result.Neurovec.Pipeline.compile_seconds;
+    Printf.printf "execution:    %.3e s  (%.0f cycles on %s)\n"
+      result.Neurovec.Pipeline.exec_seconds result.Neurovec.Pipeline.exec_cycles
+      options.Neurovec.Pipeline.target.Machine.Target.name
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a mini-C file and simulate it.")
+    Term.(const run $ file $ vf $ if_ $ polly $ kernel)
+
+(* ---- sweep -------------------------------------------------------- *)
+
+let sweep_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let kernel = Arg.(value & opt string "kernel" & info [ "kernel" ]) in
+  let run file kernel =
+    let p = program_of_file ~kernel file in
+    let base = Neurovec.Pipeline.run_baseline p in
+    let t_base = base.Neurovec.Pipeline.exec_seconds in
+    Printf.printf "speedup over the baseline cost model:\n%6s" "VF\\IF";
+    Array.iter (fun i -> Printf.printf "%8d" i) Rl.Spaces.if_values;
+    print_newline ();
+    Array.iter
+      (fun vf ->
+        Printf.printf "%6d" vf;
+        Array.iter
+          (fun if_ ->
+            let r = Neurovec.Pipeline.run_with_pragma p ~vf ~if_ in
+            Printf.printf "%8.2f" (t_base /. r.Neurovec.Pipeline.exec_seconds))
+          Rl.Spaces.if_values;
+        print_newline ())
+      Rl.Spaces.vf_values
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Brute-force the (VF, IF) grid for a file.")
+    Term.(const run $ file $ kernel)
+
+(* ---- dataset ------------------------------------------------------ *)
+
+let dataset_cmd =
+  let count = Arg.(value & opt int 100 & info [ "count"; "n" ] ~doc:"Programs to generate.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
+  let out = Arg.(value & opt (some string) None & info [ "out" ] ~doc:"Directory to write .c files into.") in
+  let run count seed out =
+    let corpus = Dataset.Loopgen.generate ~seed count in
+    match out with
+    | None ->
+        Array.iter
+          (fun p ->
+            Printf.printf "// --- %s (%s)\n%s\n" p.Dataset.Program.p_name
+              p.Dataset.Program.p_family p.Dataset.Program.p_source)
+          corpus
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        Array.iter
+          (fun p ->
+            let path = Filename.concat dir (p.Dataset.Program.p_name ^ ".c") in
+            let oc = open_out path in
+            output_string oc p.Dataset.Program.p_source;
+            close_out oc)
+          corpus;
+        Printf.printf "wrote %d programs to %s\n" count dir
+  in
+  Cmd.v (Cmd.info "dataset" ~doc:"Generate the synthetic loop corpus.")
+    Term.(const run $ count $ seed $ out)
+
+(* ---- train -------------------------------------------------------- *)
+
+let train_cmd =
+  let programs = Arg.(value & opt int 200 & info [ "programs" ] ~doc:"Corpus size.") in
+  let steps = Arg.(value & opt int 5000 & info [ "steps" ] ~doc:"Environment steps.") in
+  let seed = Arg.(value & opt int 3 & info [ "seed" ]) in
+  let batch = Arg.(value & opt int 500 & info [ "batch" ]) in
+  let lr = Arg.(value & opt float 5e-4 & info [ "lr" ]) in
+  let save = Arg.(value & opt (some string) None & info [ "save" ] ~doc:"Write the trained agent to FILE.") in
+  let run programs steps seed batch lr save =
+    let corpus = Dataset.Loopgen.generate ~seed programs in
+    let fw = Neurovec.Framework.create ~seed corpus in
+    let hyper = { Rl.Ppo.default_hyper with batch_size = batch; lr } in
+    ignore
+      (Neurovec.Framework.train fw ~hyper ~total_steps:steps
+         ~progress:(fun st ->
+           Printf.printf "update %3d  steps %6d  reward_mean %+0.3f  loss %8.3f\n%!"
+             st.Rl.Ppo.update st.Rl.Ppo.steps st.Rl.Ppo.reward_mean
+             st.Rl.Ppo.loss));
+    let greedy =
+      Rl.Ppo.evaluate fw.Neurovec.Framework.agent
+        ~samples:fw.Neurovec.Framework.samples
+        ~reward:(fun i a -> Neurovec.Reward.reward fw.Neurovec.Framework.oracle i a)
+    in
+    Printf.printf "greedy mean reward over the corpus: %+0.3f\n" greedy;
+    match save with
+    | Some path ->
+        Rl.Checkpoint.save fw.Neurovec.Framework.agent path;
+        Printf.printf "agent saved to %s\n" path
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "train" ~doc:"Train the PPO vectorization agent.")
+    Term.(const run $ programs $ steps $ seed $ batch $ lr $ save)
+
+(* ---- predict ------------------------------------------------------ *)
+
+let predict_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let model = Arg.(required & opt (some file) None & info [ "model" ] ~doc:"Trained agent checkpoint.") in
+  let kernel = Arg.(value & opt string "kernel" & info [ "kernel" ]) in
+  let run file model kernel =
+    let agent = Rl.Checkpoint.load model in
+    let p = program_of_file ~kernel file in
+    let decisions = Neurovec.Framework.predict_decisions agent p in
+    List.iter
+      (fun (ord, pr) ->
+        Printf.printf "loop %d: VF=%d IF=%d\n" ord
+          (Option.value pr.Minic.Ast.vectorize_width ~default:1)
+          (Option.value pr.Minic.Ast.interleave_count ~default:1))
+      decisions;
+    let base = Neurovec.Pipeline.run_baseline p in
+    let rl = Neurovec.Pipeline.run_with_decisions p ~decisions in
+    Printf.printf "baseline: %.3e s   RL: %.3e s   speedup %.2fx\n"
+      base.Neurovec.Pipeline.exec_seconds rl.Neurovec.Pipeline.exec_seconds
+      (base.Neurovec.Pipeline.exec_seconds
+      /. rl.Neurovec.Pipeline.exec_seconds);
+    print_endline "rewritten source:";
+    print_string
+      (Neurovec.Injector.inject_source ~clear_others:true
+         p.Dataset.Program.p_source ~decisions)
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:"Inject pragmas predicted by a trained agent into a file.")
+    Term.(const run $ file $ model $ kernel)
+
+let () =
+  let info =
+    Cmd.info "neurovec" ~version:"1.0.0"
+      ~doc:"End-to-end loop vectorization with deep reinforcement learning."
+  in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; sweep_cmd; dataset_cmd; train_cmd; predict_cmd ]))

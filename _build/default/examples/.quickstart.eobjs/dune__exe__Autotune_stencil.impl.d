@@ -1,0 +1,1 @@
+examples/autotune_stencil.ml: Dataset List Minic Neurovec Printf Rl

@@ -1,0 +1,1 @@
+examples/polybench_polly.ml: Array Dataset Ir Ir_lower List Minic Neurovec Polly Printf Rl

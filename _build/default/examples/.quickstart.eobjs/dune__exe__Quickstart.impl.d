@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Dataset Ir Ir_lower List Minic Neurovec Printf Rl Vectorizer

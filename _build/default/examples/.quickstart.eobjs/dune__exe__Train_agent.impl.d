@@ -1,0 +1,1 @@
+examples/train_agent.ml: Array Dataset List Neurovec Printf Rl

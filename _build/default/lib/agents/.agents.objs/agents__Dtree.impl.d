@@ -1,0 +1,1 @@
+lib/agents/dtree.ml: Array Fun Hashtbl Option Seq

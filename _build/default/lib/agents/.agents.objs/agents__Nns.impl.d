@@ -1,0 +1,1 @@
+lib/agents/nns.ml: Array Hashtbl Option

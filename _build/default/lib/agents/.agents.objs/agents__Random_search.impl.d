@@ -1,0 +1,1 @@
+lib/agents/random_search.ml: Nn Rl

@@ -1,0 +1,112 @@
+(** CART decision-tree classifier (Quinlan-style, Gini impurity).
+
+    The paper trains a decision tree on the embeddings the RL run learned,
+    with brute-force-optimal (VF, IF) as labels (Section 3.5). Features
+    are the code-vector components; labels are flattened action ids. *)
+
+type tree =
+  | Leaf of int
+  | Node of { feat : int; thresh : float; left : tree; right : tree }
+
+type params = {
+  max_depth : int;
+  min_samples : int;
+  n_thresholds : int;  (** candidate split quantiles per feature *)
+}
+
+let default_params = { max_depth = 12; min_samples = 4; n_thresholds = 8 }
+
+let majority (labels : int array) (idxs : int array) : int =
+  let counts = Hashtbl.create 8 in
+  Array.iter
+    (fun i ->
+      let l = labels.(i) in
+      Hashtbl.replace counts l (1 + Option.value (Hashtbl.find_opt counts l) ~default:0))
+    idxs;
+  let best = ref (-1) and best_n = ref (-1) in
+  Hashtbl.iter
+    (fun l n ->
+      if n > !best_n then begin
+        best := l;
+        best_n := n
+      end)
+    counts;
+  !best
+
+let gini (labels : int array) (idxs : int array) : float =
+  let n = Array.length idxs in
+  if n = 0 then 0.0
+  else begin
+    let counts = Hashtbl.create 8 in
+    Array.iter
+      (fun i ->
+        let l = labels.(i) in
+        Hashtbl.replace counts l
+          (1 + Option.value (Hashtbl.find_opt counts l) ~default:0))
+      idxs;
+    let acc = ref 1.0 in
+    Hashtbl.iter
+      (fun _ c ->
+        let p = float_of_int c /. float_of_int n in
+        acc := !acc -. (p *. p))
+      counts;
+    !acc
+  end
+
+let fit ?(params = default_params) (xs : float array array) (ys : int array) :
+    tree =
+  let n_feat = if Array.length xs = 0 then 0 else Array.length xs.(0) in
+  let rec build (idxs : int array) (depth : int) : tree =
+    let n = Array.length idxs in
+    let g0 = gini ys idxs in
+    if depth >= params.max_depth || n < params.min_samples || g0 = 0.0 then
+      Leaf (majority ys idxs)
+    else begin
+      let best = ref None in
+      for feat = 0 to n_feat - 1 do
+        (* candidate thresholds: quantiles of this feature over the node *)
+        let vals = Array.map (fun i -> xs.(i).(feat)) idxs in
+        Array.sort compare vals;
+        for q = 1 to params.n_thresholds do
+          let thresh = vals.(q * (n - 1) / (params.n_thresholds + 1)) in
+          let left = Array.of_seq (Seq.filter (fun i -> xs.(i).(feat) <= thresh)
+                                     (Array.to_seq idxs)) in
+          let right = Array.of_seq (Seq.filter (fun i -> xs.(i).(feat) > thresh)
+                                      (Array.to_seq idxs)) in
+          if Array.length left > 0 && Array.length right > 0 then begin
+            let score =
+              (float_of_int (Array.length left) *. gini ys left
+               +. float_of_int (Array.length right) *. gini ys right)
+              /. float_of_int n
+            in
+            match !best with
+            | Some (s, _, _, _, _) when s <= score -> ()
+            | _ -> best := Some (score, feat, thresh, left, right)
+          end
+        done
+      done;
+      match !best with
+      | Some (score, feat, thresh, left, right) when score < g0 -.  1e-9 ->
+          Node
+            { feat; thresh;
+              left = build left (depth + 1);
+              right = build right (depth + 1) }
+      | _ -> Leaf (majority ys idxs)
+    end
+  in
+  if Array.length xs = 0 then Leaf 0
+  else build (Array.init (Array.length xs) Fun.id) 0
+
+let rec predict (t : tree) (x : float array) : int =
+  match t with
+  | Leaf l -> l
+  | Node { feat; thresh; left; right } ->
+      if x.(feat) <= thresh then predict left x else predict right x
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Node { left; right; _ } -> 1 + max (depth left) (depth right)
+
+let rec size = function
+  | Leaf _ -> 1
+  | Node { left; right; _ } -> 1 + size left + size right

@@ -1,0 +1,55 @@
+(** Nearest-neighbour search predictor (paper Section 3.5): store the
+    learned code vectors of the training set with their brute-force-optimal
+    actions; at inference, answer with the label of the closest stored
+    vector (Euclidean). *)
+
+type t = { xs : float array array; ys : int array }
+
+let fit (xs : float array array) (ys : int array) : t = { xs; ys }
+
+let sq_dist (a : float array) (b : float array) : float =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let predict (t : t) (x : float array) : int =
+  if Array.length t.xs = 0 then 0
+  else begin
+    let best = ref 0 and best_d = ref infinity in
+    Array.iteri
+      (fun i v ->
+        let d = sq_dist v x in
+        if d < !best_d then begin
+          best_d := d;
+          best := i
+        end)
+      t.xs;
+    t.ys.(!best)
+  end
+
+(** k-nearest variant with majority vote, for the ablation bench. *)
+let predict_k (t : t) ~(k : int) (x : float array) : int =
+  let n = Array.length t.xs in
+  if n = 0 then 0
+  else begin
+    let dists = Array.init n (fun i -> (sq_dist t.xs.(i) x, t.ys.(i))) in
+    Array.sort compare dists;
+    let counts = Hashtbl.create 8 in
+    for i = 0 to min (k - 1) (n - 1) do
+      let _, y = dists.(i) in
+      Hashtbl.replace counts y
+        (1 + Option.value (Hashtbl.find_opt counts y) ~default:0)
+    done;
+    let best = ref 0 and best_n = ref (-1) in
+    Hashtbl.iter
+      (fun y c ->
+        if c > !best_n then begin
+          best := y;
+          best_n := c
+        end)
+      counts;
+    !best
+  end

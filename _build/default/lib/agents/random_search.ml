@@ -1,0 +1,24 @@
+(** Random search over the action grid — the sanity baseline of Figure 7
+    (it performs much worse than the baseline cost model, showing the
+    learned policy exploits real structure). *)
+
+let pick (rng : Nn.Rng.t) : Rl.Spaces.action =
+  { Rl.Spaces.vf_idx = Nn.Rng.int rng Rl.Spaces.n_vf;
+    if_idx = Nn.Rng.int rng Rl.Spaces.n_if }
+
+(** Best of [budget] uniformly random actions under [reward] — with
+    [budget = 1] this is the paper's "random search" column; larger
+    budgets give the random-restart ablation. *)
+let search ?(budget = 1) (rng : Nn.Rng.t)
+    ~(reward : Rl.Spaces.action -> float) : Rl.Spaces.action * float =
+  let best = ref (pick rng) in
+  let best_r = ref (reward !best) in
+  for _ = 2 to budget do
+    let a = pick rng in
+    let r = reward a in
+    if r > !best_r then begin
+      best := a;
+      best_r := r
+    end
+  done;
+  (!best, !best_r)

@@ -1,0 +1,1 @@
+lib/analysis/access.ml: Ir List Scev

@@ -1,0 +1,1 @@
+lib/analysis/depend.ml: Access Array Ir List Scev

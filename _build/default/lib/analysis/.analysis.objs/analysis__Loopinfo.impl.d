@@ -1,0 +1,1 @@
+lib/analysis/loopinfo.ml: Access Depend Hashtbl Int64 Ir Ir_interp List Printf Reduction

@@ -1,0 +1,1 @@
+lib/analysis/reduction.ml: Hashtbl Ir List Scev

@@ -1,0 +1,1 @@
+lib/analysis/scev.ml: Int Int64 Ir Ir_interp List Map Option Printf String

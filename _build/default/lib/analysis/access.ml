@@ -1,0 +1,93 @@
+(** Memory access collection for a loop body.
+
+    Walks the body in execution order, running the {!Scev} abstract
+    interpreter, and records every load and store with its affine index
+    function, element type, and whether it executes under a predicate
+    (inside an [If] that if-conversion would need to mask). *)
+
+type access = {
+  acc_base : string;
+  acc_index : Scev.sval;  (** affine in the loop nest's induction vars *)
+  acc_is_store : bool;
+  acc_elem : Ir.scalar_ty;
+  acc_predicated : bool;
+}
+
+type result = {
+  accesses : access list;  (** in execution order *)
+  has_call : bool;
+  has_inner_loop : bool;
+  has_irregular_cf : bool;  (** break / continue / return / while *)
+  if_depth : int;  (** maximum nesting depth of If nodes *)
+}
+
+let collect ~(induction_vars : Ir.reg list) (body : Ir.node list) : result =
+  let env = Scev.make_env ~induction_vars body in
+  let accesses = ref [] in
+  let has_call = ref false in
+  let has_inner_loop = ref false in
+  let has_irregular_cf = ref false in
+  let max_if_depth = ref 0 in
+  let record ~pred ~is_store (ty : Ir.ty) (m : Ir.mem_ref) =
+    accesses :=
+      { acc_base = m.Ir.base;
+        acc_index = Scev.eval_value env m.Ir.index;
+        acc_is_store = is_store;
+        acc_elem = Ir.elem_ty ty;
+        acc_predicated = pred }
+      :: !accesses
+  in
+  let instr ~pred (i : Ir.instr) =
+    (match i with
+    | Ir.Def (_, Ir.Load (ty, m)) -> record ~pred ~is_store:false ty m
+    | Ir.Store (ty, m, _) -> record ~pred ~is_store:true ty m
+    | Ir.CallI _ -> has_call := true
+    | Ir.Def _ -> ());
+    Scev.step env i
+  in
+  let rec node ~pred ~depth (n : Ir.node) =
+    if depth > !max_if_depth then max_if_depth := depth;
+    match n with
+    | Ir.Block is -> List.iter (instr ~pred) is
+    | Ir.If { cond = ci, _; then_; else_ } ->
+        List.iter (instr ~pred) ci;
+        (* Values defined under the branches merge conservatively: we snapshot
+           the env and mark regs defined in either branch as Unknown after. *)
+        let snapshot = env.Scev.vals in
+        List.iter (node ~pred:true ~depth:(depth + 1)) then_;
+        List.iter (node ~pred:true ~depth:(depth + 1)) else_;
+        let branch_defs = Scev.defined_regs (then_ @ else_) in
+        env.Scev.vals <-
+          Scev.IntMap.merge
+            (fun r before after ->
+              if Scev.IntMap.mem r branch_defs then Some Scev.Unknown
+              else (match before with Some _ -> before | None -> after))
+            snapshot env.Scev.vals
+    | Ir.Loop l ->
+        has_inner_loop := true;
+        let ii, _ = l.Ir.l_init and bi, _ = l.Ir.l_bound in
+        List.iter (instr ~pred) ii;
+        List.iter (instr ~pred) bi;
+        List.iter (node ~pred ~depth) l.Ir.l_body
+    | Ir.WhileLoop { w_cond = ci, _; w_body } ->
+        has_irregular_cf := true;
+        List.iter (instr ~pred) ci;
+        List.iter (node ~pred ~depth) w_body
+    | Ir.Return _ | Ir.BreakN | Ir.ContinueN -> has_irregular_cf := true
+  in
+  List.iter (node ~pred:false ~depth:0) body;
+  {
+    accesses = List.rev !accesses;
+    has_call = !has_call;
+    has_inner_loop = !has_inner_loop;
+    has_irregular_cf = !has_irregular_cf;
+    if_depth = !max_if_depth;
+  }
+
+(** Stride (in elements, per loop iteration) of an access with respect to
+    loop [l]: coefficient of the induction variable times the loop step.
+    [None] if the index is not affine. *)
+let iter_stride (l : Ir.loop) (a : access) : int option =
+  match a.acc_index with
+  | Scev.Unknown -> None
+  | Scev.Affine _ -> Some (Scev.coeff_of l.Ir.l_var a.acc_index * l.Ir.l_step)

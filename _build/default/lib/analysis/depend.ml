@@ -1,0 +1,101 @@
+(** Memory dependence analysis for the innermost-loop vectorizer.
+
+    Implements the distance-vector test LLVM's LoopAccessAnalysis performs:
+    for every pair of accesses to the same array where at least one is a
+    store, the two index functions must differ only in their constant term
+    (same coefficients for the induction variable and every invariant
+    symbol); the difference divided by the per-iteration stride is the
+    dependence distance in iterations. A forward store→load distance [d]
+    limits the vectorization factor to [d]; any pair the test cannot
+    disambiguate makes the loop non-vectorizable. *)
+
+type dependence = {
+  dep_base : string;
+  dep_distance : int;  (** in iterations; > 0 means crosses iterations *)
+  dep_store_first : bool;  (** true: earlier iteration writes (flow dep) *)
+}
+
+type verdict = {
+  max_safe_vf : int;  (** includes [unbounded] when no constraint; 1 = scalar *)
+  dependences : dependence list;
+  unknown_pair : (string * string) option;
+      (** an un-analyzable pair (base names), if any *)
+}
+
+let unbounded = 4096
+
+(** Test one pair of accesses to the same base. [iter_coeff] is the index
+    change per iteration (coeff of the loop var × loop step) — must match
+    between the two accesses. Returns [Error ()] when not analyzable. *)
+let test_pair (l : Ir.loop) (a : Access.access) (b : Access.access) :
+    (dependence option, unit) result =
+  let ca = Scev.coeff_of l.Ir.l_var a.Access.acc_index * l.Ir.l_step in
+  match Scev.const_delta a.Access.acc_index b.Access.acc_index with
+  | None ->
+      (* Coefficients differ (e.g. a[i] vs a[2*i]) or symbols differ
+         (a[i+n] vs a[i+m]) or non-affine: cannot disambiguate. The only
+         benign case: both are loads — but callers only pass store pairs. *)
+      Error ()
+  | Some delta ->
+      (* identical coefficients; ca = cb *)
+      if ca = 0 then
+        (* loop-invariant address touched every iteration by a store:
+           distance 0 in address but iteration-crossing (e.g. a[0] += ...).
+           Treat as unvectorizable unless delta <> 0 (then no alias). *)
+        if delta = 0 then Error () else Ok None
+      else if delta mod ca <> 0 then
+        (* constant offset not a multiple of the stride: the accesses
+           interleave without ever colliding *)
+        Ok None
+      else
+        let d = delta / ca in
+        if d = 0 then Ok None (* same iteration, ordered by program order *)
+        else
+          Ok
+            (Some
+               { dep_base = a.Access.acc_base;
+                 dep_distance = abs d;
+                 dep_store_first =
+                   (* A at iteration n+d collides with B at iteration n
+                      (d > 0): the earlier-iteration access is B. Flow
+                      dependence iff the earlier access is the store. *)
+                   (if d > 0 then b.Access.acc_is_store else a.Access.acc_is_store) })
+
+(** Analyze all access pairs of a loop. *)
+let analyze (l : Ir.loop) (accesses : Access.access list) : verdict =
+  let deps = ref [] in
+  let unknown = ref None in
+  let arr = Array.of_list accesses in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      if a.Access.acc_base = b.Access.acc_base
+         && (a.Access.acc_is_store || b.Access.acc_is_store)
+      then
+        match test_pair l a b with
+        | Ok (Some d) -> deps := d :: !deps
+        | Ok None -> ()
+        | Error () ->
+            if !unknown = None then
+              unknown := Some (a.Access.acc_base, b.Access.acc_base)
+    done
+  done;
+  let max_safe =
+    if !unknown <> None then 1
+    else
+      List.fold_left
+        (fun acc d ->
+          if d.dep_store_first then
+            (* flow dependence at distance d: lanes within one vector
+               iteration must not span the writer and its reader *)
+            min acc d.dep_distance
+          else
+            (* anti/output dependence: vector execution preserves order
+               because all lanes read before the (later) store instruction
+               executes — no constraint beyond program order *)
+            acc)
+        unbounded !deps
+  in
+  { max_safe_vf = max max_safe 1; dependences = List.rev !deps;
+    unknown_pair = !unknown }

@@ -1,0 +1,120 @@
+(** Aggregated per-loop analysis: everything the vectorizer's legality and
+    cost phases need, in one record. *)
+
+type t = {
+  li_loop : Ir.loop;
+  li_trip_count : int option;  (** exact when init and bound are constants *)
+  li_accesses : Access.access list;
+  li_reductions : Reduction.reduction list;
+  li_blocked_scalars : Ir.reg list;  (** loop-carried, not reductions *)
+  li_max_safe_vf : int;
+  li_vectorizable : bool;
+  li_reasons : string list;  (** why not vectorizable (empty if it is) *)
+  li_if_depth : int;
+}
+
+(** Constant-fold a code sequence whose instructions operate only on
+    constants (e.g. an adjusted loop bound [N - (K-1)]), yielding the value
+    it computes. *)
+let eval_code_const ((code, v) : Ir.code) : int option =
+  let env = Hashtbl.create 8 in
+  let value = function
+    | Ir.IConst i -> Some (Int64.to_int i)
+    | Ir.Reg r -> Hashtbl.find_opt env r
+    | Ir.FConst _ -> None
+  in
+  List.iter
+    (fun i ->
+      match i with
+      | Ir.Def (r, Ir.IBin (op, _, a, b)) -> (
+          match (value a, value b) with
+          | Some x, Some y ->
+              Hashtbl.replace env r
+                (Int64.to_int
+                   (Ir_interp.ibin_eval op (Int64.of_int x) (Int64.of_int y)))
+          | _ -> ())
+      | Ir.Def (r, Ir.Mov (_, a))
+      | Ir.Def (r, Ir.Cast ((Ir.SExt | Ir.ZExt | Ir.Trunc), _, _, a)) -> (
+          match value a with Some x -> Hashtbl.replace env r x | None -> ())
+      | _ -> ())
+    code;
+  value v
+
+(** Static trip count for constant (or constant-foldable) bounds. *)
+let static_trip_count (l : Ir.loop) : int option =
+  let const_of = eval_code_const in
+  match (const_of l.Ir.l_init, const_of l.Ir.l_bound) with
+  | Some lo, Some hi ->
+      let step = l.Ir.l_step in
+      let count =
+        match l.Ir.l_cmp with
+        | Ir.CLt -> if step > 0 then (hi - lo + step - 1) / step else 0
+        | Ir.CLe -> if step > 0 then (hi - lo) / step + 1 else 0
+        | Ir.CGt -> if step < 0 then (lo - hi - step - 1) / -step else 0
+        | Ir.CGe -> if step < 0 then (lo - hi) / -step + 1 else 0
+        | Ir.CEq | Ir.CNe -> 0
+      in
+      Some (max count 0)
+  | _ -> None
+
+(** Analyze one loop in the context of its enclosing induction variables. *)
+let analyze ?(outer_vars = []) (l : Ir.loop) : t =
+  let induction_vars = l.Ir.l_var :: outer_vars in
+  let acc = Access.collect ~induction_vars l.Ir.l_body in
+  let reductions, blocked = Reduction.analyze l in
+  let verdict = Depend.analyze l acc.Access.accesses in
+  let reasons = ref [] in
+  let reason fmt = Printf.ksprintf (fun s -> reasons := s :: !reasons) fmt in
+  if acc.Access.has_inner_loop then reason "contains an inner loop";
+  if acc.Access.has_call then reason "contains a call";
+  if acc.Access.has_irregular_cf then
+    reason "contains break/continue/return/while";
+  if acc.Access.if_depth > 1 then reason "if nesting deeper than 1";
+  if blocked <> [] then
+    reason "loop-carried scalar is not a recognised reduction";
+  if List.exists (fun r -> r.Reduction.red_predicated) reductions then
+    reason "predicated reduction";
+  if verdict.Depend.unknown_pair <> None then
+    reason "memory dependence cannot be analysed";
+  if verdict.Depend.max_safe_vf <= 1 then reason "dependence distance < 2";
+  (* all accesses must have a computable stride to be widened *)
+  List.iter
+    (fun a ->
+      if Access.iter_stride l a = None then
+        reason "non-affine access into %s" a.Access.acc_base)
+    acc.Access.accesses;
+  {
+    li_loop = l;
+    li_trip_count = static_trip_count l;
+    li_accesses = acc.Access.accesses;
+    li_reductions = reductions;
+    li_blocked_scalars = blocked;
+    li_max_safe_vf = verdict.Depend.max_safe_vf;
+    li_vectorizable = !reasons = [];
+    li_reasons = List.rev !reasons;
+    li_if_depth = acc.Access.if_depth;
+  }
+
+(** Analyze every innermost loop of a function, with outer induction
+    variables in scope. *)
+let innermost_infos (fn : Ir.func) : t list =
+  (* collect (loop, enclosing vars) pairs *)
+  let acc = ref [] in
+  let rec walk outer nodes =
+    List.iter
+      (fun n ->
+        match n with
+        | Ir.Loop l ->
+            let inner_exists = ref false in
+            Ir.iter_loops (fun _ -> inner_exists := true) l.Ir.l_body;
+            if !inner_exists then walk (l.Ir.l_var :: outer) l.Ir.l_body
+            else acc := (l, outer) :: !acc
+        | Ir.If { then_; else_; _ } ->
+            walk outer then_;
+            walk outer else_
+        | Ir.WhileLoop { w_body; _ } -> walk outer w_body
+        | _ -> ())
+      nodes
+  in
+  walk [] fn.Ir.fn_body;
+  List.rev_map (fun (l, outer) -> analyze ~outer_vars:outer l) !acc

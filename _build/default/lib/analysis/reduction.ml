@@ -1,0 +1,178 @@
+(** Reduction recognition.
+
+    Lowering turns [sum += e] into
+
+    {v %t = add ty %sum, %e        (or fadd/mul/...)
+       %sum = mov ty %t v}
+
+    A register is a reduction candidate when its only in-loop definition is
+    such a [mov] fed by a single associative binop over its own previous
+    value, and it has no other in-loop uses. The vectorizer then widens the
+    accumulator and adds a horizontal [reduce] epilogue. *)
+
+type kind = RedAdd | RedMul | RedAnd | RedOr | RedXor
+
+type reduction = {
+  red_reg : Ir.reg;  (** the accumulator *)
+  red_kind : kind;
+  red_float : bool;
+  red_predicated : bool;  (** update sits under an [If] *)
+}
+
+let reduce_op_of_kind = function
+  | RedAdd -> Ir.RAdd
+  | RedMul -> Ir.RMul
+  | RedAnd -> Ir.RAnd
+  | RedOr -> Ir.ROr
+  | RedXor -> Ir.RXor
+
+(** Identity element of a reduction, used to initialise extra lanes. *)
+let identity_value (k : kind) (float : bool) : Ir.value =
+  match (k, float) with
+  | RedAdd, true -> Ir.FConst 0.0
+  | RedAdd, false -> Ir.IConst 0L
+  | RedMul, true -> Ir.FConst 1.0
+  | RedMul, false -> Ir.IConst 1L
+  | RedAnd, _ -> Ir.IConst (-1L)
+  | RedOr, _ | RedXor, _ -> Ir.IConst 0L
+
+(* Uses of a register in an rvalue. *)
+let value_uses v r = match v with Ir.Reg x when x = r -> 1 | _ -> 0
+
+let rvalue_uses (rv : Ir.rvalue) (r : Ir.reg) : int =
+  match rv with
+  | Ir.IBin (_, _, a, b) | Ir.FBin (_, _, a, b) | Ir.ICmp (_, _, a, b)
+  | Ir.FCmp (_, _, a, b) ->
+      value_uses a r + value_uses b r
+  | Ir.Select (_, c, a, b) -> value_uses c r + value_uses a r + value_uses b r
+  | Ir.Cast (_, _, _, v) | Ir.Splat (_, v) | Ir.Extract (_, v, _)
+  | Ir.Reduce (_, _, v) | Ir.Mov (_, v) | Ir.Stride (_, v, _) ->
+      value_uses v r
+  | Ir.Load (_, m) -> value_uses m.Ir.index r
+                      + (match m.Ir.mask with Some v -> value_uses v r | None -> 0)
+
+let instr_uses (i : Ir.instr) (r : Ir.reg) : int =
+  match i with
+  | Ir.Def (_, rv) -> rvalue_uses rv r
+  | Ir.Store (_, m, v) ->
+      value_uses m.Ir.index r + value_uses v r
+      + (match m.Ir.mask with Some mv -> value_uses mv r | None -> 0)
+  | Ir.CallI (_, _, args) ->
+      List.fold_left (fun n a -> n + value_uses a r) 0 args
+
+(** Find reductions in a loop body. Returns the recognised reductions;
+    [unrecognized_carried] lists loop-carried scalar registers that are
+    *not* reductions (their presence blocks vectorization, as in LLVM). *)
+let analyze (l : Ir.loop) : reduction list * Ir.reg list =
+  let body = l.Ir.l_body in
+  let instrs = Ir.all_instrs body in
+  let defined = Scev.defined_regs body in
+  (* Which defined regs are read before (or at) their first definition?
+     Those carry values across iterations. The induction variable is
+     excluded — the loop header handles it. *)
+  let carried = ref [] in
+  let seen_def = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      (* reads first *)
+      Scev.IntMap.iter
+        (fun r () ->
+          if
+            (not (Hashtbl.mem seen_def r))
+            && r <> l.Ir.l_var
+            && instr_uses i r > 0
+            && not (List.mem r !carried)
+          then carried := r :: !carried)
+        defined;
+      match i with
+      | Ir.Def (r, _) | Ir.CallI (Some r, _, _) -> Hashtbl.replace seen_def r ()
+      | _ -> ())
+    instrs;
+  let carried = List.rev !carried in
+  (* Try to prove each carried reg is a reduction. *)
+  let predicated_of_reg r =
+    (* is the defining instruction under an If? *)
+    let rec scan ~pred nodes found =
+      List.fold_left
+        (fun found n ->
+          match n with
+          | Ir.Block is ->
+              List.fold_left
+                (fun found i ->
+                  match i with
+                  | Ir.Def (r', _) when r' = r -> Some pred
+                  | _ -> found)
+                found is
+          | Ir.If { then_; else_; _ } ->
+              let found = scan ~pred:true then_ found in
+              scan ~pred:true else_ found
+          | Ir.Loop il -> scan ~pred il.Ir.l_body found
+          | Ir.WhileLoop { w_body; _ } -> scan ~pred w_body found
+          | _ -> found)
+        found nodes
+    in
+    match scan ~pred:false body None with Some p -> p | None -> false
+  in
+  let classify r : reduction option =
+    (* collect all defs of r and all uses of r in the body *)
+    let defs = List.filter_map (function
+        | Ir.Def (r', rv) when r' = r -> Some rv
+        | _ -> None) instrs
+    in
+    let total_uses =
+      List.fold_left (fun n i -> n + instr_uses i r) 0 instrs
+    in
+    match defs with
+    | [ Ir.Mov (ty, Ir.Reg t) ] -> (
+        (* find t's definition; must be a single binop using r once *)
+        let t_defs = List.filter_map (function
+            | Ir.Def (t', rv) when t' = t -> Some rv
+            | _ -> None) instrs
+        in
+        let t_uses = List.fold_left (fun n i -> n + instr_uses i t) 0 instrs in
+        match t_defs with
+        | [ rv ] when t_uses = 1 -> (
+            let kind_of_ibin = function
+              | Ir.Add -> Some RedAdd
+              | Ir.Mul -> Some RedMul
+              | Ir.And -> Some RedAnd
+              | Ir.Or -> Some RedOr
+              | Ir.Xor -> Some RedXor
+              | _ -> None
+            in
+            let kind_of_fbin = function
+              | Ir.FAdd -> Some RedAdd
+              | Ir.FMul -> Some RedMul
+              | _ -> None
+            in
+            let mk kind float a b =
+              (* accumulator must appear exactly once, as an operand *)
+              if value_uses a r + value_uses b r = 1 && total_uses = 1 then
+                Some { red_reg = r; red_kind = kind; red_float = float;
+                       red_predicated = predicated_of_reg r }
+              else None
+            in
+            match rv with
+            | Ir.IBin (op, _, a, b) -> (
+                match kind_of_ibin op with
+                | Some k -> mk k false a b
+                | None -> None)
+            | Ir.FBin (op, _, a, b) -> (
+                match kind_of_fbin op with
+                | Some k ->
+                    ignore ty;
+                    mk k true a b
+                | None -> None)
+            | _ -> None)
+        | _ -> None)
+    | _ -> None
+  in
+  let reds, blocked =
+    List.fold_left
+      (fun (reds, blocked) r ->
+        match classify r with
+        | Some red -> (red :: reds, blocked)
+        | None -> (reds, r :: blocked))
+      ([], []) carried
+  in
+  (List.rev reds, List.rev blocked)

@@ -1,0 +1,1 @@
+lib/core/extractor.ml: List Minic

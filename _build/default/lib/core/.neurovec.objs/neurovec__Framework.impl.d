@@ -1,0 +1,1 @@
+lib/core/framework.ml: Array Dataset Embedding Extractor Injector List Minic Nn Pipeline Reward Rl

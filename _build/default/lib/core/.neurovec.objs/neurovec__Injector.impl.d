@@ -1,0 +1,1 @@
+lib/core/injector.ml: Extractor List Minic Option

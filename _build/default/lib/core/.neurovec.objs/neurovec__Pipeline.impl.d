@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Dataset Injector Ir Ir_lower List Machine Minic Polly Printf Vectorizer

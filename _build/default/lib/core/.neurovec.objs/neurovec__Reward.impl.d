@@ -1,0 +1,1 @@
+lib/core/reward.ml: Array Dataset Hashtbl List Pipeline Rl

@@ -1,0 +1,90 @@
+(** The end-to-end framework of Figure 3: programs -> loop extractor ->
+    code embedding -> learning agent -> pragma injection -> compile &
+    measure -> reward.
+
+    [train] runs the PPO loop against the memoized reward oracle;
+    [predict_decisions] runs the trained policy at inference (one forward
+    pass per loop, like the deployed baseline cost model); [speedup_*]
+    helpers express results the way the paper's figures do — execution
+    time normalized to the baseline cost model. *)
+
+type t = {
+  agent : Rl.Agent.t;
+  oracle : Reward.t;
+  train_programs : Dataset.Program.t array;
+  samples : Rl.Ppo.sample array;
+}
+
+(** Encode a program for the agent: AST path contexts of the first loop
+    nest's outermost statement, mapped to vocabulary ids. *)
+let encode (agent : Rl.Agent.t) (p : Dataset.Program.t) :
+    Embedding.Code2vec.ids array =
+  let prog = Minic.Parser.parse_string p.Dataset.Program.p_source in
+  let stmt = Extractor.embedding_stmt prog in
+  let cfg = agent.Rl.Agent.c2v.Embedding.Code2vec.cfg in
+  let ctxs =
+    Embedding.Ast_path.contexts_of_stmt
+      ~max_contexts:cfg.Embedding.Code2vec.max_contexts stmt
+  in
+  Embedding.Code2vec.encode agent.Rl.Agent.c2v ctxs
+
+(** Encode one loop site (for multi-loop programs at inference). *)
+let encode_site (agent : Rl.Agent.t) (site : Extractor.loop_site) :
+    Embedding.Code2vec.ids array =
+  let cfg = agent.Rl.Agent.c2v.Embedding.Code2vec.cfg in
+  let ctxs =
+    Embedding.Ast_path.contexts_of_stmt
+      ~max_contexts:cfg.Embedding.Code2vec.max_contexts site.Extractor.context
+  in
+  Embedding.Code2vec.encode agent.Rl.Agent.c2v ctxs
+
+let create ?(space = Rl.Spaces.Discrete) ?(hidden = [ 64; 64 ])
+    ?(c2v_cfg = Embedding.Code2vec.default_config)
+    ?(options = Pipeline.default_options) ~(seed : int)
+    (train_programs : Dataset.Program.t array) : t =
+  let rng = Nn.Rng.create seed in
+  let agent = Rl.Agent.create ~hidden ~c2v_cfg ~space rng in
+  let oracle = Reward.create ~options train_programs in
+  let samples =
+    Array.mapi
+      (fun i p -> { Rl.Ppo.s_id = i; s_ids = encode agent p })
+      train_programs
+  in
+  { agent; oracle; train_programs; samples }
+
+(** Train the agent; returns per-update statistics. *)
+let train ?(hyper = Rl.Ppo.default_hyper) ?progress (t : t)
+    ~(total_steps : int) : Rl.Ppo.stats list =
+  Rl.Ppo.train ~hyper ?progress t.agent ~samples:t.samples
+    ~reward:(fun idx act -> Reward.reward t.oracle idx act)
+    ~total_steps
+
+(** Per-loop pragma decisions for a program under the trained policy. *)
+let predict_decisions (agent : Rl.Agent.t) (p : Dataset.Program.t) :
+    (int * Minic.Ast.loop_pragma) list =
+  let prog = Minic.Parser.parse_string p.Dataset.Program.p_source in
+  List.map
+    (fun site ->
+      let act = Rl.Agent.predict agent (encode_site agent site) in
+      ( site.Extractor.ordinal,
+        Injector.pragma_of ~vf:(Rl.Spaces.vf_of act) ~if_:(Rl.Spaces.if_of act)
+      ))
+    (Extractor.extract prog)
+
+(** Execution time (seconds) of [p] when the trained agent injects pragmas
+    into every loop; [polly] also runs the polyhedral pipeline first. *)
+let rl_seconds ?(options = Pipeline.default_options) (agent : Rl.Agent.t)
+    (p : Dataset.Program.t) : float =
+  let decisions = predict_decisions agent p in
+  (Pipeline.run_with_decisions ~options p ~decisions).Pipeline.exec_seconds
+
+(** Baseline-normalized speedups for one evaluation program under several
+    methods; the unit of Figures 7, 8 and 9. *)
+type comparison = {
+  c_name : string;
+  c_baseline : float;  (** seconds, baseline cost model *)
+  c_methods : (string * float) list;  (** method -> seconds *)
+}
+
+let speedups (c : comparison) : (string * float) list =
+  List.map (fun (m, s) -> (m, c.c_baseline /. s)) c.c_methods

@@ -1,0 +1,95 @@
+(** The compile-and-measure pipeline ("clang/LLVM + the testbed" of
+    Figure 3): parse, check, lower, optionally run Polly, run the loop
+    vectorizer (pragmas first, baseline cost model otherwise), clean up
+    with LICM, then price compile time and simulate execution time on the
+    target machine. *)
+
+type options = {
+  target : Machine.Target.t;
+  polly : bool;
+  compile_model : Machine.Compile.t;
+}
+
+let default_options =
+  { target = Machine.Target.skylake_avx2; polly = false;
+    compile_model = Machine.Compile.default }
+
+type result = {
+  modul : Ir.modul;
+  decisions : Vectorizer.Planner.report;
+  compile_seconds : float;
+  exec_seconds : float;
+  exec_cycles : float;
+}
+
+exception Compile_error of string
+
+let find_kernel (m : Ir.modul) (name : string) : Ir.func =
+  match List.find_opt (fun f -> f.Ir.fn_name = name) m.Ir.m_funcs with
+  | Some f -> f
+  | None -> raise (Compile_error (Printf.sprintf "kernel %s not found" name))
+
+(** Compile and simulate one program. *)
+let run ?(options = default_options) (p : Dataset.Program.t) : result =
+  let prog =
+    try Minic.Parser.parse_string p.Dataset.Program.p_source
+    with Minic.Parser.Error (msg, pos) ->
+      raise
+        (Compile_error
+           (Printf.sprintf "%s: parse error at %d:%d: %s"
+              p.Dataset.Program.p_name pos.Minic.Token.line pos.Minic.Token.col
+              msg))
+  in
+  (try ignore (Minic.Sema.analyze ~bindings:p.Dataset.Program.p_bindings prog)
+   with Minic.Sema.Error msg ->
+     raise
+       (Compile_error (Printf.sprintf "%s: %s" p.Dataset.Program.p_name msg)));
+  let m =
+    try
+      Ir_lower.lower_program ~bindings:p.Dataset.Program.p_bindings prog
+    with Ir_lower.Error msg ->
+      raise
+        (Compile_error (Printf.sprintf "%s: %s" p.Dataset.Program.p_name msg))
+  in
+  if options.polly then ignore (Polly.Driver.optimize m);
+  (* LICM + scalar promotion first (as -licm before the vectorizer in
+     LLVM): promotes memory reductions to register reductions the
+     vectorizer can widen, and exposes invariant address arithmetic *)
+  ignore (Vectorizer.Licm.run_modul m);
+  ignore (Vectorizer.Cse.run_modul m);
+  ignore (Vectorizer.Licm.run_modul m);
+  let decisions = Vectorizer.Planner.run_modul m in
+  ignore (Vectorizer.Licm.run_modul m);
+  let compile_seconds =
+    Machine.Compile.seconds ~model:options.compile_model m
+  in
+  let kernel = find_kernel m p.Dataset.Program.p_kernel in
+  let exec_cycles = Machine.Timing.cycles options.target m kernel in
+  let exec_seconds =
+    exec_cycles /. (options.target.Machine.Target.ghz *. 1e9)
+  in
+  { modul = m; decisions; compile_seconds; exec_seconds; exec_cycles }
+
+(** Compile with a specific (vf, if) pragma on every innermost loop. *)
+let run_with_pragma ?(options = default_options) (p : Dataset.Program.t) ~vf
+    ~if_ : result =
+  let source = Injector.inject_all p.Dataset.Program.p_source ~vf ~if_ in
+  run ~options { p with Dataset.Program.p_source = source }
+
+(** Compile with the baseline cost model only (existing pragmas removed). *)
+let run_baseline ?(options = default_options) (p : Dataset.Program.t) : result =
+  let prog = Minic.Parser.parse_string p.Dataset.Program.p_source in
+  let stripped =
+    Minic.Pretty.program_to_string
+      (Injector.inject_ast ~clear_others:true prog ~decisions:[])
+  in
+  run ~options { p with Dataset.Program.p_source = stripped }
+
+(** Compile with per-loop pragma decisions. *)
+let run_with_decisions ?(options = default_options) (p : Dataset.Program.t)
+    ~(decisions : (int * Minic.Ast.loop_pragma) list) : result =
+  let source =
+    Injector.inject_source ~clear_others:true p.Dataset.Program.p_source
+      ~decisions
+  in
+  run ~options { p with Dataset.Program.p_source = source }

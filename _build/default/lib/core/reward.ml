@@ -1,0 +1,79 @@
+(** The reward oracle (paper Section 3.3-3.4).
+
+    reward = (t_baseline - t_action) / t_baseline, so positive means
+    "faster than the LLVM baseline cost model's choice"; an action whose
+    compile time exceeds 10x the baseline compile time short-circuits to
+    the penalty reward -9 (equivalent to 10x the baseline execution time),
+    teaching the agent not to over-vectorize.
+
+    All (program, action) evaluations are memoized: the environment is
+    deterministic, and both RL training and the brute-force/NNS/decision
+    tree baselines draw from the same table — mirroring how the paper
+    reuses its brute-force measurements as supervised labels. *)
+
+type t = {
+  programs : Dataset.Program.t array;
+  options : Pipeline.options;
+  timeout_factor : float;
+  penalty : float;
+  baselines : (int, float * float) Hashtbl.t;
+      (** program -> (exec seconds, compile seconds) *)
+  cache : (int * int * int, float) Hashtbl.t;
+      (** (program, vf_idx, if_idx) -> reward *)
+  mutable evaluations : int;  (** non-memoized compile+run count *)
+}
+
+let create ?(options = Pipeline.default_options) ?(timeout_factor = 10.0)
+    ?(penalty = -9.0) (programs : Dataset.Program.t array) : t =
+  { programs; options; timeout_factor; penalty;
+    baselines = Hashtbl.create (Array.length programs);
+    cache = Hashtbl.create (4 * Array.length programs);
+    evaluations = 0 }
+
+let baseline (t : t) (idx : int) : float * float =
+  match Hashtbl.find_opt t.baselines idx with
+  | Some b -> b
+  | None ->
+      let r = Pipeline.run_baseline ~options:t.options t.programs.(idx) in
+      t.evaluations <- t.evaluations + 1;
+      let b = (r.Pipeline.exec_seconds, r.Pipeline.compile_seconds) in
+      Hashtbl.replace t.baselines idx b;
+      b
+
+(** Reward of applying [action] to every innermost loop of program [idx]. *)
+let reward (t : t) (idx : int) (action : Rl.Spaces.action) : float =
+  let key = (idx, action.Rl.Spaces.vf_idx, action.Rl.Spaces.if_idx) in
+  match Hashtbl.find_opt t.cache key with
+  | Some r -> r
+  | None ->
+      let t_base, c_base = baseline t idx in
+      let res =
+        Pipeline.run_with_pragma ~options:t.options t.programs.(idx)
+          ~vf:(Rl.Spaces.vf_of action) ~if_:(Rl.Spaces.if_of action)
+      in
+      t.evaluations <- t.evaluations + 1;
+      let r =
+        if res.Pipeline.compile_seconds > t.timeout_factor *. c_base then
+          t.penalty
+        else (t_base -. res.Pipeline.exec_seconds) /. t_base
+      in
+      Hashtbl.replace t.cache key r;
+      r
+
+(** Execution time under [action] (seconds); penalized actions return the
+    baseline time scaled by the timeout factor. *)
+let exec_seconds (t : t) (idx : int) (action : Rl.Spaces.action) : float =
+  let t_base, _ = baseline t idx in
+  let r = reward t idx action in
+  if r <= t.penalty then t.timeout_factor *. t_base
+  else t_base *. (1.0 -. r)
+
+(** Best action and reward by exhaustive search (35 compilations, memoized). *)
+let brute_force (t : t) (idx : int) : Rl.Spaces.action * float =
+  List.fold_left
+    (fun (best_a, best_r) a ->
+      let r = reward t idx a in
+      if r > best_r then (a, r) else (best_a, best_r))
+    ({ Rl.Spaces.vf_idx = 0; if_idx = 0 },
+     reward t idx { Rl.Spaces.vf_idx = 0; if_idx = 0 })
+    Rl.Spaces.all_actions

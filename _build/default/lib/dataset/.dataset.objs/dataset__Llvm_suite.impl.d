@@ -1,0 +1,1 @@
+lib/dataset/llvm_suite.ml: Program

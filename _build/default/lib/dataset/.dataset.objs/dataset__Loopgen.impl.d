@@ -1,0 +1,1 @@
+lib/dataset/loopgen.ml: Array List Nn Printf Program String

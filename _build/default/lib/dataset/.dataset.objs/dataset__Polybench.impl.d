@@ -1,0 +1,1 @@
+lib/dataset/polybench.ml: Printf Program

@@ -1,0 +1,150 @@
+(** Kernels modelled on the LLVM vectorizer test suite
+    (SingleSource/UnitTests/Vectorizer) — the programs Figure 2 runs
+    brute-force search on to show the baseline cost model's headroom.
+
+    Each kernel stresses one aspect of the cost model: conversions,
+    predicates, strides, reductions, unknown bounds, misalignment,
+    multidimensional arrays, mixed types. *)
+
+let k name ?(bindings = []) src =
+  Program.make ~bindings ~family:"llvm-suite" name src
+
+let programs : Program.t array =
+  [|
+    k "sum_i32"
+      "int a[512];\n\
+       int kernel() {\n\
+      \  int s = 0;\n\
+      \  int i;\n\
+      \  for (i = 0; i < 512; i++) s += a[i];\n\
+      \  return s;\n\
+       }\n";
+    k "dot_i32"
+      "int x[512]; int y[512];\n\
+       int kernel() {\n\
+      \  int s = 0;\n\
+      \  int i;\n\
+      \  for (i = 0; i < 512; i++) s += x[i] * y[i];\n\
+      \  return s;\n\
+       }\n";
+    k "dot_f32"
+      "float x[512]; float y[512];\n\
+       int kernel() {\n\
+      \  float s = 0;\n\
+      \  int i;\n\
+      \  for (i = 0; i < 512; i++) s += x[i] * y[i];\n\
+      \  return (int) s;\n\
+       }\n";
+    k "copy_widen_short"
+      "short src1[1024]; int dst1[1024];\n\
+       int kernel() {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 1024; i++) dst1[i] = (int) src1[i];\n\
+      \  return dst1[100];\n\
+       }\n";
+    k "saxpy_f32"
+      "float x[1024]; float y[1024];\n\
+       int kernel() {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 1024; i++) y[i] = 2.5 * x[i] + y[i];\n\
+      \  return (int) y[512];\n\
+       }\n";
+    k "predicated_store"
+      "int a[1000]; int b[1000];\n\
+       int kernel() {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 1000; i++) {\n\
+      \    if (b[i] > 128) a[i] = b[i];\n\
+      \  }\n\
+      \  return a[500];\n\
+       }\n";
+    k "select_minmax"
+      "int a[1000]; int b[1000];\n\
+       int kernel() {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 1000; i++) a[i] = b[i] > 200 ? 200 : b[i];\n\
+      \  return a[77];\n\
+       }\n";
+    k "stride2_pack"
+      "float re[512]; float im[512]; float inter[1024];\n\
+       int kernel() {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 512; i++) {\n\
+      \    re[i] = inter[2*i];\n\
+      \    im[i] = inter[2*i+1];\n\
+      \  }\n\
+      \  return (int) (re[10] + im[10]);\n\
+       }\n";
+    k "gather_stride4"
+      "int a[256]; int b[1024];\n\
+       int kernel() {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 256; i++) a[i] = b[4*i];\n\
+      \  return a[128];\n\
+       }\n";
+    k "reverse_copy"
+      "int a[512]; int b[512];\n\
+       int kernel() {\n\
+      \  int i;\n\
+      \  for (i = 511; i >= 0; i--) a[i] = b[i] + 1;\n\
+      \  return a[0];\n\
+       }\n";
+    k "unknown_bound" ~bindings:[ ("N", 600) ]
+      "int a[N]; int b[N];\n\
+       int kernel() {\n\
+      \  int i;\n\
+      \  for (i = 0; i < N; i++) a[i] = b[i] * 3;\n\
+      \  return a[N/2];\n\
+       }\n";
+    k "misaligned_offset"
+      "int a[1032]; int b[1032];\n\
+       int kernel() {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 1024; i++) a[i] = b[i + 3];\n\
+      \  return a[17];\n\
+       }\n";
+    k "multidim_rowsum"
+      "int g[64][64]; int rows[64];\n\
+       int kernel() {\n\
+      \  int i;\n\
+      \  int j;\n\
+      \  for (i = 0; i < 64; i++) {\n\
+      \    int s = 0;\n\
+      \    for (j = 0; j < 64; j++) s += g[i][j];\n\
+      \    rows[i] = s;\n\
+      \  }\n\
+      \  return rows[32];\n\
+       }\n";
+    k "mixed_types"
+      "char c8[800]; short s16[800]; int i32[800];\n\
+       int kernel() {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 800; i++) i32[i] = (int) c8[i] + (int) s16[i];\n\
+      \  return i32[400];\n\
+       }\n";
+    k "xor_reduction"
+      "int a[2048];\n\
+       int kernel() {\n\
+      \  int h = 0;\n\
+      \  int i;\n\
+      \  for (i = 0; i < 2048; i++) h ^= a[i];\n\
+      \  return h;\n\
+       }\n";
+    k "shift_mask"
+      "int a[1024]; int b[1024];\n\
+       int kernel() {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 1024; i++) a[i] = (b[i] >> 3) & 255;\n\
+      \  return a[99];\n\
+       }\n";
+    k "step2_pairs"
+      "int a[1024]; short sa[1024];\n\
+       int kernel() {\n\
+      \  int i;\n\
+      \  for (i = 0; i < 1023; i += 2) {\n\
+      \    a[i] = (int) sa[i];\n\
+      \    a[i+1] = (int) sa[i+1];\n\
+      \  }\n\
+      \  return a[100];\n\
+       }\n";
+  |]

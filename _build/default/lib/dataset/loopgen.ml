@@ -1,0 +1,352 @@
+(** Synthetic loop generators.
+
+    The paper (Section 3.2) built a >10,000-example dataset from the LLVM
+    vectorizer test suite by varying parameter names, strides, iteration
+    counts, functionality, instructions, and nesting depth. These
+    generators follow that recipe: each template family corresponds to a
+    suite category, and every sampled program randomizes names, bounds,
+    element types, constants, and strides. Generation is deterministic in
+    the seed. *)
+
+type spec = {
+  names : string array;  (** array-name pool *)
+  elem_tys : string array;
+  bounds : int array;
+  strides : int array;
+}
+
+let default_spec =
+  {
+    names =
+      [| "a"; "b"; "c"; "d"; "src"; "dst"; "in0"; "out0"; "buf"; "acc";
+         "data"; "vals"; "xs"; "ys"; "zs"; "tmp_arr" |];
+    elem_tys = [| "int"; "int"; "int"; "float"; "short"; "char"; "double"; "long" |];
+    bounds = [| 64; 100; 128; 200; 256; 300; 512; 777; 1000; 1024 |];
+    strides = [| 2; 3; 4; 8 |];
+  }
+
+type gctx = {
+  rng : Nn.Rng.t;
+  spec : spec;
+  mutable used : string list;  (** array names already taken in this program *)
+}
+
+let fresh_name (g : gctx) : string =
+  let rec pick tries =
+    let n = Nn.Rng.choose g.rng g.spec.names in
+    if List.mem n g.used && tries < 20 then pick (tries + 1)
+    else if List.mem n g.used then n ^ string_of_int (List.length g.used)
+    else n
+  in
+  let n = pick 0 in
+  g.used <- n :: g.used;
+  n
+
+let pick_bound g = Nn.Rng.choose g.rng g.spec.bounds
+let pick_ty g = Nn.Rng.choose g.rng g.spec.elem_tys
+let pick_stride g = Nn.Rng.choose g.rng g.spec.strides
+
+let is_float_ty ty = ty = "float" || ty = "double"
+
+(** One template: name and a generator from a fresh context. Each returns
+    (globals, kernel body, return expression). *)
+type pieces = { globals : string list; body : string; ret : string }
+
+(* --- family: elementwise map (add/sub/mul, mixed operands) ----------- *)
+let gen_elementwise g =
+  let ty = pick_ty g in
+  let n = pick_bound g in
+  let dst = fresh_name g and s1 = fresh_name g and s2 = fresh_name g in
+  let op = Nn.Rng.choose g.rng [| "+"; "-"; "*" |] in
+  let cst = 1 + Nn.Rng.int g.rng 9 in
+  let form = Nn.Rng.int g.rng 3 in
+  let rhs =
+    match form with
+    | 0 -> Printf.sprintf "%s[i] %s %s[i]" s1 op s2
+    | 1 -> Printf.sprintf "%s[i] %s %d" s1 op cst
+    | _ -> Printf.sprintf "(%s[i] %s %s[i]) %s %d" s1 op s2 op cst
+  in
+  { globals =
+      [ Printf.sprintf "%s %s[%d];" ty dst n;
+        Printf.sprintf "%s %s[%d];" ty s1 n;
+        Printf.sprintf "%s %s[%d];" ty s2 n ];
+    body =
+      Printf.sprintf "  int i;\n  for (i = 0; i < %d; i++) {\n    %s[i] = %s;\n  }" n
+        dst rhs;
+    ret = Printf.sprintf "(int) %s[%d]" dst (n / 2) }
+
+(* --- family: reduction (sum / product / xor / dot) -------------------- *)
+let gen_reduction g =
+  let ty = pick_ty g in
+  let n = pick_bound g in
+  let s1 = fresh_name g and s2 = fresh_name g in
+  let kind = Nn.Rng.int g.rng 4 in
+  let acc_ty = if is_float_ty ty then ty else "int" in
+  let update =
+    match kind with
+    | 0 -> Printf.sprintf "s += %s[i];" s1
+    | 1 -> Printf.sprintf "s += %s[i] * %s[i];" s1 s2
+    | 2 when not (is_float_ty ty) -> Printf.sprintf "s ^= %s[i];" s1
+    | _ -> Printf.sprintf "s += %s[i] * %s[i];" s1 s1
+  in
+  { globals =
+      [ Printf.sprintf "%s %s[%d];" ty s1 n; Printf.sprintf "%s %s[%d];" ty s2 n ];
+    body =
+      Printf.sprintf
+        "  %s s = 0;\n  int i;\n  for (i = 0; i < %d; i++) {\n    %s\n  }" acc_ty
+        n update;
+    ret = "(int) s" }
+
+(* --- family: type widening copy (paper example #1) -------------------- *)
+let gen_widening g =
+  let n = pick_bound g in
+  let narrow = Nn.Rng.choose g.rng [| "short"; "char" |] in
+  let pairs = 1 + Nn.Rng.int g.rng 3 in
+  let stmts = ref [] and globals = ref [] in
+  for _ = 1 to pairs do
+    let dst = fresh_name g and src = fresh_name g in
+    globals :=
+      Printf.sprintf "int %s[%d];" dst (n + 2)
+      :: Printf.sprintf "%s %s[%d];" narrow src (n + 2)
+      :: !globals;
+    stmts :=
+      Printf.sprintf "    %s[i] = (int) %s[i];\n    %s[i+1] = (int) %s[i+1];" dst
+        src dst src
+      :: !stmts
+  done;
+  { globals = List.rev !globals;
+    body =
+      Printf.sprintf "  int i;\n  for (i = 0; i < %d; i += 2) {\n%s\n  }" n
+        (String.concat "\n" (List.rev !stmts));
+    ret = "0" }
+
+(* --- family: nested fill (paper example #2) ---------------------------- *)
+let gen_nested_fill g =
+  let n = 16 + Nn.Rng.int g.rng 48 in
+  let m = 16 + Nn.Rng.int g.rng 48 in
+  let arr = fresh_name g in
+  let ty = pick_ty g in
+  let value =
+    Nn.Rng.choose g.rng [| "7"; "i + j"; "i * j"; "i - j" |]
+  in
+  { globals = [ Printf.sprintf "%s %s[%d][%d];" ty arr n m ];
+    body =
+      Printf.sprintf
+        "  int i;\n  int j;\n  for (i = 0; i < %d; i++) {\n    for (j = 0; j < %d; j++) {\n      %s[i][j] = %s;\n    }\n  }"
+        n m arr value;
+    ret = Printf.sprintf "(int) %s[%d][%d]" arr (n / 2) (m / 2) }
+
+(* --- family: predicate / threshold (paper example #3) ------------------ *)
+let gen_predicate g =
+  let n = pick_bound g in
+  let dst = fresh_name g and src = fresh_name g in
+  let thr = 32 + Nn.Rng.int g.rng 192 in
+  let style = Nn.Rng.int g.rng 3 in
+  let body_core =
+    match style with
+    | 0 ->
+        Printf.sprintf
+          "    int j = %s[i];\n    %s[i] = (j > %d ? %d : 0);" src dst thr thr
+    | 1 -> Printf.sprintf "    if (%s[i] > %d) %s[i] = %s[i];" src thr dst src
+    | _ ->
+        Printf.sprintf
+          "    if (%s[i] > %d) %s[i] = 1; else %s[i] = 0;" src thr dst dst
+  in
+  { globals =
+      [ Printf.sprintf "int %s[%d];" dst n; Printf.sprintf "int %s[%d];" src n ];
+    body =
+      Printf.sprintf "  int i;\n  for (i = 0; i < %d; i++) {\n%s\n  }" n body_core;
+    ret = Printf.sprintf "%s[%d]" dst (n / 3) }
+
+(* --- family: gemm-style nest (paper example #4) ------------------------ *)
+let gen_gemm g =
+  let n = 12 + Nn.Rng.int g.rng 28 in
+  let a = fresh_name g and b = fresh_name g and c = fresh_name g in
+  let ty = if Nn.Rng.int g.rng 2 = 0 then "float" else "double" in
+  { globals =
+      [ Printf.sprintf "%s %s[%d][%d];" ty a n n;
+        Printf.sprintf "%s %s[%d][%d];" ty b n n;
+        Printf.sprintf "%s %s[%d][%d];" ty c n n ];
+    body =
+      Printf.sprintf
+        "  int i;\n  int j;\n  int k;\n  for (i = 0; i < %d; i++) {\n    for (j = 0; j < %d; j++) {\n      %s sum = 0;\n      for (k = 0; k < %d; k++) {\n        sum += %s[i][k] * %s[k][j];\n      }\n      %s[i][j] = sum;\n    }\n  }"
+        n n ty n a b c;
+    ret = Printf.sprintf "(int) %s[%d][%d]" c (n / 2) (n / 3) }
+
+(* --- family: strided arithmetic (paper example #5) --------------------- *)
+let gen_strided g =
+  let n = pick_bound g in
+  let a = fresh_name g and b = fresh_name g
+  and c = fresh_name g and d = fresh_name g in
+  let ty = if Nn.Rng.int g.rng 2 = 0 then "float" else "int" in
+  { globals =
+      [ Printf.sprintf "%s %s[%d];" ty a (n / 2);
+        Printf.sprintf "%s %s[%d];" ty b (n + 2);
+        Printf.sprintf "%s %s[%d];" ty c (n + 2);
+        Printf.sprintf "%s %s[%d];" ty d (n / 2) ];
+    body =
+      Printf.sprintf
+        "  int i;\n  for (i = 0; i < %d/2-1; i++) {\n    %s[i] = %s[2*i+1] * %s[2*i+1] - %s[2*i] * %s[2*i];\n    %s[i] = %s[2*i] * %s[2*i+1] + %s[2*i+1] * %s[2*i];\n  }"
+        n a b c b c d b c b c;
+    ret = Printf.sprintf "(int) %s[1] + (int) %s[1]" a d }
+
+(* --- family: non-unit-stride access ------------------------------------ *)
+let gen_gather g =
+  let n = pick_bound g in
+  let stride = pick_stride g in
+  let dst = fresh_name g and src = fresh_name g in
+  { globals =
+      [ Printf.sprintf "int %s[%d];" dst n;
+        Printf.sprintf "int %s[%d];" src (n * stride) ];
+    body =
+      Printf.sprintf
+        "  int i;\n  for (i = 0; i < %d; i++) {\n    %s[i] = %s[%d*i];\n  }" n dst
+        src stride;
+    ret = Printf.sprintf "%s[%d]" dst (n / 2) }
+
+(* --- family: reversed iteration ---------------------------------------- *)
+let gen_reversed g =
+  let n = pick_bound g in
+  let dst = fresh_name g and src = fresh_name g in
+  { globals =
+      [ Printf.sprintf "int %s[%d];" dst n; Printf.sprintf "int %s[%d];" src n ];
+    body =
+      Printf.sprintf
+        "  int i;\n  for (i = %d; i >= 0; i--) {\n    %s[i] = %s[i] + i;\n  }"
+        (n - 1) dst src;
+    ret = Printf.sprintf "%s[0]" dst }
+
+(* --- family: bitwise mix ------------------------------------------------ *)
+let gen_bitwise g =
+  let n = pick_bound g in
+  let dst = fresh_name g and src = fresh_name g in
+  let sh = 1 + Nn.Rng.int g.rng 5 in
+  let op = Nn.Rng.choose g.rng [| "&"; "|"; "^" |] in
+  { globals =
+      [ Printf.sprintf "int %s[%d];" dst n; Printf.sprintf "int %s[%d];" src n ];
+    body =
+      Printf.sprintf
+        "  int i;\n  for (i = 0; i < %d; i++) {\n    %s[i] = (%s[i] << %d) %s %s[i];\n  }"
+        n dst src sh op src;
+    ret = Printf.sprintf "%s[%d]" dst (n / 4) }
+
+(* --- family: symbolic (unknown at generation) bounds -------------------- *)
+let gen_unknown_bound g =
+  let dst = fresh_name g and src = fresh_name g in
+  let n = pick_bound g in
+  { globals =
+      [ Printf.sprintf "int %s[N];" dst; Printf.sprintf "int %s[N];" src ];
+    body =
+      Printf.sprintf
+        "  int i;\n  for (i = 0; i < N; i++) {\n    %s[i] = %s[i] * 2 + 1;\n  }"
+        dst src;
+    ret = Printf.sprintf "%s[N/2]" dst }
+  |> fun p -> (p, [ ("N", n) ])
+
+(* --- family: offset (misaligned) accesses ------------------------------- *)
+let gen_offset g =
+  let n = pick_bound g in
+  let off = 1 + Nn.Rng.int g.rng 3 in
+  let dst = fresh_name g and src = fresh_name g in
+  { globals =
+      [ Printf.sprintf "int %s[%d];" dst (n + 8);
+        Printf.sprintf "int %s[%d];" src (n + 8) ];
+    body =
+      Printf.sprintf
+        "  int i;\n  for (i = 0; i < %d; i++) {\n    %s[i] = %s[i + %d];\n  }" n
+        dst src off;
+    ret = Printf.sprintf "%s[%d]" dst (n / 2) }
+
+(* --- family: multiple statements / wider bodies -------------------------- *)
+let gen_multi_stmt g =
+  let n = pick_bound g in
+  let a = fresh_name g and b = fresh_name g and c = fresh_name g in
+  let k = 1 + Nn.Rng.int g.rng 6 in
+  { globals =
+      [ Printf.sprintf "int %s[%d];" a n;
+        Printf.sprintf "int %s[%d];" b n;
+        Printf.sprintf "int %s[%d];" c n ];
+    body =
+      Printf.sprintf
+        "  int i;\n  for (i = 0; i < %d; i++) {\n    %s[i] = %s[i] + %d;\n    %s[i] = %s[i] * %s[i];\n  }"
+        n a b k c a b;
+    ret = Printf.sprintf "%s[%d] + %s[%d]" a (n / 2) c (n / 2) }
+
+(* --- family: float saxpy-ish ------------------------------------------- *)
+let gen_saxpy g =
+  let n = pick_bound g in
+  let x = fresh_name g and y = fresh_name g in
+  let ty = if Nn.Rng.int g.rng 2 = 0 then "float" else "double" in
+  let alpha = Printf.sprintf "%d.5" (1 + Nn.Rng.int g.rng 4) in
+  { globals =
+      [ Printf.sprintf "%s %s[%d];" ty x n; Printf.sprintf "%s %s[%d];" ty y n ];
+    body =
+      Printf.sprintf
+        "  int i;\n  for (i = 0; i < %d; i++) {\n    %s[i] = %s * %s[i] + %s[i];\n  }"
+        n y alpha x y;
+    ret = Printf.sprintf "(int) %s[%d]" y (n / 2) }
+
+(* --- family: flow dependence (NOT vectorizable; teaches the agent to
+       leave such loops alone) ------------------------------------------- *)
+let gen_recurrence g =
+  let n = pick_bound g in
+  let dist = 1 + Nn.Rng.int g.rng 4 in
+  let a = fresh_name g in
+  { globals = [ Printf.sprintf "int %s[%d];" a (n + dist) ];
+    body =
+      Printf.sprintf
+        "  int i;\n  for (i = %d; i < %d; i++) {\n    %s[i] = %s[i - %d] + 1;\n  }"
+        dist n a a dist;
+    ret = Printf.sprintf "%s[%d]" a (n - 1) }
+
+(* ------------------------------------------------------------------ *)
+
+let families =
+  [| ("elementwise", fun g -> (gen_elementwise g, []));
+     ("reduction", fun g -> (gen_reduction g, []));
+     ("widening", fun g -> (gen_widening g, []));
+     ("nested_fill", fun g -> (gen_nested_fill g, []));
+     ("predicate", fun g -> (gen_predicate g, []));
+     ("gemm", fun g -> (gen_gemm g, []));
+     ("strided", fun g -> (gen_strided g, []));
+     ("gather", fun g -> (gen_gather g, []));
+     ("reversed", fun g -> (gen_reversed g, []));
+     ("bitwise", fun g -> (gen_bitwise g, []));
+     ("unknown_bound", gen_unknown_bound);
+     ("offset", fun g -> (gen_offset g, []));
+     ("multi_stmt", fun g -> (gen_multi_stmt g, []));
+     ("saxpy", fun g -> (gen_saxpy g, []));
+     ("recurrence", fun g -> (gen_recurrence g, [])) |]
+
+let assemble name family (p : pieces) bindings : Program.t =
+  let source =
+    Printf.sprintf "%s\n\nint kernel() {\n%s\n  return %s;\n}\n"
+      (String.concat "\n" p.globals)
+      p.body p.ret
+  in
+  Program.make ~bindings ~family name source
+
+(** Generate one random program. *)
+let generate_one ?(spec = default_spec) (rng : Nn.Rng.t) (idx : int) : Program.t
+    =
+  let g = { rng; spec; used = [] } in
+  let family, gen = Nn.Rng.choose rng families in
+  let pieces, bindings = gen g in
+  assemble (Printf.sprintf "%s_%05d" family idx) family pieces bindings
+
+(** Generate a corpus of [n] programs, deterministic in [seed]. *)
+let generate ?(seed = 42) ?(spec = default_spec) (n : int) : Program.t array =
+  let rng = Nn.Rng.create seed in
+  Array.init n (fun i -> generate_one ~spec rng i)
+
+(** Split a corpus into train / test (the paper holds out 20%). *)
+let train_test_split ?(test_fraction = 0.2) ?(seed = 7)
+    (corpus : Program.t array) : Program.t array * Program.t array =
+  let rng = Nn.Rng.create seed in
+  let arr = Array.copy corpus in
+  Nn.Rng.shuffle rng arr;
+  let n_test =
+    int_of_float (test_fraction *. float_of_int (Array.length arr))
+  in
+  ( Array.sub arr n_test (Array.length arr - n_test),
+    Array.sub arr 0 n_test )

@@ -1,0 +1,126 @@
+(** MiBench-like embedded benchmarks (Figure 9's transfer suite): programs
+    where loops are a *minor* fraction of the runtime — control-heavy
+    scalar code, recurrences, while loops and data-dependent branches
+    dominate, so vectorization gains are bounded (~1.1x in the paper).
+
+    Each program mixes non-vectorizable work (CRC-style feedback, sorting
+    passes, state machines) with one or two modest vectorizable loops. *)
+
+let k name src = Program.make ~family:"mibench" name src
+
+let programs : Program.t array =
+  [|
+    (* telecomm/CRC32-like: bit-serial feedback, inherently sequential *)
+    k "crc_like"
+      "int data[4096]; int table[256]; int out[256];\n\
+       int kernel() {\n\
+      \  int crc = -1;\n\
+      \  int i;\n\
+      \  int b;\n\
+      \  for (i = 0; i < 4096; i++) {\n\
+      \    int x = data[i];\n\
+      \    for (b = 0; b < 8; b++) {\n\
+      \      int bit = (crc ^ x) & 1;\n\
+      \      crc = (crc >> 1) ^ (bit ? 79764919 : 0);\n\
+      \      x = x >> 1;\n\
+      \    }\n\
+      \  }\n\
+      \  int j;\n\
+      \  for (j = 0; j < 256; j++) out[j] = table[j] ^ crc;\n\
+      \  return out[128] + crc;\n\
+       }\n";
+    (* automotive/susan-like: thresholding image pass + serial smoothing *)
+    k "susan_like"
+      "int img[64][64]; int edge[64][64]; int hist[256];\n\
+       int kernel() {\n\
+      \  int i;\n\
+      \  int j;\n\
+      \  int acc = 0;\n\
+      \  for (i = 1; i < 63; i++) {\n\
+      \    int carry = 0;\n\
+      \    for (j = 1; j < 63; j++) {\n\
+      \      int v = img[i][j];\n\
+      \      carry = (carry + v) / 2;\n\
+      \      if (carry > 100) { acc += 1; }\n\
+      \      hist[v & 255] = hist[v & 255] + 1;\n\
+      \    }\n\
+      \  }\n\
+      \  for (i = 0; i < 63; i++) {\n\
+      \    for (j = 0; j < 64; j++) edge[i][j] = img[i][j] - img[i+1][j];\n\
+      \  }\n\
+      \  return acc + edge[10][10] + hist[40];\n\
+       }\n";
+    (* office/stringsearch-like: byte scanning with early exits *)
+    k "search_like"
+      "char text[8192]; char pat[16]; int hits[64];\n\
+       int kernel() {\n\
+      \  int count = 0;\n\
+      \  int i = 0;\n\
+      \  while (i < 8000) {\n\
+      \    int j = 0;\n\
+      \    while (j < 8 && text[i + j] == pat[j]) j++;\n\
+      \    if (j == 8) count++;\n\
+      \    i++;\n\
+      \  }\n\
+      \  int t;\n\
+      \  for (t = 0; t < 64; t++) hits[t] = count + t;\n\
+      \  return hits[32];\n\
+       }\n";
+    (* network/dijkstra-like: pointer-chasing relaxation, data dependent *)
+    k "dijkstra_like"
+      "int dist[512]; int adj[512]; int visited[512]; int order[512];\n\
+       int kernel() {\n\
+      \  int round;\n\
+      \  int i;\n\
+      \  for (round = 0; round < 64; round++) {\n\
+      \    int best = 2147483647;\n\
+      \    int besti = 0;\n\
+      \    for (i = 0; i < 512; i++) {\n\
+      \      if (!visited[i] && dist[i] < best) { best = dist[i]; besti = i; }\n\
+      \    }\n\
+      \    visited[besti] = 1;\n\
+      \    order[round] = besti;\n\
+      \    for (i = 0; i < 512; i++) {\n\
+      \      int cand = best + adj[i];\n\
+      \      if (cand < dist[i]) dist[i] = cand;\n\
+      \    }\n\
+      \  }\n\
+      \  return order[63] + dist[100];\n\
+       }\n";
+    (* security/sha-like: serial chaining with a small message-expansion loop *)
+    k "sha_like"
+      "int w[80]; int msg[64]; int digest[5];\n\
+       int kernel() {\n\
+      \  int t;\n\
+      \  int round;\n\
+      \  int a = 1732584193;\n\
+      \  int b = -271733879;\n\
+      \  int c = -1732584194;\n\
+      \  for (round = 0; round < 32; round++) {\n\
+      \    for (t = 0; t < 64; t++) w[t] = msg[t] ^ (t * 40503);\n\
+      \    for (t = 64; t < 80; t++) w[t] = w[t-3] ^ w[t-8] ^ w[t-14] ^ w[t-16];\n\
+      \    for (t = 0; t < 80; t++) {\n\
+      \      int f = (b & c) | (~b & a);\n\
+      \      int tmp = (a << 5) + f + w[t];\n\
+      \      c = b; b = a; a = tmp;\n\
+      \    }\n\
+      \  }\n\
+      \  digest[0] = a; digest[1] = b; digest[2] = c;\n\
+      \  return digest[0] + digest[1];\n\
+       }\n";
+    (* consumer/jpeg-like: zigzag + quantization (vectorizable) around a
+       serial DC-predictor *)
+    k "jpeg_like"
+      "int block[4096]; int quant[4096]; int zig[4096]; int dc[64];\n\
+       int kernel() {\n\
+      \  int i;\n\
+      \  int blk;\n\
+      \  int pred = 0;\n\
+      \  for (blk = 0; blk < 64; blk++) {\n\
+      \    pred = (pred * 3 + block[blk * 64]) / 4;\n\
+      \    dc[blk] = pred;\n\
+      \  }\n\
+      \  for (i = 0; i < 4096; i++) zig[i] = block[i] / (quant[i] | 1);\n\
+      \  return zig[2048] + dc[63];\n\
+       }\n";
+  |]

@@ -1,0 +1,103 @@
+(** PolyBench-like kernels (Figure 8's transfer-learning suite): dense
+    linear algebra where loops are essentially all of the runtime and
+    Polly's tiling/fusion shine. Kernels use the accumulate-into-memory
+    form PolyBench itself uses ([C[i][j] += ...]), which is what makes the
+    nests permutable. Sizes are chosen so working sets exceed the simulated
+    L2, giving locality transforms room to matter. *)
+
+let k name src = Program.make ~family:"polybench" name src
+
+let n = 256
+
+let programs : Program.t array =
+  [|
+    k "gemm"
+      (Printf.sprintf
+         "float A[%d][%d]; float B[%d][%d]; float C[%d][%d];\n\
+          int kernel() {\n\
+         \  int i;\n\
+         \  int j;\n\
+         \  int k;\n\
+         \  for (i = 0; i < %d; i++)\n\
+         \    for (j = 0; j < %d; j++)\n\
+         \      for (k = 0; k < %d; k++)\n\
+         \        C[i][j] += A[i][k] * B[k][j];\n\
+         \  return (int) C[7][9];\n\
+          }\n"
+         n n n n n n n n n);
+    k "gesummv"
+      (Printf.sprintf
+         "float A[%d][%d]; float B[%d][%d]; float x[%d]; float y[%d]; float tmp[%d];\n\
+          int kernel() {\n\
+         \  int i;\n\
+         \  int j;\n\
+         \  for (i = 0; i < %d; i++) {\n\
+         \    for (j = 0; j < %d; j++) {\n\
+         \      tmp[i] += A[i][j] * x[j];\n\
+         \      y[i] += B[i][j] * x[j];\n\
+         \    }\n\
+         \  }\n\
+         \  for (i = 0; i < %d; i++) y[i] = 1.5 * tmp[i] + 1.2 * y[i];\n\
+         \  return (int) y[11];\n\
+          }\n"
+         n n n n n n n n n n);
+    k "atax"
+      (Printf.sprintf
+         "float A[%d][%d]; float x[%d]; float y[%d]; float tmp[%d];\n\
+          int kernel() {\n\
+         \  int i;\n\
+         \  int j;\n\
+         \  for (i = 0; i < %d; i++)\n\
+         \    for (j = 0; j < %d; j++)\n\
+         \      tmp[i] += A[i][j] * x[j];\n\
+         \  for (j = 0; j < %d; j++)\n\
+         \    for (i = 0; i < %d; i++)\n\
+         \      y[j] += A[i][j] * tmp[i];\n\
+         \  return (int) y[5];\n\
+          }\n"
+         n n n n n n n n n);
+    k "bicg"
+      (Printf.sprintf
+         "float A[%d][%d]; float p[%d]; float r[%d]; float q[%d]; float s[%d];\n\
+          int kernel() {\n\
+         \  int i;\n\
+         \  int j;\n\
+         \  for (i = 0; i < %d; i++) {\n\
+         \    for (j = 0; j < %d; j++) {\n\
+         \      s[j] += r[i] * A[i][j];\n\
+         \      q[i] += A[i][j] * p[j];\n\
+         \    }\n\
+         \  }\n\
+         \  return (int) (s[3] + q[4]);\n\
+          }\n"
+         n n n n n n n n);
+    k "mvt"
+      (Printf.sprintf
+         "float A[%d][%d]; float x1[%d]; float x2[%d]; float y1[%d]; float y2[%d];\n\
+          int kernel() {\n\
+         \  int i;\n\
+         \  int j;\n\
+         \  for (i = 0; i < %d; i++)\n\
+         \    for (j = 0; j < %d; j++)\n\
+         \      x1[i] += A[i][j] * y1[j];\n\
+         \  for (i = 0; i < %d; i++)\n\
+         \    for (j = 0; j < %d; j++)\n\
+         \      x2[i] += A[j][i] * y2[j];\n\
+         \  return (int) (x1[6] + x2[8]);\n\
+          }\n"
+         n n n n n n n n n n);
+    k "syrk"
+      (Printf.sprintf
+         "float A[%d][%d]; float C[%d][%d];\n\
+          int kernel() {\n\
+         \  int i;\n\
+         \  int j;\n\
+         \  int k;\n\
+         \  for (i = 0; i < %d; i++)\n\
+         \    for (j = 0; j < %d; j++)\n\
+         \      for (k = 0; k < %d; k++)\n\
+         \        C[i][j] += A[i][k] * A[j][k];\n\
+         \  return (int) C[9][9];\n\
+          }\n"
+         n n n n n n n);
+  |]

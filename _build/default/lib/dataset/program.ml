@@ -1,0 +1,14 @@
+(** A benchmark program: C source plus the metadata the framework needs to
+    compile and time it. *)
+
+type t = {
+  p_name : string;
+  p_source : string;
+  p_kernel : string;  (** function whose execution time is measured *)
+  p_bindings : (string * int) list;  (** values for symbolic constants *)
+  p_family : string;  (** generator family / suite name *)
+}
+
+let make ?(kernel = "kernel") ?(bindings = []) ~family name source =
+  { p_name = name; p_source = source; p_kernel = kernel;
+    p_bindings = bindings; p_family = family }

@@ -1,0 +1,1 @@
+lib/embedding/ast_path.ml: Array Fun Int64 List Minic Option Printf String

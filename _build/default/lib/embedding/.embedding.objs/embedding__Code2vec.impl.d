@@ -1,0 +1,1 @@
+lib/embedding/code2vec.ml: Array Ast_path List Nn Vocab

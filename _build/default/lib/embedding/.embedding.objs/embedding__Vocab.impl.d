@@ -1,0 +1,1 @@
+lib/embedding/vocab.ml: Char String

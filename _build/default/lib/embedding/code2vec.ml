@@ -1,0 +1,155 @@
+(** The code2vec model: learned embeddings for path contexts, combined by a
+    fully-connected layer and aggregated with soft attention into a single
+    fixed-length code vector (Alon et al., POPL 2019 — the embedding
+    generator the paper plugs in front of its RL agent).
+
+    For a snippet with contexts {(l, p, r)}:
+
+    {v x_c   = [E_tok[l]; E_path[p]; E_tok[r]]
+       h_c   = tanh(W x_c + b)
+       alpha = softmax_c (h_c . a)
+       code  = sum_c alpha_c h_c v}
+
+    The model trains end-to-end: the RL objective's gradient flows through
+    the policy network into [code], and {!backward} pushes it through the
+    attention, the combiner, and the embedding tables. *)
+
+type config = {
+  d_token : int;
+  d_path : int;
+  d_code : int;  (** the paper's "340 features" — configurable *)
+  vocab : Vocab.t;
+  max_contexts : int;
+  use_attention : bool;  (** false = mean pooling (ablation) *)
+}
+
+let default_config =
+  { d_token = 32; d_path = 48; d_code = 128; vocab = Vocab.default;
+    max_contexts = 24; use_attention = true }
+
+(** The paper-faithful configuration (340-dimensional code vectors);
+    ~3x slower to train than [default_config]. *)
+let paper_config = { default_config with d_code = 340 }
+
+type t = {
+  cfg : config;
+  tok : Nn.Tensor.mat;  (** n_tokens x d_token *)
+  g_tok : Nn.Tensor.mat;
+  path : Nn.Tensor.mat;  (** n_paths x d_path *)
+  g_path : Nn.Tensor.mat;
+  combine : Nn.Dense.t;  (** (2 d_token + d_path) -> d_code *)
+  attn : Nn.Tensor.vec;  (** d_code *)
+  g_attn : Nn.Tensor.vec;
+}
+
+let create ?(cfg = default_config) (rng : Nn.Rng.t) : t =
+  {
+    cfg;
+    tok = Nn.Tensor.mat_xavier rng cfg.vocab.Vocab.n_tokens cfg.d_token;
+    g_tok = Nn.Tensor.mat_create cfg.vocab.Vocab.n_tokens cfg.d_token;
+    path = Nn.Tensor.mat_xavier rng cfg.vocab.Vocab.n_paths cfg.d_path;
+    g_path = Nn.Tensor.mat_create cfg.vocab.Vocab.n_paths cfg.d_path;
+    combine =
+      Nn.Dense.create rng ~in_dim:((2 * cfg.d_token) + cfg.d_path)
+        ~out_dim:cfg.d_code;
+    attn = Array.init cfg.d_code (fun _ -> Nn.Rng.range rng ~lo:(-0.1) ~hi:0.1);
+    g_attn = Nn.Tensor.vec_create cfg.d_code;
+  }
+
+(* table row views *)
+let row (m : Nn.Tensor.mat) (i : int) : Nn.Tensor.vec =
+  Array.sub m.Nn.Tensor.data (i * m.Nn.Tensor.cols) m.Nn.Tensor.cols
+
+let row_add (m : Nn.Tensor.mat) (i : int) (v : Nn.Tensor.vec) : unit =
+  let base = i * m.Nn.Tensor.cols in
+  for j = 0 to m.Nn.Tensor.cols - 1 do
+    m.Nn.Tensor.data.(base + j) <- m.Nn.Tensor.data.(base + j) +. v.(j)
+  done
+
+type ids = { li : int; pi : int; ri : int }
+
+type cache = {
+  ids : ids array;
+  xs : Nn.Tensor.vec array;  (** concatenated inputs *)
+  hs : Nn.Tensor.vec array;  (** tanh outputs *)
+  alphas : Nn.Tensor.vec;
+  code : Nn.Tensor.vec;
+}
+
+(** Map contexts to vocabulary ids. *)
+let encode (t : t) (ctxs : Ast_path.context list) : ids array =
+  let v = t.cfg.vocab in
+  ctxs
+  |> List.map (fun c ->
+         { li = Vocab.token_id v c.Ast_path.left;
+           pi = Vocab.path_id v c.Ast_path.path;
+           ri = Vocab.token_id v c.Ast_path.right })
+  |> Array.of_list
+
+let forward_ids (t : t) (ids : ids array) : cache =
+  let n = max 1 (Array.length ids) in
+  let ids = if Array.length ids = 0 then [| { li = 0; pi = 0; ri = 0 } |] else ids in
+  let xs =
+    Array.map
+      (fun { li; pi; ri } ->
+        Array.concat [ row t.tok li; row t.path pi; row t.tok ri ])
+      ids
+  in
+  let hs =
+    Array.map (fun x -> Nn.Tensor.tanh_fwd (Nn.Dense.forward t.combine x)) xs
+  in
+  let alphas =
+    if t.cfg.use_attention then
+      Nn.Tensor.softmax (Array.map (fun h -> Nn.Tensor.dot h t.attn) hs)
+    else Array.make n (1.0 /. float_of_int n)
+  in
+  let code = Nn.Tensor.vec_create t.cfg.d_code in
+  for c = 0 to n - 1 do
+    Nn.Tensor.axpy ~alpha:alphas.(c) hs.(c) code
+  done;
+  { ids; xs; hs; alphas; code }
+
+let forward (t : t) (ctxs : Ast_path.context list) : cache =
+  forward_ids t (encode t ctxs)
+
+(** Push dL/dcode back through attention, combiner, and tables. *)
+let backward (t : t) (c : cache) ~(dcode : Nn.Tensor.vec) : unit =
+  let n = Array.length c.ids in
+  let d_tok = t.cfg.d_token and d_path = t.cfg.d_path in
+  (* attention backward *)
+  let dalpha = Array.map (fun h -> Nn.Tensor.dot dcode h) c.hs in
+  let mean = ref 0.0 in
+  for k = 0 to n - 1 do
+    mean := !mean +. (c.alphas.(k) *. dalpha.(k))
+  done;
+  for ci = 0 to n - 1 do
+    let ds =
+      if t.cfg.use_attention then c.alphas.(ci) *. (dalpha.(ci) -. !mean)
+      else 0.0
+    in
+    (* dL/dh_c = alpha_c * dcode + ds * attn;  da += ds * h_c *)
+    let dh = Nn.Tensor.vec_create t.cfg.d_code in
+    Nn.Tensor.axpy ~alpha:c.alphas.(ci) dcode dh;
+    Nn.Tensor.axpy ~alpha:ds t.attn dh;
+    Nn.Tensor.axpy ~alpha:ds c.hs.(ci) t.g_attn;
+    (* tanh + dense backward *)
+    let dz = Nn.Tensor.tanh_bwd c.hs.(ci) dh in
+    let dx = Nn.Dense.backward t.combine ~x:c.xs.(ci) ~dy:dz in
+    (* split dx into the three table rows *)
+    let { li; pi; ri } = c.ids.(ci) in
+    row_add t.g_tok li (Array.sub dx 0 d_tok);
+    row_add t.g_path pi (Array.sub dx d_tok d_path);
+    row_add t.g_tok ri (Array.sub dx (d_tok + d_path) d_tok)
+  done
+
+let params (t : t) : Nn.Optim.params =
+  [ (t.tok.Nn.Tensor.data, t.g_tok.Nn.Tensor.data);
+    (t.path.Nn.Tensor.data, t.g_path.Nn.Tensor.data);
+    (t.attn, t.g_attn) ]
+  @ Nn.Dense.params t.combine
+
+let zero_grad (t : t) : unit =
+  Nn.Tensor.mat_fill_zero t.g_tok;
+  Nn.Tensor.mat_fill_zero t.g_path;
+  Nn.Tensor.fill_zero t.g_attn;
+  Nn.Dense.zero_grad t.combine

@@ -1,0 +1,41 @@
+(** Hashing vocabularies for terminals and paths.
+
+    Instead of building explicit vocabularies over the 10,000-loop corpus
+    (and dealing with out-of-vocabulary tokens at inference), tokens and
+    paths hash into fixed-size embedding tables — the standard
+    feature-hashing trick. The paper notes that variable *names* biased the
+    embedding, which its dataset mitigated by renaming; we additionally
+    normalize single-letter identifier classes so [a[i] = b[i]] and
+    [x[j] = y[j]] collide, which is the desired behaviour. *)
+
+type t = { n_tokens : int; n_paths : int }
+
+let default = { n_tokens = 512; n_paths = 2048 }
+
+let fnv (s : string) : int =
+  let h = ref 0x811C9DC5 in
+  String.iter
+    (fun c ->
+      h := (!h lxor Char.code c) * 0x01000193;
+      h := !h land 0x3FFFFFFF)
+    s;
+  !h
+
+(** Normalize a terminal before hashing: numerals by magnitude bucket,
+    identifiers case-folded. *)
+let normalize_token (s : string) : string =
+  match int_of_string_opt s with
+  | Some n ->
+      let mag =
+        if n = 0 then "zero"
+        else if abs n < 8 then "small"
+        else if abs n < 128 then "medium"
+        else if abs n < 4096 then "large"
+        else "huge"
+      in
+      "num:" ^ mag
+  | None -> String.lowercase_ascii s
+
+let token_id (v : t) (s : string) : int = fnv (normalize_token s) mod v.n_tokens
+
+let path_id (v : t) (s : string) : int = fnv s mod v.n_paths

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Common Dataset Embedding Fig1 List Machine Minic Neurovec Nn Printf Rl String

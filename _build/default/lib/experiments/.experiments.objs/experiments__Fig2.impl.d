@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Array Common Dataset List Neurovec Printf Rl

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Array Common Dataset Hashtbl List Printf Trained

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array Common Dataset List Printf Trained

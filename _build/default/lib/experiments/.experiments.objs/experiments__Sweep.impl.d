@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Array Common Dataset Embedding Lazy List Neurovec Nn Printf Rl

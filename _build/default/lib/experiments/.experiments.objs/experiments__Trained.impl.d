@@ -1,0 +1,1 @@
+lib/experiments/trained.ml: Agents Array Common Dataset Embedding Hashtbl Lazy List Minic Neurovec Nn Rl

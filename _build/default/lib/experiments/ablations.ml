@@ -1,0 +1,129 @@
+(** Ablation benches for the design choices DESIGN.md calls out.
+
+    - [context]: embedding input = outermost-loop body vs innermost-only
+      for nested loops (paper Section 3.3 found outer better);
+    - [timeout]: the -9 compile-timeout penalty vs no penalty (Section
+      3.4 — without it the agent keeps paying for over-vectorization);
+    - [attention]: code2vec soft attention vs mean pooling over path
+      contexts. *)
+
+let nested_corpus () =
+  (* restrict to families that produce loop nests *)
+  Dataset.Loopgen.generate ~seed:77 (Common.scaled 600)
+  |> Array.to_list
+  |> List.filter (fun p ->
+         p.Dataset.Program.p_family = "gemm"
+         || p.Dataset.Program.p_family = "nested_fill")
+  |> Array.of_list
+
+let train_with ~label ~(encode : Rl.Agent.t -> Dataset.Program.t -> Embedding.Code2vec.ids array)
+    ?(use_attention = true) ?(penalty = -9.0)
+    (programs : Dataset.Program.t array) : string * float =
+  let rng = Nn.Rng.create 55 in
+  let c2v_cfg = { Embedding.Code2vec.default_config with use_attention } in
+  let agent = Rl.Agent.create ~c2v_cfg ~space:Rl.Spaces.Discrete rng in
+  let oracle = Neurovec.Reward.create ~penalty programs in
+  let samples =
+    Array.mapi (fun i p -> { Rl.Ppo.s_id = i; s_ids = encode agent p }) programs
+  in
+  ignore
+    (Rl.Ppo.train
+       ~hyper:{ Rl.Ppo.default_hyper with batch_size = 400 }
+       agent ~samples
+       ~reward:(fun i a -> Neurovec.Reward.reward oracle i a)
+       ~total_steps:(Common.scaled 4000));
+  (* final greedy reward, with the standard penalty oracle for fairness *)
+  let eval_oracle = Neurovec.Reward.create programs in
+  let g =
+    Rl.Ppo.evaluate agent ~samples
+      ~reward:(fun i a -> Neurovec.Reward.reward eval_oracle i a)
+  in
+  (label, g)
+
+let encode_outer agent p = Neurovec.Framework.encode agent p
+
+let encode_inner (agent : Rl.Agent.t) (p : Dataset.Program.t) :
+    Embedding.Code2vec.ids array =
+  (* innermost loop only, against the paper's recommendation *)
+  let prog = Minic.Parser.parse_string p.Dataset.Program.p_source in
+  let stmt =
+    match Neurovec.Extractor.extract prog with
+    | site :: _ -> Minic.Ast.For site.Neurovec.Extractor.innermost
+    | [] -> Neurovec.Extractor.embedding_stmt prog
+  in
+  let cfg = agent.Rl.Agent.c2v.Embedding.Code2vec.cfg in
+  Embedding.Code2vec.encode agent.Rl.Agent.c2v
+    (Embedding.Ast_path.contexts_of_stmt
+       ~max_contexts:cfg.Embedding.Code2vec.max_contexts stmt)
+
+let ablate_context () =
+  let corpus = nested_corpus () in
+  [ train_with ~label:"outer-loop context (paper)" ~encode:encode_outer corpus;
+    train_with ~label:"innermost-only context" ~encode:encode_inner corpus ]
+
+(* Big-body loops: wide (VF, IF) plans on these blow the compile-time
+   budget, so the -9 penalty actually fires (the paper hit this with whole
+   benchmarks; our generated micro-loops are usually too small to). *)
+let big_body_corpus n =
+  let rng = Nn.Rng.create 78 in
+  Array.init n (fun i ->
+      let stmts = 16 + Nn.Rng.int rng 16 in
+      let body =
+        List.init stmts (fun k ->
+            Printf.sprintf "    a[i] = a[i] + b[i] * %d; c[i] = a[i] ^ c[i];"
+              (k + 1))
+      in
+      let bound = 128 + (64 * Nn.Rng.int rng 8) in
+      Dataset.Program.make ~family:"big_body"
+        (Printf.sprintf "big_%03d" i)
+        (Printf.sprintf
+           "int a[1024]; int b[1024]; int c[1024];\n\
+            int kernel() {\n\
+           \  int i;\n\
+           \  for (i = 0; i < %d; i++) {\n%s\n  }\n\
+           \  return a[0] + c[0];\n\
+            }\n"
+           bound
+           (String.concat "\n" body)))
+
+let ablate_timeout () =
+  let corpus = big_body_corpus (Common.scaled 120) in
+  [ train_with ~label:"timeout penalty -9 (paper)" ~encode:encode_outer corpus;
+    train_with ~label:"no timeout penalty (0)" ~encode:encode_outer ~penalty:0.0
+      corpus ]
+
+let ablate_attention () =
+  let corpus = Dataset.Loopgen.generate ~seed:79 (Common.scaled 300) in
+  [ train_with ~label:"soft attention (paper)" ~encode:encode_outer corpus;
+    train_with ~label:"mean pooling" ~encode:encode_outer ~use_attention:false
+      corpus ]
+
+(** Per-target optimum shift (paper Section 5: "for different target
+    architectures it can be better to train separate models"): the best
+    (VF, IF) on the dot kernel moves with the machine's vector width and
+    register file. *)
+let ablate_target () =
+  List.map
+    (fun tgt ->
+      let options = { Neurovec.Pipeline.default_options with target = tgt } in
+      let oracle = Neurovec.Reward.create ~options [| Fig1.dot_kernel |] in
+      let act, r = Neurovec.Reward.brute_force oracle 0 in
+      (tgt.Machine.Target.name, Rl.Spaces.vf_of act, Rl.Spaces.if_of act, r))
+    [ Machine.Target.sse4; Machine.Target.skylake_avx2; Machine.Target.avx512 ]
+
+let print () =
+  Common.header "Ablation: embedding context for nested loops";
+  List.iter (fun (l, g) -> Printf.printf "  %-28s greedy reward %+0.3f\n" l g)
+    (ablate_context ());
+  Common.header "Ablation: compile-timeout penalty";
+  List.iter (fun (l, g) -> Printf.printf "  %-28s greedy reward %+0.3f\n" l g)
+    (ablate_timeout ());
+  Common.header "Ablation: attention vs mean pooling";
+  List.iter (fun (l, g) -> Printf.printf "  %-28s greedy reward %+0.3f\n" l g)
+    (ablate_attention ());
+  Common.header "Ablation: best (VF, IF) per target architecture";
+  List.iter
+    (fun (name, vf, if_, r) ->
+      Printf.printf "  %-14s best (VF=%2d, IF=%2d)  reward %+0.3f\n" name vf
+        if_ r)
+    (ablate_target ())

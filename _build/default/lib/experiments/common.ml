@@ -1,0 +1,44 @@
+(** Shared utilities for the experiment harness: table printing, summary
+    statistics, and the run-scale knob.
+
+    Set [NEUROVEC_SCALE] to scale every training-step budget (e.g. 0.2 for
+    a quick smoke run, 5.0 to approach paper-scale sample counts). *)
+
+let scale : float =
+  match Sys.getenv_opt "NEUROVEC_SCALE" with
+  | Some s -> ( match float_of_string_opt s with Some f -> f | None -> 1.0)
+  | None -> 1.0
+
+let scaled (n : int) : int = max 1 (int_of_float (float_of_int n *. scale))
+
+let mean (xs : float list) : float =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean (xs : float list) : float =
+  match xs with
+  | [] -> 1.0
+  | _ ->
+      exp (List.fold_left (fun a x -> a +. log (max x 1e-12)) 0.0 xs
+           /. float_of_int (List.length xs))
+
+let header (title : string) =
+  Printf.printf "\n=== %s ===\n%!" title
+
+(** Print a table: first column label, then one column per series. *)
+let table ~(cols : string list) ~(rows : (string * float list) list) : unit =
+  Printf.printf "%-22s" "";
+  List.iter (fun c -> Printf.printf "%12s" c) cols;
+  print_newline ();
+  List.iter
+    (fun (label, vals) ->
+      Printf.printf "%-22s" label;
+      List.iter (fun v -> Printf.printf "%12.3f" v) vals;
+      print_newline ())
+    rows;
+  Printf.printf "%!"
+
+let bar (label : string) (v : float) =
+  let n = max 0 (min 60 (int_of_float (v *. 12.0))) in
+  Printf.printf "%-22s %6.2fx %s\n" label v (String.make n '#')

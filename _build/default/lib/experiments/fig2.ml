@@ -1,0 +1,35 @@
+(** Figure 2: brute-force search over the LLVM-vectorizer-suite kernels,
+    normalized to the baseline cost model.
+
+    Paper facts to reproduce in shape: the optimum beats the baseline on
+    every test, with a growing gap on the more complicated ones (up to
+    ~1.5x). *)
+
+type row = { name : string; best_speedup : float; best_vf : int; best_if : int }
+
+let run () : row list =
+  Array.to_list Dataset.Llvm_suite.programs
+  |> List.map (fun p ->
+         let oracle = Neurovec.Reward.create [| p |] in
+         let act, _ = Neurovec.Reward.brute_force oracle 0 in
+         let t_base, _ = Neurovec.Reward.baseline oracle 0 in
+         let t_best = Neurovec.Reward.exec_seconds oracle 0 act in
+         { name = p.Dataset.Program.p_name;
+           best_speedup = t_base /. t_best;
+           best_vf = Rl.Spaces.vf_of act;
+           best_if = Rl.Spaces.if_of act })
+
+let print () =
+  Common.header
+    "Figure 2: brute-force vs baseline on the LLVM vectorizer test suite";
+  let rows = run () in
+  List.iter
+    (fun r ->
+      Printf.printf "%-20s best=(VF=%2d, IF=%2d)  " r.name r.best_vf r.best_if;
+      Common.bar "" r.best_speedup)
+    rows;
+  Printf.printf "geomean best-over-baseline: %.2fx (paper: up to 1.5x per test)\n"
+    (Common.geomean (List.map (fun r -> r.best_speedup) rows));
+  Printf.printf "tests where optimum >= baseline: %d / %d (paper: all)\n"
+    (List.length (List.filter (fun r -> r.best_speedup >= 0.999) rows))
+    (List.length rows)

@@ -1,0 +1,26 @@
+(** Figure 6: reward mean and training loss for the three action-space
+    definitions.
+
+    Paper fact to reproduce in shape: the discrete two-index action space
+    converges to the best reward; the continuous encodings (one or two
+    rounded gaussians) lag behind. *)
+
+let steps () = Common.scaled 5000
+
+let run () =
+  List.map
+    (fun space ->
+      Sweep.run_one ~space
+        ~label:(Rl.Spaces.kind_to_string space)
+        ~hyper:{ Rl.Ppo.default_hyper with batch_size = 500 }
+        ~steps:(steps ()) ~seed:31 ())
+    [ Rl.Spaces.Discrete; Rl.Spaces.Continuous1; Rl.Spaces.Continuous2 ]
+
+let print () =
+  Common.header "Figure 6: action-space definitions (reward mean / loss)";
+  let curves = run () in
+  Sweep.print_curves curves;
+  Printf.printf "\nfinal reward means:\n";
+  List.iter
+    (fun c -> Printf.printf "  %-16s %+0.3f\n" c.Sweep.label c.Sweep.final_reward)
+    curves

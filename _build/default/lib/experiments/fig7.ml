@@ -1,0 +1,74 @@
+(** Figure 7: the proposed vectorizer (NNS, random, decision tree, RL)
+    against brute force, Polly, and the baseline cost model on 12 held-out
+    benchmarks with varied functionality and access patterns.
+
+    Paper facts to reproduce in shape: RL ~2.67x over baseline on average
+    and within ~3% of brute force; NNS ~2.65x and decision tree ~2.47x
+    (slightly behind RL); Polly ~1.17x; random search well below 1x. *)
+
+let methods =
+  [ Trained.Random; Trained.PollyM; Trained.NnsM; Trained.DtreeM; Trained.RlM;
+    Trained.BruteForce ]
+
+(** The 12 evaluation benchmarks: held-out generated programs, chosen to
+    span distinct families (predicates, strides, reductions, conversions,
+    multidimensional arrays, unknown bounds, ...). *)
+let pick_benchmarks (t : Trained.t) : Dataset.Program.t array =
+  let seen = Hashtbl.create 8 in
+  let picks = ref [] in
+  Array.iter
+    (fun p ->
+      if not (Hashtbl.mem seen p.Dataset.Program.p_family) then begin
+        Hashtbl.replace seen p.Dataset.Program.p_family ();
+        picks := p :: !picks
+      end)
+    t.Trained.test_set;
+  (* top up to 12 with further held-out programs *)
+  Array.iter
+    (fun p -> if List.length !picks < 12 && not (List.memq p !picks) then picks := p :: !picks)
+    t.Trained.test_set;
+  Array.of_list (List.rev !picks) |> fun a -> Array.sub a 0 (min 12 (Array.length a))
+
+type row = { bench : string; speedups : (Trained.method_ * float) list }
+
+let run () : row list * (Trained.method_ * float) list =
+  let t = Trained.get () in
+  let benches = pick_benchmarks t in
+  let rows =
+    Array.to_list benches
+    |> List.map (fun p ->
+           let base = Trained.seconds t Trained.Baseline p in
+           { bench = p.Dataset.Program.p_name;
+             speedups =
+               List.map (fun m -> (m, base /. Trained.seconds t m p)) methods })
+  in
+  let averages =
+    List.map
+      (fun m ->
+        ( m,
+          Common.geomean
+            (List.map (fun r -> List.assoc m r.speedups) rows) ))
+      methods
+  in
+  (rows, averages)
+
+let print () =
+  Common.header
+    "Figure 7: NNS / random / decision tree / RL vs brute force, Polly, baseline \
+     (12 held-out benchmarks, normalized to baseline)";
+  let rows, averages = run () in
+  Common.table
+    ~cols:(List.map Trained.method_name methods)
+    ~rows:
+      (List.map
+         (fun r -> (r.bench, List.map (fun (_, s) -> s) r.speedups))
+         rows);
+  Printf.printf "\naverages (geomean):\n";
+  List.iter
+    (fun (m, s) -> Printf.printf "  %-14s %6.2fx\n" (Trained.method_name m) s)
+    averages;
+  let rl = List.assoc Trained.RlM averages in
+  let bf = List.assoc Trained.BruteForce averages in
+  Printf.printf
+    "RL vs brute force: %.1f%% below optimal (paper: ~3%%)\n"
+    (100.0 *. (1.0 -. (rl /. bf)))

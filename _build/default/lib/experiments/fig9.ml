@@ -1,0 +1,36 @@
+(** Figure 9: transfer learning to MiBench — deep RL vs Polly vs the
+    baseline cost model on programs where loops are a minor fraction of
+    the runtime.
+
+    Paper facts to reproduce in shape: RL >= Polly and >= baseline on every
+    benchmark, but the average gain is modest (~1.1x) because the measured
+    time is dominated by non-loop (or non-vectorizable) code. *)
+
+let methods = [ Trained.PollyM; Trained.RlM ]
+
+let run () =
+  let t = Trained.get () in
+  let rows =
+    Array.to_list Dataset.Mibench.programs
+    |> List.map (fun p ->
+           let base = Trained.seconds t Trained.Baseline p in
+           ( p.Dataset.Program.p_name,
+             List.map (fun m -> (m, base /. Trained.seconds t m p)) methods ))
+  in
+  let avg m =
+    Common.geomean (List.map (fun (_, ss) -> List.assoc m ss) rows)
+  in
+  (rows, List.map (fun m -> (m, avg m)) methods)
+
+let print () =
+  Common.header
+    "Figure 9: MiBench transfer — RL vs Polly vs baseline (normalized to baseline)";
+  let rows, averages = run () in
+  Common.table
+    ~cols:(List.map Trained.method_name methods)
+    ~rows:(List.map (fun (n, ss) -> (n, List.map snd ss)) rows);
+  Printf.printf "\naverages (geomean):\n";
+  List.iter
+    (fun (m, s) -> Printf.printf "  %-10s %6.2fx\n" (Trained.method_name m) s)
+    averages;
+  Printf.printf "(paper: RL ~1.1x over baseline; loops are a minor fraction)\n"

@@ -1,0 +1,66 @@
+(** Shared training-run machinery for the hyperparameter sweeps
+    (Figures 5 and 6). *)
+
+type curve = {
+  label : string;
+  points : Rl.Ppo.stats list;
+  final_reward : float;
+}
+
+let corpus = lazy (Dataset.Loopgen.generate ~seed:11 (Common.scaled 400))
+
+(** One training run; reward oracles are shared across runs through a
+    global cache so sweeps don't recompute simulations. *)
+let shared_oracle =
+  lazy (Neurovec.Reward.create (Lazy.force corpus))
+
+let run_one ?(space = Rl.Spaces.Discrete) ?(hidden = [ 64; 64 ])
+    ?(use_attention = true) ~label ~(hyper : Rl.Ppo.hyper) ~(steps : int)
+    ~(seed : int) () : curve =
+  let programs = Lazy.force corpus in
+  let oracle = Lazy.force shared_oracle in
+  let rng = Nn.Rng.create seed in
+  let c2v_cfg = { Embedding.Code2vec.default_config with use_attention } in
+  let agent = Rl.Agent.create ~hidden ~c2v_cfg ~space rng in
+  let samples =
+    Array.mapi
+      (fun i p -> { Rl.Ppo.s_id = i; s_ids = Neurovec.Framework.encode agent p })
+      programs
+  in
+  let points =
+    Rl.Ppo.train ~hyper agent ~samples
+      ~reward:(fun i a -> Neurovec.Reward.reward oracle i a)
+      ~total_steps:steps
+  in
+  let final_reward =
+    match List.rev points with s :: _ -> s.Rl.Ppo.reward_mean | [] -> 0.0
+  in
+  { label; points; final_reward }
+
+let print_curves (curves : curve list) =
+  (* one line per update round; curves with larger batches have fewer
+     updates, so every cell carries its own cumulative step count *)
+  let max_len =
+    List.fold_left (fun m c -> max m (List.length c.points)) 0 curves
+  in
+  Printf.printf "%-6s" "round";
+  List.iter (fun c -> Printf.printf " | %-29s" c.label) curves;
+  print_newline ();
+  Printf.printf "%-6s" "";
+  List.iter
+    (fun _ -> Printf.printf " | %7s %9s %11s" "steps" "reward" "loss")
+    curves;
+  print_newline ();
+  for row = 0 to max_len - 1 do
+    Printf.printf "%-6d" (row + 1);
+    List.iter
+      (fun c ->
+        match List.nth_opt c.points row with
+        | Some s ->
+            Printf.printf " | %7d %+9.3f %11.3f" s.Rl.Ppo.steps
+              s.Rl.Ppo.reward_mean s.Rl.Ppo.loss
+        | None -> Printf.printf " | %7s %9s %11s" "" "" "")
+      curves;
+    print_newline ()
+  done;
+  Printf.printf "%!"

@@ -1,0 +1,1 @@
+lib/ir/ir_interp.ml: Array Char Hashtbl Int32 Int64 Ir List Option Printf String

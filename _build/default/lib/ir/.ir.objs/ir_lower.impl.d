@@ -1,0 +1,1 @@
+lib/ir/ir_lower.ml: Char Hashtbl Int64 Ir List Minic Option Printf

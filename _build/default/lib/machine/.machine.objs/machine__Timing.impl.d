@@ -1,0 +1,1 @@
+lib/machine/timing.ml: Analysis Array Hashtbl Ir List Target Transform_probe

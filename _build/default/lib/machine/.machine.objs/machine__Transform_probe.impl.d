@@ -1,0 +1,1 @@
+lib/machine/transform_probe.ml: Hashtbl Int Ir List Set

@@ -1,0 +1,52 @@
+(** Compile-time model.
+
+    The paper (Section 3.4) observed that over-eager vectorization pragmas
+    blow up compile time — wide VF x IF plans multiply the loop body during
+    widening and legalization — and handled it with a timeout of 10x the
+    baseline compile time and a penalty reward of -9.
+
+    Here compile time is a simple affine function of the number of IR
+    instructions the planner produced (our transform really does emit
+    IF copies x legalization-split instructions, so the blow-up is
+    measured, not assumed). *)
+
+type t = {
+  base_seconds : float;  (** front-end + codegen fixed cost *)
+  per_instr_seconds : float;
+}
+
+let default = { base_seconds = 0.08; per_instr_seconds = 0.0008 }
+
+(** Weighted instruction count: a vector operation wider than the target's
+    native registers legalizes into multiple machine instructions, so it is
+    charged its split factor. This is what makes extreme (VF x IF) plans
+    blow past the compile-time budget, as the paper observed. *)
+let instr_weight (i : Ir.instr) : int =
+  let chunks ty =
+    match ty with
+    | Ir.Scalar _ -> 1
+    | Ir.Vec (n, s) -> max 1 (n * Ir.scalar_size s * 8 / 256)
+  in
+  match i with
+  | Ir.Def (_, rv) -> (
+      match rv with
+      | Ir.IBin (_, ty, _, _) | Ir.FBin (_, ty, _, _) | Ir.ICmp (_, ty, _, _)
+      | Ir.FCmp (_, ty, _, _) | Ir.Select (ty, _, _, _) | Ir.Load (ty, _)
+      | Ir.Cast (_, _, ty, _) | Ir.Mov (ty, _) | Ir.Splat (ty, _)
+      | Ir.Stride (ty, _, _) ->
+          chunks ty
+      | Ir.Extract _ | Ir.Reduce _ -> 2)
+  | Ir.Store (ty, _, _) -> chunks ty
+  | Ir.CallI _ -> 4
+
+let instr_count (m : Ir.modul) : int =
+  List.fold_left
+    (fun acc fn ->
+      acc
+      + List.fold_left (fun a i -> a + instr_weight i) 0
+          (Ir.all_instrs fn.Ir.fn_body))
+    0 m.Ir.m_funcs
+
+(** Simulated compile time (seconds) for a module after planning. *)
+let seconds ?(model = default) (m : Ir.modul) : float =
+  model.base_seconds +. (model.per_instr_seconds *. float_of_int (instr_count m))

@@ -1,0 +1,98 @@
+(** Target machine description.
+
+    The default target is modelled on the paper's testbed — a 2.7 GHz Intel
+    i7-8559U with AVX2 and 16 GB LPDDR3 — at the level of detail an
+    llvm-mca-style bound analysis needs: issue width, per-class port
+    counts, operation latencies, a three-level memory hierarchy with
+    per-level bandwidth, register-file capacity, and branch costs.
+
+    The timing model in {!Timing} computes loop cycles as the maximum over
+    throughput bounds, the loop-carried latency bound, and the memory
+    bandwidth bound. Everything the baseline linear cost model cannot see
+    (latency hiding through interleave, port saturation, register spills,
+    gather costs, cache footprint) lives here — this is the "real
+    hardware" the RL agent probes with its rewards. *)
+
+type t = {
+  name : string;
+  vec_bits : int;  (** SIMD register width (AVX2: 256) *)
+  issue_width : float;  (** decoded uops per cycle *)
+  int_ports : float;
+  fp_ports : float;
+  load_ports : float;
+  store_ports : float;
+  phys_vregs : int;  (** architectural vector registers *)
+  (* latencies, cycles *)
+  lat_int_alu : float;
+  lat_int_mul : float;
+  lat_fp : float;  (** fadd/fmul *)
+  lat_div : float;
+  lat_load_l1 : float;
+  lat_load_l2 : float;
+  lat_load_mem : float;
+  (* memory hierarchy *)
+  l1_bytes : int;
+  l2_bytes : int;
+  bw_l1 : float;  (** bytes per cycle *)
+  bw_l2 : float;
+  bw_mem : float;
+  (* control *)
+  branch_miss_penalty : float;
+  loop_overhead_uops : float;  (** induction update + compare&branch *)
+  spill_uops : float;  (** store+reload per spilled register per iteration *)
+  ghz : float;  (** to convert cycles to (simulated) seconds *)
+}
+
+(** The default AVX2 target ("skylake-like"), calibrated so the baseline
+    cost model's (VF=4, IF=2) choice on the dot-product kernel runs ~2.6x
+    faster than scalar code, matching the paper's Figure 1 baseline. *)
+let skylake_avx2 =
+  {
+    name = "skylake-avx2";
+    vec_bits = 256;
+    issue_width = 4.0;
+    int_ports = 3.0;
+    fp_ports = 2.0;
+    load_ports = 2.0;
+    store_ports = 1.0;
+    phys_vregs = 16;
+    lat_int_alu = 1.0;
+    lat_int_mul = 3.0;
+    lat_fp = 4.0;
+    lat_div = 20.0;
+    lat_load_l1 = 4.0;
+    lat_load_l2 = 14.0;
+    lat_load_mem = 50.0;
+    l1_bytes = 32 * 1024;
+    l2_bytes = 256 * 1024;
+    bw_l1 = 64.0;
+    bw_l2 = 32.0;
+    bw_mem = 8.0;
+    branch_miss_penalty = 14.0;
+    loop_overhead_uops = 2.0;
+    spill_uops = 2.0;
+    ghz = 2.7;
+  }
+
+(** A narrower SSE-class machine (128-bit vectors), used by ablation
+    benches to show the learned policy is target-specific. *)
+let sse4 =
+  {
+    skylake_avx2 with
+    name = "sse4";
+    vec_bits = 128;
+    issue_width = 3.0;
+    int_ports = 2.0;
+    fp_ports = 1.0;
+    phys_vregs = 8;
+  }
+
+(** A wide hypothetical AVX-512 machine with more registers. *)
+let avx512 =
+  {
+    skylake_avx2 with
+    name = "avx512";
+    vec_bits = 512;
+    phys_vregs = 32;
+    fp_ports = 2.0;
+  }

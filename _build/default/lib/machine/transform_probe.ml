@@ -1,0 +1,55 @@
+(** Small structural probes over IR bodies used by the timing model. *)
+
+module IntSet = Set.Make (Int)
+
+let value_regs (v : Ir.value) = match v with Ir.Reg r -> [ r ] | _ -> []
+
+let rvalue_regs (rv : Ir.rvalue) : Ir.reg list =
+  match rv with
+  | Ir.IBin (_, _, a, b) | Ir.FBin (_, _, a, b) | Ir.ICmp (_, _, a, b)
+  | Ir.FCmp (_, _, a, b) ->
+      value_regs a @ value_regs b
+  | Ir.Select (_, c, a, b) -> value_regs c @ value_regs a @ value_regs b
+  | Ir.Cast (_, _, _, v) | Ir.Splat (_, v) | Ir.Extract (_, v, _)
+  | Ir.Reduce (_, _, v) | Ir.Mov (_, v) | Ir.Stride (_, v, _) ->
+      value_regs v
+  | Ir.Load (_, m) ->
+      value_regs m.Ir.index
+      @ (match m.Ir.mask with Some v -> value_regs v | None -> [])
+
+let instr_regs (i : Ir.instr) : Ir.reg list =
+  match i with
+  | Ir.Def (_, rv) -> rvalue_regs rv
+  | Ir.Store (_, m, v) ->
+      value_regs m.Ir.index @ value_regs v
+      @ (match m.Ir.mask with Some mv -> value_regs mv | None -> [])
+  | Ir.CallI (_, _, args) -> List.concat_map value_regs args
+
+(** Registers that carry a value across iterations of a body: defined
+    within it, but read before their first definition (e.g. a reduction
+    accumulator). Their update latencies form the serial dependence chain
+    that bounds how fast iterations can retire. *)
+let carried_regs (body : Ir.node list) : IntSet.t =
+  let instrs = Ir.all_instrs body in
+  let defined =
+    List.fold_left
+      (fun s i ->
+        match i with
+        | Ir.Def (r, _) | Ir.CallI (Some r, _, _) -> IntSet.add r s
+        | _ -> s)
+      IntSet.empty instrs
+  in
+  let carried = ref IntSet.empty in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun r ->
+          if IntSet.mem r defined && not (Hashtbl.mem seen r) then
+            carried := IntSet.add r !carried)
+        (instr_regs i);
+      match i with
+      | Ir.Def (r, _) | Ir.CallI (Some r, _, _) -> Hashtbl.replace seen r ()
+      | _ -> ())
+    instrs;
+  !carried

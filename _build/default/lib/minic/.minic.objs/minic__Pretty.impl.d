@@ -1,0 +1,1 @@
+lib/minic/pretty.ml: Ast Buffer Char Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/minic/sema.ml: Ast Char Hashtbl Int64 List Printf

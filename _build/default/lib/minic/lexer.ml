@@ -1,0 +1,291 @@
+(** Hand-written lexer for mini-C.
+
+    The lexer keeps `#pragma` lines as single tokens so that the parser can
+    attach vectorization pragmas to the loop that follows them, mirroring how
+    Clang associates [#pragma clang loop] directives. *)
+
+exception Error of string * Token.pos
+
+type state = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make src = { src; off = 0; line = 1; col = 1 }
+
+let pos st : Token.pos = { line = st.line; col = st.col }
+
+let peek st = if st.off < String.length st.src then Some st.src.[st.off] else None
+
+let peek2 st =
+  if st.off + 1 < String.length st.src then Some st.src.[st.off + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.off <- st.off + 1
+
+let error st msg = raise (Error (msg, pos st))
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '/' ->
+      let rec skip () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            skip ()
+      in
+      skip ();
+      skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      let rec skip () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | None, _ -> error st "unterminated block comment"
+        | Some _, _ ->
+            advance st;
+            skip ()
+      in
+      skip ();
+      skip_ws_and_comments st
+  | _ -> ()
+
+let lex_number st : Token.t =
+  let start = st.off in
+  let is_hex =
+    peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X')
+  in
+  if is_hex then (
+    advance st;
+    advance st;
+    while (match peek st with Some c -> is_hex_digit c | None -> false) do
+      advance st
+    done;
+    let s = String.sub st.src start (st.off - start) in
+    Token.INT_LIT (Int64.of_string s))
+  else begin
+    let seen_dot = ref false and seen_exp = ref false in
+    let continue () =
+      match peek st with
+      | Some c when is_digit c -> true
+      | Some '.' when not !seen_dot && not !seen_exp ->
+          seen_dot := true;
+          true
+      | Some ('e' | 'E') when not !seen_exp -> (
+          match peek2 st with
+          | Some c when is_digit c || c = '+' || c = '-' ->
+              seen_exp := true;
+              true
+          | _ -> false)
+      | Some ('+' | '-') when !seen_exp ->
+          (* only directly after e/E; approximated by checking prev char *)
+          let prev = st.src.[st.off - 1] in
+          prev = 'e' || prev = 'E'
+      | _ -> false
+    in
+    while continue () do
+      advance st
+    done;
+    (* Swallow suffixes f/F/l/L/u/U *)
+    let is_float_suffix = ref false in
+    let rec suffixes () =
+      match peek st with
+      | Some ('f' | 'F') ->
+          is_float_suffix := true;
+          advance st;
+          suffixes ()
+      | Some ('l' | 'L' | 'u' | 'U') ->
+          advance st;
+          suffixes ()
+      | _ -> ()
+    in
+    let body = String.sub st.src start (st.off - start) in
+    suffixes ();
+    if !seen_dot || !seen_exp || !is_float_suffix then
+      Token.FLOAT_LIT (float_of_string body)
+    else Token.INT_LIT (Int64.of_string body)
+  end
+
+let lex_ident st : Token.t =
+  let start = st.off in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  Token.lookup_keyword (String.sub st.src start (st.off - start))
+
+let lex_char_lit st : Token.t =
+  advance st;
+  (* opening quote *)
+  let c =
+    match peek st with
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' -> '\n'
+        | Some 't' -> '\t'
+        | Some 'r' -> '\r'
+        | Some '0' -> '\000'
+        | Some '\\' -> '\\'
+        | Some '\'' -> '\''
+        | _ -> error st "bad escape in char literal")
+    | Some c -> c
+    | None -> error st "unterminated char literal"
+  in
+  advance st;
+  (match peek st with
+  | Some '\'' -> advance st
+  | _ -> error st "unterminated char literal");
+  Token.CHAR_LIT c
+
+let lex_string_lit st : Token.t =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        (match peek st with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some c -> Buffer.add_char buf c
+        | None -> error st "unterminated string literal");
+        advance st;
+        go ())
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+    | None -> error st "unterminated string literal"
+  in
+  go ();
+  Token.STRING_LIT (Buffer.contents buf)
+
+(* A preprocessor line. `#pragma ...` is kept; `#include`, `#define` of
+   simple constants, etc., are skipped (the dataset sources carry only
+   pragmas and trivial includes). *)
+let lex_hash_line st : Token.t option =
+  advance st;
+  (* '#' *)
+  let start = st.off in
+  let rec to_eol () =
+    match peek st with
+    | Some '\n' | None -> ()
+    | Some _ ->
+        advance st;
+        to_eol ()
+  in
+  to_eol ();
+  let text = String.trim (String.sub st.src start (st.off - start)) in
+  if String.length text >= 6 && String.sub text 0 6 = "pragma" then
+    Some (Token.PRAGMA (String.trim (String.sub text 6 (String.length text - 6))))
+  else None
+
+let next_token st : Token.spanned =
+  let rec go () =
+    skip_ws_and_comments st;
+    let p = pos st in
+    match peek st with
+    | None -> { Token.tok = Token.EOF; pos = p }
+    | Some c ->
+        let simple tok n =
+          for _ = 1 to n do
+            advance st
+          done;
+          { Token.tok; pos = p }
+        in
+        let two = peek2 st in
+        let three =
+          if st.off + 2 < String.length st.src then Some st.src.[st.off + 2]
+          else None
+        in
+        if is_digit c || (c = '.' && match two with Some d -> is_digit d | None -> false)
+        then { Token.tok = lex_number st; pos = p }
+        else if is_ident_start c then { Token.tok = lex_ident st; pos = p }
+        else
+          match (c, two, three) with
+          | '\'', _, _ -> { Token.tok = lex_char_lit st; pos = p }
+          | '"', _, _ -> { Token.tok = lex_string_lit st; pos = p }
+          | '#', _, _ -> (
+              match lex_hash_line st with
+              | Some tok -> { Token.tok; pos = p }
+              | None -> go ())
+          | '<', Some '<', Some '=' -> simple Token.LSHIFT_ASSIGN 3
+          | '>', Some '>', Some '=' -> simple Token.RSHIFT_ASSIGN 3
+          | '<', Some '<', _ -> simple Token.LSHIFT 2
+          | '>', Some '>', _ -> simple Token.RSHIFT 2
+          | '<', Some '=', _ -> simple Token.LE 2
+          | '>', Some '=', _ -> simple Token.GE 2
+          | '=', Some '=', _ -> simple Token.EQEQ 2
+          | '!', Some '=', _ -> simple Token.NEQ 2
+          | '&', Some '&', _ -> simple Token.AMPAMP 2
+          | '|', Some '|', _ -> simple Token.PIPEPIPE 2
+          | '+', Some '+', _ -> simple Token.PLUSPLUS 2
+          | '-', Some '-', _ -> simple Token.MINUSMINUS 2
+          | '+', Some '=', _ -> simple Token.PLUS_ASSIGN 2
+          | '-', Some '=', _ -> simple Token.MINUS_ASSIGN 2
+          | '*', Some '=', _ -> simple Token.STAR_ASSIGN 2
+          | '/', Some '=', _ -> simple Token.SLASH_ASSIGN 2
+          | '%', Some '=', _ -> simple Token.PERCENT_ASSIGN 2
+          | '&', Some '=', _ -> simple Token.AMP_ASSIGN 2
+          | '|', Some '=', _ -> simple Token.PIPE_ASSIGN 2
+          | '^', Some '=', _ -> simple Token.CARET_ASSIGN 2
+          | '-', Some '>', _ -> simple Token.ARROW 2
+          | '(', _, _ -> simple Token.LPAREN 1
+          | ')', _, _ -> simple Token.RPAREN 1
+          | '{', _, _ -> simple Token.LBRACE 1
+          | '}', _, _ -> simple Token.RBRACE 1
+          | '[', _, _ -> simple Token.LBRACKET 1
+          | ']', _, _ -> simple Token.RBRACKET 1
+          | ';', _, _ -> simple Token.SEMI 1
+          | ',', _, _ -> simple Token.COMMA 1
+          | '?', _, _ -> simple Token.QUESTION 1
+          | ':', _, _ -> simple Token.COLON 1
+          | '+', _, _ -> simple Token.PLUS 1
+          | '-', _, _ -> simple Token.MINUS 1
+          | '*', _, _ -> simple Token.STAR 1
+          | '/', _, _ -> simple Token.SLASH 1
+          | '%', _, _ -> simple Token.PERCENT 1
+          | '&', _, _ -> simple Token.AMP 1
+          | '|', _, _ -> simple Token.PIPE 1
+          | '^', _, _ -> simple Token.CARET 1
+          | '~', _, _ -> simple Token.TILDE 1
+          | '!', _, _ -> simple Token.BANG 1
+          | '<', _, _ -> simple Token.LT 1
+          | '>', _, _ -> simple Token.GT 1
+          | '=', _, _ -> simple Token.ASSIGN 1
+          | '.', _, _ -> simple Token.DOT 1
+          | _ -> error st (Printf.sprintf "unexpected character %C" c)
+  in
+  go ()
+
+(** Tokenize a whole source string. *)
+let tokenize src : Token.spanned list =
+  let st = make src in
+  let rec go acc =
+    let t = next_token st in
+    match t.Token.tok with
+    | Token.EOF -> List.rev (t :: acc)
+    | _ -> go (t :: acc)
+  in
+  go []

@@ -1,0 +1,641 @@
+(** Recursive-descent parser for mini-C with C-style operator precedence.
+
+    Pragmas are recognised as statements of their own and attached to the
+    [for]/[while] loop that immediately follows, matching Clang's behaviour
+    for [#pragma clang loop]. *)
+
+exception Error of string * Token.pos
+
+type state = { toks : Token.spanned array; mutable i : int }
+
+let make toks = { toks = Array.of_list toks; i = 0 }
+
+let cur st = st.toks.(st.i)
+let cur_tok st = (cur st).Token.tok
+let cur_pos st = (cur st).Token.pos
+
+let error st msg =
+  raise
+    (Error
+       ( Printf.sprintf "%s (found %s)" msg (Token.to_string (cur_tok st)),
+         cur_pos st ))
+
+let advance st = if st.i < Array.length st.toks - 1 then st.i <- st.i + 1
+
+let accept st tok =
+  if Token.equal (cur_tok st) tok then (
+    advance st;
+    true)
+  else false
+
+let expect st tok =
+  if not (accept st tok) then
+    error st (Printf.sprintf "expected %s" (Token.to_string tok))
+
+let peek_tok st n =
+  let j = st.i + n in
+  if j < Array.length st.toks then st.toks.(j).Token.tok else Token.EOF
+
+(* ------------------------------------------------------------------ *)
+(* Pragma text parsing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Parse the text of a [#pragma clang loop ...] directive. Returns [None]
+    for pragmas we do not understand (they are ignored, as Clang ignores
+    unknown pragmas). *)
+let parse_loop_pragma (text : string) : Ast.loop_pragma option =
+  let words =
+    String.split_on_char ' ' text
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  match words with
+  | "clang" :: "loop" :: rest ->
+      let clause_re key s =
+        (* matches key(value) *)
+        let prefix = key ^ "(" in
+        let lp = String.length prefix in
+        if
+          String.length s > lp + 1
+          && String.sub s 0 lp = prefix
+          && s.[String.length s - 1] = ')'
+        then Some (String.sub s lp (String.length s - lp - 1))
+        else None
+      in
+      let p = ref Ast.empty_pragma in
+      List.iter
+        (fun w ->
+          (match clause_re "vectorize_width" w with
+          | Some v -> (
+              match int_of_string_opt v with
+              | Some n -> p := { !p with vectorize_width = Some n }
+              | None -> ())
+          | None -> ());
+          (match clause_re "interleave_count" w with
+          | Some v -> (
+              match int_of_string_opt v with
+              | Some n -> p := { !p with interleave_count = Some n }
+              | None -> ())
+          | None -> ());
+          match clause_re "vectorize" w with
+          | Some "enable" -> p := { !p with vectorize_enable = Some true }
+          | Some "disable" -> p := { !p with vectorize_enable = Some false }
+          | _ -> ())
+        rest;
+      Some !p
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let is_type_start = function
+  | Token.KW_VOID | Token.KW_CHAR | Token.KW_SHORT | Token.KW_INT
+  | Token.KW_LONG | Token.KW_FLOAT | Token.KW_DOUBLE | Token.KW_UNSIGNED
+  | Token.KW_SIGNED | Token.KW_CONST | Token.KW_STATIC ->
+      true
+  | _ -> false
+
+(** Parse a type specifier: optional qualifiers followed by a base type.
+    [unsigned]/[signed] may appear alone (meaning int). *)
+let parse_base_type st : Ast.base_ty * bool =
+  let unsigned = ref false in
+  let base = ref None in
+  let rec go () =
+    match cur_tok st with
+    | Token.KW_CONST | Token.KW_STATIC ->
+        advance st;
+        go ()
+    | Token.KW_UNSIGNED ->
+        unsigned := true;
+        advance st;
+        go ()
+    | Token.KW_SIGNED ->
+        advance st;
+        go ()
+    | Token.KW_VOID ->
+        base := Some Ast.Void;
+        advance st;
+        go ()
+    | Token.KW_CHAR ->
+        base := Some Ast.Char;
+        advance st;
+        go ()
+    | Token.KW_SHORT ->
+        base := Some Ast.Short;
+        advance st;
+        (* allow "short int" *)
+        if cur_tok st = Token.KW_INT then advance st;
+        go ()
+    | Token.KW_INT ->
+        base := Some Ast.Int;
+        advance st;
+        go ()
+    | Token.KW_LONG ->
+        base := Some Ast.Long;
+        advance st;
+        (* allow "long long" and "long int" *)
+        if cur_tok st = Token.KW_LONG then advance st;
+        if cur_tok st = Token.KW_INT then advance st;
+        go ()
+    | Token.KW_FLOAT ->
+        base := Some Ast.Float;
+        advance st;
+        go ()
+    | Token.KW_DOUBLE ->
+        base := Some Ast.Double;
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  match !base with
+  | Some b -> (b, !unsigned)
+  | None -> if !unsigned then (Ast.Int, true) else error st "expected type"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Binding powers follow the C standard. *)
+let binop_of_token = function
+  | Token.STAR -> Some (Ast.Mul, 13)
+  | Token.SLASH -> Some (Ast.Div, 13)
+  | Token.PERCENT -> Some (Ast.Rem, 13)
+  | Token.PLUS -> Some (Ast.Add, 12)
+  | Token.MINUS -> Some (Ast.Sub, 12)
+  | Token.LSHIFT -> Some (Ast.Shl, 11)
+  | Token.RSHIFT -> Some (Ast.Shr, 11)
+  | Token.LT -> Some (Ast.Lt, 10)
+  | Token.GT -> Some (Ast.Gt, 10)
+  | Token.LE -> Some (Ast.Le, 10)
+  | Token.GE -> Some (Ast.Ge, 10)
+  | Token.EQEQ -> Some (Ast.Eq, 9)
+  | Token.NEQ -> Some (Ast.Ne, 9)
+  | Token.AMP -> Some (Ast.BitAnd, 8)
+  | Token.CARET -> Some (Ast.BitXor, 7)
+  | Token.PIPE -> Some (Ast.BitOr, 6)
+  | Token.AMPAMP -> Some (Ast.LogAnd, 5)
+  | Token.PIPEPIPE -> Some (Ast.LogOr, 4)
+  | _ -> None
+
+let opassign_of_token = function
+  | Token.PLUS_ASSIGN -> Some Ast.Add
+  | Token.MINUS_ASSIGN -> Some Ast.Sub
+  | Token.STAR_ASSIGN -> Some Ast.Mul
+  | Token.SLASH_ASSIGN -> Some Ast.Div
+  | Token.PERCENT_ASSIGN -> Some Ast.Rem
+  | Token.AMP_ASSIGN -> Some Ast.BitAnd
+  | Token.PIPE_ASSIGN -> Some Ast.BitOr
+  | Token.CARET_ASSIGN -> Some Ast.BitXor
+  | Token.LSHIFT_ASSIGN -> Some Ast.Shl
+  | Token.RSHIFT_ASSIGN -> Some Ast.Shr
+  | _ -> None
+
+let rec parse_expr st : Ast.expr = parse_comma st
+
+and parse_comma st =
+  let e = parse_assign st in
+  if accept st Token.COMMA then Ast.Comma (e, parse_comma st) else e
+
+and parse_assign st =
+  let lhs = parse_ternary st in
+  match cur_tok st with
+  | Token.ASSIGN ->
+      advance st;
+      Ast.Assign (lhs, parse_assign st)
+  | t -> (
+      match opassign_of_token t with
+      | Some op ->
+          advance st;
+          Ast.OpAssign (op, lhs, parse_assign st)
+      | None -> lhs)
+
+and parse_ternary st =
+  let cond = parse_binary st 0 in
+  if accept st Token.QUESTION then begin
+    let t = parse_assign st in
+    expect st Token.COLON;
+    let f = parse_ternary st in
+    Ast.Ternary (cond, t, f)
+  end
+  else cond
+
+and parse_binary st min_bp =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match binop_of_token (cur_tok st) with
+    | Some (op, bp) when bp >= min_bp ->
+        advance st;
+        let rhs = parse_binary st (bp + 1) in
+        lhs := Ast.Binop (op, !lhs, rhs)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match cur_tok st with
+  | Token.MINUS ->
+      advance st;
+      Ast.Unop (Ast.Neg, parse_unary st)
+  | Token.BANG ->
+      advance st;
+      Ast.Unop (Ast.Not, parse_unary st)
+  | Token.TILDE ->
+      advance st;
+      Ast.Unop (Ast.BitNot, parse_unary st)
+  | Token.PLUS ->
+      advance st;
+      parse_unary st
+  | Token.PLUSPLUS ->
+      advance st;
+      Ast.Unop (Ast.PreInc, parse_unary st)
+  | Token.MINUSMINUS ->
+      advance st;
+      Ast.Unop (Ast.PreDec, parse_unary st)
+  | Token.LPAREN when is_type_start (peek_tok st 1) ->
+      (* cast expression *)
+      advance st;
+      let base, unsigned = parse_base_type st in
+      expect st Token.RPAREN;
+      let ty = { Ast.base; unsigned; dims = [] } in
+      Ast.Cast (ty, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    match cur_tok st with
+    | Token.LBRACKET ->
+        advance st;
+        let idx = parse_expr st in
+        expect st Token.RBRACKET;
+        e := Ast.Index (!e, idx)
+    | Token.PLUSPLUS ->
+        advance st;
+        e := Ast.Unop (Ast.PostInc, !e)
+    | Token.MINUSMINUS ->
+        advance st;
+        e := Ast.Unop (Ast.PostDec, !e)
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_primary st =
+  match cur_tok st with
+  | Token.INT_LIT i ->
+      advance st;
+      Ast.IntLit i
+  | Token.FLOAT_LIT f ->
+      advance st;
+      Ast.FloatLit f
+  | Token.CHAR_LIT c ->
+      advance st;
+      Ast.CharLit c
+  | Token.IDENT name ->
+      advance st;
+      if cur_tok st = Token.LPAREN then begin
+        advance st;
+        let args = ref [] in
+        if cur_tok st <> Token.RPAREN then begin
+          args := [ parse_assign st ];
+          while accept st Token.COMMA do
+            args := parse_assign st :: !args
+          done
+        end;
+        expect st Token.RPAREN;
+        Ast.Call (name, List.rev !args)
+      end
+      else Ast.Ident name
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      e
+  | Token.KW_SIZEOF ->
+      advance st;
+      expect st Token.LPAREN;
+      let size =
+        if is_type_start (cur_tok st) then begin
+          let base, _ = parse_base_type st in
+          Ast.base_size base
+        end
+        else begin
+          ignore (parse_expr st);
+          8
+        end
+      in
+      expect st Token.RPAREN;
+      Ast.IntLit (Int64.of_int size)
+  | _ -> error st "expected expression"
+
+(* ------------------------------------------------------------------ *)
+(* Attributes                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_attributes st : Ast.attr list =
+  let attrs = ref [] in
+  while cur_tok st = Token.ATTRIBUTE do
+    advance st;
+    expect st Token.LPAREN;
+    expect st Token.LPAREN;
+    let rec attr_list () =
+      (match cur_tok st with
+      | Token.IDENT "aligned" ->
+          advance st;
+          if accept st Token.LPAREN then begin
+            let n =
+              match cur_tok st with
+              | Token.INT_LIT i ->
+                  advance st;
+                  Int64.to_int i
+              | _ -> error st "expected alignment"
+            in
+            expect st Token.RPAREN;
+            attrs := Ast.Aligned n :: !attrs
+          end
+          else attrs := Ast.Aligned 16 :: !attrs
+      | Token.IDENT "noinline" ->
+          advance st;
+          attrs := Ast.Noinline :: !attrs
+      | Token.IDENT other ->
+          advance st;
+          (* skip optional argument list *)
+          if accept st Token.LPAREN then begin
+            let depth = ref 1 in
+            while !depth > 0 do
+              (match cur_tok st with
+              | Token.LPAREN -> incr depth
+              | Token.RPAREN -> decr depth
+              | Token.EOF -> error st "unterminated attribute"
+              | _ -> ());
+              if !depth > 0 then advance st else advance st
+            done
+          end;
+          attrs := Ast.OtherAttr other :: !attrs
+      | _ -> error st "expected attribute name");
+      if accept st Token.COMMA then attr_list ()
+    in
+    attr_list ();
+    expect st Token.RPAREN;
+    expect st Token.RPAREN
+  done;
+  List.rev !attrs
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_array_dims st : Ast.expr option list =
+  let dims = ref [] in
+  while cur_tok st = Token.LBRACKET do
+    advance st;
+    if accept st Token.RBRACKET then dims := None :: !dims
+    else begin
+      let e = parse_expr st in
+      expect st Token.RBRACKET;
+      dims := Some e :: !dims
+    end
+  done;
+  List.rev !dims
+
+let rec parse_stmt st : Ast.stmt =
+  match cur_tok st with
+  | Token.PRAGMA text -> (
+      advance st;
+      match parse_loop_pragma text with
+      | Some pragma -> (
+          (* attach to the next loop statement *)
+          match parse_stmt st with
+          | Ast.For f -> Ast.For { f with pragma = Some pragma }
+          | Ast.While w -> Ast.While { w with Ast.w_pragma = Some pragma }
+          | other -> other)
+      | None -> parse_stmt st)
+  | Token.LBRACE ->
+      advance st;
+      let stmts = ref [] in
+      while cur_tok st <> Token.RBRACE do
+        stmts := parse_stmt st :: !stmts
+      done;
+      expect st Token.RBRACE;
+      Ast.Block (List.rev !stmts)
+  | Token.SEMI ->
+      advance st;
+      Ast.Empty
+  | Token.KW_IF ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      let then_s = parse_stmt st in
+      let else_s = if accept st Token.KW_ELSE then Some (parse_stmt st) else None in
+      Ast.If (cond, then_s, else_s)
+  | Token.KW_FOR ->
+      advance st;
+      expect st Token.LPAREN;
+      let init =
+        if cur_tok st = Token.SEMI then (
+          advance st;
+          None)
+        else if is_type_start (cur_tok st) then begin
+          let s = parse_decl_stmt st in
+          Some s
+        end
+        else begin
+          let e = parse_expr st in
+          expect st Token.SEMI;
+          Some (Ast.Expr e)
+        end
+      in
+      let cond =
+        if cur_tok st = Token.SEMI then None else Some (parse_expr st)
+      in
+      expect st Token.SEMI;
+      let step =
+        if cur_tok st = Token.RPAREN then None else Some (parse_expr st)
+      in
+      expect st Token.RPAREN;
+      let body = parse_stmt st in
+      Ast.For { pragma = None; init; cond; step; body }
+  | Token.KW_WHILE ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      let body = parse_stmt st in
+      Ast.While { Ast.w_pragma = None; w_cond = cond; w_body = body }
+  | Token.KW_RETURN ->
+      advance st;
+      let e = if cur_tok st = Token.SEMI then None else Some (parse_expr st) in
+      expect st Token.SEMI;
+      Ast.Return e
+  | Token.KW_BREAK ->
+      advance st;
+      expect st Token.SEMI;
+      Ast.Break
+  | Token.KW_CONTINUE ->
+      advance st;
+      expect st Token.SEMI;
+      Ast.Continue
+  | t when is_type_start t -> parse_decl_stmt st
+  | _ ->
+      let e = parse_expr st in
+      expect st Token.SEMI;
+      Ast.Expr e
+
+(** Parse [ty name dims (= init)? ;] — a local declaration. Consumes the
+    trailing semicolon. *)
+and parse_decl_stmt st : Ast.stmt =
+  let base, unsigned = parse_base_type st in
+  let name =
+    match cur_tok st with
+    | Token.IDENT n ->
+        advance st;
+        n
+    | _ -> error st "expected identifier in declaration"
+  in
+  let dims = parse_array_dims st in
+  let ty = { Ast.base; unsigned; dims } in
+  let init = if accept st Token.ASSIGN then Some (parse_assign st) else None in
+  (* Additional declarators on the same line: lower to a Block. *)
+  if cur_tok st = Token.COMMA then begin
+    let decls = ref [ Ast.Decl (ty, name, init) ] in
+    while accept st Token.COMMA do
+      let name' =
+        match cur_tok st with
+        | Token.IDENT n ->
+            advance st;
+            n
+        | _ -> error st "expected identifier in declaration"
+      in
+      let dims' = parse_array_dims st in
+      let ty' = { Ast.base; unsigned; dims = dims' } in
+      let init' =
+        if accept st Token.ASSIGN then Some (parse_assign st) else None
+      in
+      decls := Ast.Decl (ty', name', init') :: !decls
+    done;
+    expect st Token.SEMI;
+    Ast.Block (List.rev !decls)
+  end
+  else begin
+    expect st Token.SEMI;
+    Ast.Decl (ty, name, init)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parse_initializer_list st : Ast.expr =
+  (* { e, e, ... } initializers are folded to their first element; the
+     simulator initializes global arrays deterministically anyway. *)
+  expect st Token.LBRACE;
+  let first = if cur_tok st = Token.RBRACE then Ast.IntLit 0L else parse_assign st in
+  while accept st Token.COMMA do
+    if cur_tok st <> Token.RBRACE then ignore (parse_assign st)
+  done;
+  expect st Token.RBRACE;
+  first
+
+let parse_program (toks : Token.spanned list) : Ast.program =
+  let st = make toks in
+  let decls = ref [] in
+  while cur_tok st <> Token.EOF do
+    match cur_tok st with
+    | Token.PRAGMA _ ->
+        (* file-scope pragmas are ignored *)
+        advance st
+    | _ ->
+        let leading_attrs = parse_attributes st in
+        let base, unsigned = parse_base_type st in
+        let mid_attrs = parse_attributes st in
+        let name =
+          match cur_tok st with
+          | Token.IDENT n ->
+              advance st;
+              n
+          | _ -> error st "expected top-level identifier"
+        in
+        if cur_tok st = Token.LPAREN then begin
+          (* function definition *)
+          advance st;
+          let params = ref [] in
+          if cur_tok st <> Token.RPAREN then begin
+            let parse_param () =
+              if cur_tok st = Token.KW_VOID && peek_tok st 1 = Token.RPAREN then
+                advance st
+              else begin
+                let pbase, punsigned = parse_base_type st in
+                let pname =
+                  match cur_tok st with
+                  | Token.IDENT n ->
+                      advance st;
+                      n
+                  | _ -> error st "expected parameter name"
+                in
+                let pdims = parse_array_dims st in
+                params :=
+                  { Ast.p_ty = { Ast.base = pbase; unsigned = punsigned; dims = pdims };
+                    p_name = pname }
+                  :: !params
+              end
+            in
+            parse_param ();
+            while accept st Token.COMMA do
+              parse_param ()
+            done
+          end;
+          expect st Token.RPAREN;
+          let post_attrs = parse_attributes st in
+          if accept st Token.SEMI then
+            (* prototype: ignored *)
+            ()
+          else begin
+            expect st Token.LBRACE;
+            let body = ref [] in
+            while cur_tok st <> Token.RBRACE do
+              body := parse_stmt st :: !body
+            done;
+            expect st Token.RBRACE;
+            decls :=
+              Ast.Func
+                {
+                  f_ret = { Ast.base; unsigned; dims = [] };
+                  f_name = name;
+                  f_params = List.rev !params;
+                  f_attrs = leading_attrs @ mid_attrs @ post_attrs;
+                  f_body = List.rev !body;
+                }
+              :: !decls
+          end
+        end
+        else begin
+          (* global variable *)
+          let dims = parse_array_dims st in
+          let post_attrs = parse_attributes st in
+          let init =
+            if accept st Token.ASSIGN then
+              if cur_tok st = Token.LBRACE then Some (parse_initializer_list st)
+              else Some (parse_assign st)
+            else None
+          in
+          expect st Token.SEMI;
+          decls :=
+            Ast.Global
+              {
+                g_ty = { Ast.base; unsigned; dims };
+                g_name = name;
+                g_attrs = leading_attrs @ mid_attrs @ post_attrs;
+                g_init = init;
+              }
+            :: !decls
+        end
+  done;
+  List.rev !decls
+
+(** Parse a complete source string into a program. *)
+let parse_string (src : string) : Ast.program =
+  parse_program (Lexer.tokenize src)

@@ -1,0 +1,200 @@
+(** Lexical tokens for the mini-C language accepted by the frontend.
+
+    The subset covers everything that appears in the NeuroVectorizer loop
+    dataset: scalar and array declarations, [for]/[while]/[if] statements,
+    the usual C expression grammar, GCC-style [__attribute__] annotations and
+    [#pragma clang loop ...] directives. *)
+
+type t =
+  (* Literals and identifiers *)
+  | INT_LIT of int64
+  | FLOAT_LIT of float
+  | CHAR_LIT of char
+  | STRING_LIT of string
+  | IDENT of string
+  (* Type keywords *)
+  | KW_VOID
+  | KW_CHAR
+  | KW_SHORT
+  | KW_INT
+  | KW_LONG
+  | KW_FLOAT
+  | KW_DOUBLE
+  | KW_UNSIGNED
+  | KW_SIGNED
+  | KW_CONST
+  | KW_STATIC
+  | KW_STRUCT
+  (* Statement keywords *)
+  | KW_FOR
+  | KW_WHILE
+  | KW_DO
+  | KW_IF
+  | KW_ELSE
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_SIZEOF
+  (* Punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | QUESTION
+  | COLON
+  (* Operators *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | LSHIFT
+  | RSHIFT
+  | LT
+  | GT
+  | LE
+  | GE
+  | EQEQ
+  | NEQ
+  | AMPAMP
+  | PIPEPIPE
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | PERCENT_ASSIGN
+  | AMP_ASSIGN
+  | PIPE_ASSIGN
+  | CARET_ASSIGN
+  | LSHIFT_ASSIGN
+  | RSHIFT_ASSIGN
+  | PLUSPLUS
+  | MINUSMINUS
+  | DOT
+  | ARROW
+  (* Extensions *)
+  | ATTRIBUTE  (** [__attribute__] *)
+  | PRAGMA of string  (** raw text after [#pragma], up to end of line *)
+  | EOF
+
+(** Source position: line and column, both 1-based. *)
+type pos = { line : int; col : int }
+
+type spanned = { tok : t; pos : pos }
+
+let keyword_table : (string * t) list =
+  [
+    ("void", KW_VOID);
+    ("char", KW_CHAR);
+    ("short", KW_SHORT);
+    ("int", KW_INT);
+    ("long", KW_LONG);
+    ("float", KW_FLOAT);
+    ("double", KW_DOUBLE);
+    ("unsigned", KW_UNSIGNED);
+    ("signed", KW_SIGNED);
+    ("const", KW_CONST);
+    ("static", KW_STATIC);
+    ("struct", KW_STRUCT);
+    ("for", KW_FOR);
+    ("while", KW_WHILE);
+    ("do", KW_DO);
+    ("if", KW_IF);
+    ("else", KW_ELSE);
+    ("return", KW_RETURN);
+    ("break", KW_BREAK);
+    ("continue", KW_CONTINUE);
+    ("sizeof", KW_SIZEOF);
+    ("__attribute__", ATTRIBUTE);
+  ]
+
+let lookup_keyword s =
+  match List.assoc_opt s keyword_table with Some t -> t | None -> IDENT s
+
+let to_string = function
+  | INT_LIT i -> Int64.to_string i
+  | FLOAT_LIT f -> string_of_float f
+  | CHAR_LIT c -> Printf.sprintf "'%c'" c
+  | STRING_LIT s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_VOID -> "void"
+  | KW_CHAR -> "char"
+  | KW_SHORT -> "short"
+  | KW_INT -> "int"
+  | KW_LONG -> "long"
+  | KW_FLOAT -> "float"
+  | KW_DOUBLE -> "double"
+  | KW_UNSIGNED -> "unsigned"
+  | KW_SIGNED -> "signed"
+  | KW_CONST -> "const"
+  | KW_STATIC -> "static"
+  | KW_STRUCT -> "struct"
+  | KW_FOR -> "for"
+  | KW_WHILE -> "while"
+  | KW_DO -> "do"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_RETURN -> "return"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | KW_SIZEOF -> "sizeof"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | QUESTION -> "?"
+  | COLON -> ":"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | BANG -> "!"
+  | LSHIFT -> "<<"
+  | RSHIFT -> ">>"
+  | LT -> "<"
+  | GT -> ">"
+  | LE -> "<="
+  | GE -> ">="
+  | EQEQ -> "=="
+  | NEQ -> "!="
+  | AMPAMP -> "&&"
+  | PIPEPIPE -> "||"
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+="
+  | MINUS_ASSIGN -> "-="
+  | STAR_ASSIGN -> "*="
+  | SLASH_ASSIGN -> "/="
+  | PERCENT_ASSIGN -> "%="
+  | AMP_ASSIGN -> "&="
+  | PIPE_ASSIGN -> "|="
+  | CARET_ASSIGN -> "^="
+  | LSHIFT_ASSIGN -> "<<="
+  | RSHIFT_ASSIGN -> ">>="
+  | PLUSPLUS -> "++"
+  | MINUSMINUS -> "--"
+  | DOT -> "."
+  | ARROW -> "->"
+  | ATTRIBUTE -> "__attribute__"
+  | PRAGMA s -> "#pragma " ^ s
+  | EOF -> "<eof>"
+
+let equal (a : t) (b : t) = a = b

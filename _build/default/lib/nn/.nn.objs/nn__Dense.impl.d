@@ -1,0 +1,1 @@
+lib/nn/dense.ml: Rng Tensor

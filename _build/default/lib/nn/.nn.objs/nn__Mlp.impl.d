@@ -1,0 +1,1 @@
+lib/nn/mlp.ml: Array Dense List Optim Rng Tensor

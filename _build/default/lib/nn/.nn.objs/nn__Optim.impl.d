@@ -1,0 +1,1 @@
+lib/nn/optim.ml: Array List Tensor

@@ -1,0 +1,1 @@
+lib/nn/rng.ml: Array Float Int64

@@ -1,0 +1,51 @@
+(** A fully-connected layer [y = W x + b] with gradient accumulation.
+
+    Layers are stateless with respect to inputs: [forward] returns the
+    output and [backward] takes the cached input back, so one layer object
+    can serve many samples within a batch (gradients accumulate until
+    [zero_grad]). *)
+
+type t = {
+  w : Tensor.mat;
+  b : Tensor.vec;
+  gw : Tensor.mat;
+  gb : Tensor.vec;
+  in_dim : int;
+  out_dim : int;
+}
+
+let create (rng : Rng.t) ~in_dim ~out_dim : t =
+  {
+    w = Tensor.mat_xavier rng out_dim in_dim;
+    b = Tensor.vec_create out_dim;
+    gw = Tensor.mat_create out_dim in_dim;
+    gb = Tensor.vec_create out_dim;
+    in_dim;
+    out_dim;
+  }
+
+let forward (l : t) (x : Tensor.vec) : Tensor.vec =
+  let y = Tensor.vec_create l.out_dim in
+  Tensor.gemv l.w x y;
+  Tensor.add_inplace y l.b;
+  y
+
+(** Accumulate gradients for one sample; returns dL/dx. *)
+let backward (l : t) ~(x : Tensor.vec) ~(dy : Tensor.vec) : Tensor.vec =
+  Tensor.ger l.gw ~alpha:1.0 dy x;
+  Tensor.add_inplace l.gb dy;
+  let dx = Tensor.vec_create l.in_dim in
+  Tensor.gemv_t l.w dy dx;
+  dx
+
+let zero_grad (l : t) : unit =
+  Tensor.mat_fill_zero l.gw;
+  Tensor.fill_zero l.gb
+
+(** Parameters and their gradients, flattened for the optimizer. *)
+let params (l : t) : (Tensor.vec * Tensor.vec) list =
+  [ (l.w.Tensor.data, l.gw.Tensor.data); (l.b, l.gb) ]
+
+let copy (l : t) : t =
+  { l with w = Tensor.mat_copy l.w; b = Tensor.vec_copy l.b;
+    gw = Tensor.mat_copy l.gw; gb = Tensor.vec_copy l.gb }

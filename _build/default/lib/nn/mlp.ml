@@ -1,0 +1,74 @@
+(** A multi-layer perceptron with tanh (or relu) hidden activations.
+
+    [forward_cached] returns the per-layer activations needed by
+    [backward]; the paper's policy trunk is the 64x64 tanh FCNN this
+    module instantiates. *)
+
+type activation = Tanh | Relu | Linear
+
+type t = { layers : Dense.t list; act : activation }
+
+(** [create rng ~dims ~act] builds a stack with [dims = [in; h1; ...; out]];
+    the activation is applied after every layer except the last. *)
+let create (rng : Rng.t) ~(dims : int list) ~(act : activation) : t =
+  let rec build = function
+    | a :: (b :: _ as rest) ->
+        Dense.create rng ~in_dim:a ~out_dim:b :: build rest
+    | _ -> []
+  in
+  { layers = build dims; act }
+
+let act_fwd (act : activation) (v : Tensor.vec) : Tensor.vec =
+  match act with
+  | Tanh -> Tensor.tanh_fwd v
+  | Relu -> Tensor.relu_fwd v
+  | Linear -> v
+
+let act_bwd (act : activation) ~(y : Tensor.vec) ~(dy : Tensor.vec) : Tensor.vec
+    =
+  match act with
+  | Tanh -> Tensor.tanh_bwd y dy
+  | Relu -> Tensor.relu_bwd y dy
+  | Linear -> dy
+
+(** Layer inputs + post-activation outputs, cached for the backward pass. *)
+type cache = { inputs : Tensor.vec list; output : Tensor.vec }
+
+let forward_cached (t : t) (x : Tensor.vec) : cache =
+  let n = List.length t.layers in
+  let rec go i x acc = function
+    | [] -> { inputs = List.rev acc; output = x }
+    | l :: rest ->
+        let y = Dense.forward l x in
+        let y = if i < n - 1 then act_fwd t.act y else y in
+        go (i + 1) y (x :: acc) rest
+  in
+  go 0 x [] t.layers
+
+let forward (t : t) (x : Tensor.vec) : Tensor.vec = (forward_cached t x).output
+
+(** Backpropagate dL/d(output); accumulates layer gradients and returns
+    dL/d(input). Must be called with the cache produced by
+    [forward_cached] on the same input. *)
+let backward (t : t) (c : cache) ~(dout : Tensor.vec) : Tensor.vec =
+  let n = List.length t.layers in
+  let layers = Array.of_list t.layers in
+  let inputs = Array.of_list c.inputs in
+  let dy = ref dout in
+  for i = n - 1 downto 0 do
+    (* undo the activation (applied after every layer but the last) *)
+    (if i < n - 1 then
+       let y_act =
+         if i + 1 < n then inputs.(i + 1) else c.output
+       in
+       dy := act_bwd t.act ~y:y_act ~dy:!dy);
+    dy := Dense.backward layers.(i) ~x:inputs.(i) ~dy:!dy
+  done;
+  !dy
+
+let params (t : t) : Optim.params =
+  List.concat_map Dense.params t.layers
+
+let zero_grad (t : t) : unit = List.iter Dense.zero_grad t.layers
+
+let copy (t : t) : t = { t with layers = List.map Dense.copy t.layers }

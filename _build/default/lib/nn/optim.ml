@@ -1,0 +1,62 @@
+(** Optimizers over flat (param, grad) pairs: SGD and Adam. *)
+
+type params = (Tensor.vec * Tensor.vec) list
+
+type t =
+  | Sgd of { lr : float }
+  | Adam of {
+      lr : float;
+      beta1 : float;
+      beta2 : float;
+      eps : float;
+      mutable step : int;
+      mutable state : (Tensor.vec * Tensor.vec) list option;
+          (** (m, v) per param, lazily matched to the param list *)
+    }
+
+let sgd ~lr = Sgd { lr }
+
+let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~lr () =
+  Adam { lr; beta1; beta2; eps; step = 0; state = None }
+
+(** One update step. [scale] divides gradients (e.g. by batch size). *)
+let step ?(scale = 1.0) (t : t) (ps : params) : unit =
+  match t with
+  | Sgd { lr } ->
+      List.iter
+        (fun (p, g) ->
+          for i = 0 to Array.length p - 1 do
+            p.(i) <- p.(i) -. (lr *. g.(i) /. scale)
+          done)
+        ps
+  | Adam a ->
+      let state =
+        match a.state with
+        | Some s -> s
+        | None ->
+            let s =
+              List.map
+                (fun (p, _) ->
+                  (Tensor.vec_create (Array.length p),
+                   Tensor.vec_create (Array.length p)))
+                ps
+            in
+            a.state <- Some s;
+            s
+      in
+      a.step <- a.step + 1;
+      let t_ = float_of_int a.step in
+      let bc1 = 1.0 -. (a.beta1 ** t_) and bc2 = 1.0 -. (a.beta2 ** t_) in
+      List.iter2
+        (fun (p, g) (m, v) ->
+          for i = 0 to Array.length p - 1 do
+            let gi = g.(i) /. scale in
+            m.(i) <- (a.beta1 *. m.(i)) +. ((1.0 -. a.beta1) *. gi);
+            v.(i) <- (a.beta2 *. v.(i)) +. ((1.0 -. a.beta2) *. gi *. gi);
+            let mhat = m.(i) /. bc1 and vhat = v.(i) /. bc2 in
+            p.(i) <- p.(i) -. (a.lr *. mhat /. (sqrt vhat +. a.eps))
+          done)
+        ps state
+
+let zero_grads (ps : params) : unit =
+  List.iter (fun (_, g) -> Tensor.fill_zero g) ps

@@ -1,0 +1,1 @@
+lib/polly/driver.ml: Fusion Ir List Scop Tile

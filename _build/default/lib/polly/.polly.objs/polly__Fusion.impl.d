@@ -1,0 +1,1 @@
+lib/polly/fusion.ml: Analysis Int Ir List Map Option

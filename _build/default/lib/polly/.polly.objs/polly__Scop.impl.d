@@ -1,0 +1,1 @@
+lib/polly/scop.ml: Analysis Hashtbl Ir List Option

@@ -1,0 +1,1 @@
+lib/polly/tile.ml: Analysis Int64 Ir List Scop

@@ -1,0 +1,158 @@
+(** Loop fusion: merge adjacent sibling loops with identical iteration
+    domains into one loop, improving temporal locality (values produced by
+    the first body are consumed by the second while still in cache).
+
+    Legality is conservative: for every array *written* by either loop and
+    *accessed* by the other, all accesses to it (in both loops, after
+    renaming the second loop's induction variable to the first's) must
+    share one affine index function — i.e. producer and consumer touch the
+    same element in the same iteration. *)
+
+module IntMap = Map.Make (Int)
+
+(** Substitute register [from_] with [to_] in every value of a node list. *)
+let subst_reg ~(from_ : Ir.reg) ~(to_ : Ir.reg) (nodes : Ir.node list) :
+    Ir.node list =
+  let v = function Ir.Reg r when r = from_ -> Ir.Reg to_ | x -> x in
+  let mref m = { m with Ir.index = v m.Ir.index;
+                        mask = Option.map v m.Ir.mask } in
+  let rvalue rv =
+    match rv with
+    | Ir.IBin (op, ty, a, b) -> Ir.IBin (op, ty, v a, v b)
+    | Ir.FBin (op, ty, a, b) -> Ir.FBin (op, ty, v a, v b)
+    | Ir.ICmp (op, ty, a, b) -> Ir.ICmp (op, ty, v a, v b)
+    | Ir.FCmp (op, ty, a, b) -> Ir.FCmp (op, ty, v a, v b)
+    | Ir.Select (ty, c, a, b) -> Ir.Select (ty, v c, v a, v b)
+    | Ir.Cast (k, f, t, x) -> Ir.Cast (k, f, t, v x)
+    | Ir.Load (ty, m) -> Ir.Load (ty, mref m)
+    | Ir.Splat (ty, x) -> Ir.Splat (ty, v x)
+    | Ir.Extract (s, x, l) -> Ir.Extract (s, v x, l)
+    | Ir.Reduce (o, s, x) -> Ir.Reduce (o, s, v x)
+    | Ir.Mov (ty, x) -> Ir.Mov (ty, v x)
+    | Ir.Stride (ty, x, s) -> Ir.Stride (ty, v x, s)
+  in
+  let instr i =
+    match i with
+    | Ir.Def (r, rv) -> Ir.Def (r, rvalue rv)
+    | Ir.Store (ty, m, x) -> Ir.Store (ty, mref m, v x)
+    | Ir.CallI (r, f, args) -> Ir.CallI (r, f, List.map v args)
+  in
+  let code (is, x) = (List.map instr is, v x) in
+  let rec node n =
+    match n with
+    | Ir.Block is -> Ir.Block (List.map instr is)
+    | Ir.If { cond; then_; else_ } ->
+        Ir.If { cond = code cond; then_ = List.map node then_;
+                else_ = List.map node else_ }
+    | Ir.Loop l ->
+        Ir.Loop { l with Ir.l_init = code l.Ir.l_init;
+                  l_bound = code l.Ir.l_bound;
+                  l_body = List.map node l.Ir.l_body }
+    | Ir.WhileLoop { w_cond; w_body } ->
+        Ir.WhileLoop { w_cond = code w_cond; w_body = List.map node w_body }
+    | Ir.Return (Some c) -> Ir.Return (Some (code c))
+    | other -> other
+  in
+  List.map node nodes
+
+(** Accesses of a loop body as (base, is_store, index function) with the
+    induction variable canonicalized to register [canon]. *)
+let accesses_of (l : Ir.loop) ~(canon : Ir.reg) :
+    (string * bool * Analysis.Scev.sval) list option =
+  let body =
+    if l.Ir.l_var = canon then l.Ir.l_body
+    else subst_reg ~from_:l.Ir.l_var ~to_:canon l.Ir.l_body
+  in
+  let env = Analysis.Scev.make_env ~induction_vars:[ canon ] body in
+  let out = ref [] and ok = ref true in
+  List.iter
+    (fun i ->
+      (match i with
+      | Ir.Def (_, Ir.Load (_, m)) | Ir.Store (_, m, _) -> (
+          match Analysis.Scev.eval_value env m.Ir.index with
+          | Analysis.Scev.Unknown -> ok := false
+          | sv ->
+              out :=
+                (m.Ir.base, (match i with Ir.Store _ -> true | _ -> false), sv)
+                :: !out)
+      | _ -> ());
+      Analysis.Scev.step env i)
+    (Ir.all_instrs body);
+  if !ok then Some (List.rev !out) else None
+
+let domains_equal (a : Ir.loop) (b : Ir.loop) : bool =
+  a.Ir.l_step = b.Ir.l_step && a.Ir.l_cmp = b.Ir.l_cmp
+  && (match
+        ( Analysis.Loopinfo.eval_code_const a.Ir.l_init,
+          Analysis.Loopinfo.eval_code_const b.Ir.l_init )
+      with
+     | Some x, Some y -> x = y
+     | _ -> false)
+  && (match
+        ( Analysis.Loopinfo.eval_code_const a.Ir.l_bound,
+          Analysis.Loopinfo.eval_code_const b.Ir.l_bound )
+      with
+     | Some x, Some y -> x = y
+     | _ -> false)
+
+(** Can [a] and [b] be fused? *)
+let can_fuse (a : Ir.loop) (b : Ir.loop) : bool =
+  domains_equal a b
+  &&
+  match (accesses_of a ~canon:a.Ir.l_var, accesses_of b ~canon:a.Ir.l_var) with
+  | Some accs_a, Some accs_b ->
+      let bases_written accs =
+        List.filter_map (fun (base, st, _) -> if st then Some base else None) accs
+      in
+      let written = bases_written accs_a @ bases_written accs_b in
+      let all = accs_a @ accs_b in
+      List.for_all
+        (fun base ->
+          let fns =
+            List.filter_map
+              (fun (b', _, sv) -> if b' = base then Some sv else None)
+              all
+          in
+          match fns with
+          | [] | [ _ ] -> true
+          | f0 :: rest ->
+              List.for_all
+                (fun f -> Analysis.Scev.const_delta f0 f = Some 0)
+                rest)
+        written
+  | _ -> false
+
+let fused (a : Ir.loop) (b : Ir.loop) : Ir.loop =
+  let b_body = subst_reg ~from_:b.Ir.l_var ~to_:a.Ir.l_var b.Ir.l_body in
+  { a with Ir.l_body = a.Ir.l_body @ b_body }
+
+(** One fusion pass over sibling lists; fuses greedily left to right. *)
+let rec fuse_siblings (nodes : Ir.node list) : Ir.node list * int =
+  match nodes with
+  | Ir.Loop a :: Ir.Loop b :: rest when can_fuse a b ->
+      let merged, n = fuse_siblings (Ir.Loop (fused a b) :: rest) in
+      (merged, n + 1)
+  | n :: rest ->
+      let n' =
+        match n with
+        | Ir.Loop l ->
+            let body, _ = fuse_siblings l.Ir.l_body in
+            Ir.Loop { l with Ir.l_body = body }
+        | Ir.If { cond; then_; else_ } ->
+            let t, _ = fuse_siblings then_ and e, _ = fuse_siblings else_ in
+            Ir.If { cond; then_ = t; else_ = e }
+        | Ir.WhileLoop { w_cond; w_body } ->
+            let b, _ = fuse_siblings w_body in
+            Ir.WhileLoop { w_cond; w_body = b }
+        | other -> other
+      in
+      let rest', n2 = fuse_siblings rest in
+      (n' :: rest', n2)
+  | [] -> ([], 0)
+
+(** Fuse fusable sibling loops throughout a function. Returns the number of
+    fusions performed. *)
+let apply (fn : Ir.func) : int =
+  let body, n = fuse_siblings fn.Ir.fn_body in
+  fn.Ir.fn_body <- body;
+  n

@@ -1,0 +1,147 @@
+(** Static Control Part (SCoP) detection — the polyhedral front door.
+
+    A SCoP here is a perfectly-nested band of counted loops whose bounds
+    are constants and whose memory accesses are affine in the nest's
+    induction variables; the innermost body is straight-line (after
+    if-conversion candidates are excluded — this Polly reproduction only
+    tiles/fuses, it does not handle predicated statements).
+
+    The polytope view: the iteration domain is the box
+    [prod_k [0, trip_k)]; each access is an affine map from the domain to
+    array indices. Tiling and fusion reason directly on this
+    representation. *)
+
+type access_fn = {
+  af_base : string;
+  af_coeffs : (Ir.reg * int) list;  (** per nest variable, outer first *)
+  af_const_affine : Analysis.Scev.sval;  (** full index function *)
+  af_is_store : bool;
+}
+
+type t = {
+  nest : Ir.loop list;  (** outermost first; each perfectly nests the next *)
+  body : Ir.instr list;  (** innermost straight-line body *)
+  trips : int list;  (** static trip count per level *)
+  accesses : access_fn list;
+}
+
+(** Extract the perfectly-nested band starting at [l]: follow single-child
+    Loop nodes. Interstitial instructions before/after the inner loop stop
+    the band (we keep the band found so far). *)
+let rec band_of (l : Ir.loop) : Ir.loop list =
+  match l.Ir.l_body with
+  | [ Ir.Loop inner ] -> l :: band_of inner
+  | [ Ir.Block _ ] | [ Ir.Block _; Ir.Block _ ] -> [ l ]
+  | _ -> [ l ]
+
+let straightline_body (l : Ir.loop) : Ir.instr list option =
+  let ok = ref true in
+  let instrs =
+    List.concat_map
+      (fun n ->
+        match n with
+        | Ir.Block is -> is
+        | _ ->
+            ok := false;
+            [])
+      l.Ir.l_body
+  in
+  if !ok then Some instrs else None
+
+(** Try to view the nest rooted at [l] as a SCoP. *)
+let detect (l : Ir.loop) : t option =
+  let nest = band_of l in
+  let innermost = List.nth nest (List.length nest - 1) in
+  match straightline_body innermost with
+  | None -> None
+  | Some body ->
+      let trips =
+        List.map
+          (fun lp -> Analysis.Loopinfo.static_trip_count lp)
+          nest
+      in
+      if List.exists (fun t -> t = None) trips then None
+      else begin
+        let trips = List.map Option.get trips in
+        let vars = List.map (fun lp -> lp.Ir.l_var) nest in
+        let env =
+          Analysis.Scev.make_env ~induction_vars:vars [ Ir.Block body ]
+        in
+        let accesses = ref [] and affine = ref true in
+        List.iter
+          (fun i ->
+            (match i with
+            | Ir.Def (_, Ir.Load (_, mr)) | Ir.Store (_, mr, _) -> (
+                let sv = Analysis.Scev.eval_value env mr.Ir.index in
+                match sv with
+                | Analysis.Scev.Unknown -> affine := false
+                | Analysis.Scev.Affine _ ->
+                    accesses :=
+                      { af_base = mr.Ir.base;
+                        af_coeffs =
+                          List.map (fun v -> (v, Analysis.Scev.coeff_of v sv)) vars;
+                        af_const_affine = sv;
+                        af_is_store =
+                          (match i with Ir.Store _ -> true | _ -> false) }
+                      :: !accesses)
+            | _ -> ());
+            Analysis.Scev.step env i)
+          body;
+        if not !affine then None
+        else if
+          (* no calls / irregular nodes hidden in the body *)
+          List.exists (function Ir.CallI _ -> true | _ -> false) body
+        then None
+        else
+          Some { nest; body; trips; accesses = List.rev !accesses }
+      end
+
+(** Permutability check (what makes rectangular tiling legal here): every
+    array that is both read and written inside the SCoP must have all its
+    accesses share one affine index function (the [C[i][j] += ...] pattern
+    — dependences stay within a single iteration point, so any loop
+    permutation/tiling preserves them). Arrays that are only read or only
+    written impose no ordering. This is a conservative subset of the
+    polyhedral dependence test, sufficient for the linear-algebra kernels
+    Polly targets. *)
+let is_permutable (s : t) : bool =
+  let by_base = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      let read, written, fns =
+        match Hashtbl.find_opt by_base a.af_base with
+        | Some (r, w, fns) -> (r, w, fns)
+        | None -> (false, false, [])
+      in
+      Hashtbl.replace by_base a.af_base
+        ( read || not a.af_is_store,
+          written || a.af_is_store,
+          a.af_const_affine :: fns ))
+    s.accesses;
+  Hashtbl.fold
+    (fun _ (read, written, fns) acc ->
+      acc
+      && ((not (read && written))
+         || List.for_all
+              (fun f -> Analysis.Scev.const_delta (List.hd fns) f = Some 0)
+              fns))
+    by_base true
+
+(** All SCoPs of a function (rooted at outermost loops). *)
+let scops_of_func (fn : Ir.func) : t list =
+  let roots = ref [] in
+  let rec walk nodes =
+    List.iter
+      (fun n ->
+        match n with
+        | Ir.Loop l -> roots := l :: !roots
+        (* do not descend: band_of handles inner levels *)
+        | Ir.If { then_; else_; _ } ->
+            walk then_;
+            walk else_
+        | Ir.WhileLoop { w_body; _ } -> walk w_body
+        | _ -> ())
+      nodes
+  in
+  walk fn.Ir.fn_body;
+  List.filter_map detect (List.rev !roots)

@@ -1,0 +1,1 @@
+lib/rl/agent.ml: Array Embedding Float List Nn Spaces

@@ -1,0 +1,1 @@
+lib/rl/checkpoint.ml: Agent Fun Printf

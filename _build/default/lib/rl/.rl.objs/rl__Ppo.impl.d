@@ -1,0 +1,1 @@
+lib/rl/ppo.ml: Agent Array Embedding List Nn Spaces

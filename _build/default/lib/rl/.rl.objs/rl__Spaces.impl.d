@@ -1,0 +1,1 @@
+lib/rl/spaces.ml: Array Float Fun List

@@ -1,0 +1,218 @@
+(** The policy/value network: code2vec embedding -> FCNN trunk -> policy and
+    value heads, differentiable end to end.
+
+    The trunk defaults to the paper's 64x64 tanh network. The policy head's
+    shape depends on the action-space encoding (see {!Spaces}); continuous
+    encodings carry a state-independent learnable log-std, as RLlib's PPO
+    does. *)
+
+type t = {
+  space : Spaces.kind;
+  c2v : Embedding.Code2vec.t;
+  trunk : Nn.Mlp.t;
+  head_pi : Nn.Dense.t;
+  head_v : Nn.Dense.t;
+  log_std : Nn.Tensor.vec;
+  g_log_std : Nn.Tensor.vec;
+  rng : Nn.Rng.t;
+}
+
+let pi_dim = function
+  | Spaces.Discrete -> Spaces.n_vf + Spaces.n_if
+  | Spaces.Continuous1 -> 1
+  | Spaces.Continuous2 -> 2
+
+let create ?(hidden = [ 64; 64 ]) ?(c2v_cfg = Embedding.Code2vec.default_config)
+    ~(space : Spaces.kind) (rng : Nn.Rng.t) : t =
+  let c2v = Embedding.Code2vec.create ~cfg:c2v_cfg rng in
+  let d_code = c2v_cfg.Embedding.Code2vec.d_code in
+  let h_out = match List.rev hidden with h :: _ -> h | [] -> d_code in
+  let trunk = Nn.Mlp.create rng ~dims:(d_code :: hidden) ~act:Nn.Mlp.Tanh in
+  let n_std = match space with Spaces.Continuous1 -> 1 | Spaces.Continuous2 -> 2 | Spaces.Discrete -> 0 in
+  {
+    space;
+    c2v;
+    trunk;
+    head_pi = Nn.Dense.create rng ~in_dim:h_out ~out_dim:(pi_dim space);
+    head_v = Nn.Dense.create rng ~in_dim:h_out ~out_dim:1;
+    log_std = Array.make (max 1 n_std) 0.0;
+    g_log_std = Array.make (max 1 n_std) 0.0;
+    rng;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Forward                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type fwd = {
+  emb : Embedding.Code2vec.cache;
+  trunk_cache : Nn.Mlp.cache;
+  trunk_out : Nn.Tensor.vec;  (** tanh applied *)
+  pi : Nn.Tensor.vec;
+  v : float;
+}
+
+let forward (t : t) (ids : Embedding.Code2vec.ids array) : fwd =
+  let emb = Embedding.Code2vec.forward_ids t.c2v ids in
+  let trunk_cache = Nn.Mlp.forward_cached t.trunk emb.Embedding.Code2vec.code in
+  let trunk_out = Nn.Tensor.tanh_fwd trunk_cache.Nn.Mlp.output in
+  let pi = Nn.Dense.forward t.head_pi trunk_out in
+  let v = (Nn.Dense.forward t.head_v trunk_out).(0) in
+  { emb; trunk_cache; trunk_out; pi; v }
+
+(* ------------------------------------------------------------------ *)
+(* Distributions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** An action together with the raw sample needed to re-evaluate its
+    log-probability under an updated policy. *)
+type taken = { act : Spaces.action; raw : float array; logp : float }
+
+let split_logits (pi : Nn.Tensor.vec) =
+  (Array.sub pi 0 Spaces.n_vf, Array.sub pi Spaces.n_vf Spaces.n_if)
+
+let gauss_logp ~mu ~log_std x =
+  let sigma = exp log_std in
+  let z = (x -. mu) /. sigma in
+  (-0.5 *. z *. z) -. log_std -. (0.5 *. log (2.0 *. Float.pi))
+
+(** Sample an action from the policy output. *)
+let sample (t : t) (f : fwd) : taken =
+  match t.space with
+  | Spaces.Discrete ->
+      let zv, zi = split_logits f.pi in
+      let pv = Nn.Tensor.softmax zv and pi_ = Nn.Tensor.softmax zi in
+      let vf_idx = Nn.Tensor.sample t.rng pv in
+      let if_idx = Nn.Tensor.sample t.rng pi_ in
+      let lv = Nn.Tensor.log_softmax zv and li = Nn.Tensor.log_softmax zi in
+      { act = { Spaces.vf_idx; if_idx }; raw = [||];
+        logp = lv.(vf_idx) +. li.(if_idx) }
+  | Spaces.Continuous1 ->
+      let mu = f.pi.(0) in
+      let x = mu +. (exp t.log_std.(0) *. Nn.Rng.normal t.rng) in
+      { act = Spaces.of_flat (int_of_float (Float.round x));
+        raw = [| x |];
+        logp = gauss_logp ~mu ~log_std:t.log_std.(0) x }
+  | Spaces.Continuous2 ->
+      let x0 = f.pi.(0) +. (exp t.log_std.(0) *. Nn.Rng.normal t.rng) in
+      let x1 = f.pi.(1) +. (exp t.log_std.(1) *. Nn.Rng.normal t.rng) in
+      { act =
+          { Spaces.vf_idx = Spaces.clamp_idx ~n:Spaces.n_vf x0;
+            if_idx = Spaces.clamp_idx ~n:Spaces.n_if x1 };
+        raw = [| x0; x1 |];
+        logp =
+          gauss_logp ~mu:f.pi.(0) ~log_std:t.log_std.(0) x0
+          +. gauss_logp ~mu:f.pi.(1) ~log_std:t.log_std.(1) x1 }
+
+(** Log-probability of a previously-taken action under the current policy. *)
+let logp (t : t) (f : fwd) (tk : taken) : float =
+  match t.space with
+  | Spaces.Discrete ->
+      let zv, zi = split_logits f.pi in
+      let lv = Nn.Tensor.log_softmax zv and li = Nn.Tensor.log_softmax zi in
+      lv.(tk.act.Spaces.vf_idx) +. li.(tk.act.Spaces.if_idx)
+  | Spaces.Continuous1 ->
+      gauss_logp ~mu:f.pi.(0) ~log_std:t.log_std.(0) tk.raw.(0)
+  | Spaces.Continuous2 ->
+      gauss_logp ~mu:f.pi.(0) ~log_std:t.log_std.(0) tk.raw.(0)
+      +. gauss_logp ~mu:f.pi.(1) ~log_std:t.log_std.(1) tk.raw.(1)
+
+let entropy (t : t) (f : fwd) : float =
+  match t.space with
+  | Spaces.Discrete ->
+      let h z =
+        let p = Nn.Tensor.softmax z and lp = Nn.Tensor.log_softmax z in
+        let acc = ref 0.0 in
+        Array.iteri (fun i pi_ -> acc := !acc -. (pi_ *. lp.(i))) p;
+        !acc
+      in
+      let zv, zi = split_logits f.pi in
+      h zv +. h zi
+  | Spaces.Continuous1 ->
+      0.5 *. (1.0 +. log (2.0 *. Float.pi)) +. t.log_std.(0)
+  | Spaces.Continuous2 ->
+      (1.0 +. log (2.0 *. Float.pi)) +. t.log_std.(0) +. t.log_std.(1)
+
+(** Deterministic (inference-time) action. *)
+let predict (t : t) (ids : Embedding.Code2vec.ids array) : Spaces.action =
+  let f = forward t ids in
+  match t.space with
+  | Spaces.Discrete ->
+      let zv, zi = split_logits f.pi in
+      { Spaces.vf_idx = Nn.Tensor.argmax zv; if_idx = Nn.Tensor.argmax zi }
+  | Spaces.Continuous1 -> Spaces.of_flat (int_of_float (Float.round f.pi.(0)))
+  | Spaces.Continuous2 ->
+      { Spaces.vf_idx = Spaces.clamp_idx ~n:Spaces.n_vf f.pi.(0);
+        if_idx = Spaces.clamp_idx ~n:Spaces.n_if f.pi.(1) }
+
+(* ------------------------------------------------------------------ *)
+(* Backward                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Gradient of the policy head output for
+    [dlogp_coef * logp + dent_coef * entropy]. *)
+let dpi_of (t : t) (f : fwd) (tk : taken) ~(dlogp_coef : float)
+    ~(dent_coef : float) : Nn.Tensor.vec =
+  match t.space with
+  | Spaces.Discrete ->
+      let zv, zi = split_logits f.pi in
+      let grad z idx =
+        let p = Nn.Tensor.softmax z in
+        let lp = Nn.Tensor.log_softmax z in
+        let h = ref 0.0 in
+        Array.iteri (fun i pi_ -> h := !h -. (pi_ *. lp.(i))) p;
+        Array.init (Array.length z) (fun i ->
+            let onehot = if i = idx then 1.0 else 0.0 in
+            (dlogp_coef *. (onehot -. p.(i)))
+            +. (dent_coef *. (-.p.(i)) *. (lp.(i) +. !h)))
+      in
+      Array.append (grad zv tk.act.Spaces.vf_idx) (grad zi tk.act.Spaces.if_idx)
+  | Spaces.Continuous1 ->
+      let sigma = exp t.log_std.(0) in
+      let z = (tk.raw.(0) -. f.pi.(0)) /. sigma in
+      t.g_log_std.(0) <-
+        t.g_log_std.(0)
+        +. (dlogp_coef *. ((z *. z) -. 1.0))
+        +. dent_coef;
+      [| dlogp_coef *. z /. sigma |]
+  | Spaces.Continuous2 ->
+      let g k =
+        let sigma = exp t.log_std.(k) in
+        let z = (tk.raw.(k) -. f.pi.(k)) /. sigma in
+        t.g_log_std.(k) <-
+          t.g_log_std.(k)
+          +. (dlogp_coef *. ((z *. z) -. 1.0))
+          +. dent_coef;
+        dlogp_coef *. z /. sigma
+      in
+      [| g 0; g 1 |]
+
+(* dpi_of is pure chain rule: it returns
+   dlogp_coef * dlogp/dpi + dent_coef * dentropy/dpi and accumulates the
+   matching log-std terms; the caller chooses the loss sign convention. *)
+
+(** Accumulate gradients for one sample. [dpi] is dLoss/d(policy head
+    output) and [dv] is dLoss/d(value). *)
+let backward (t : t) (f : fwd) ~(dpi : Nn.Tensor.vec) ~(dv : float) : unit =
+  let d_trunk = Nn.Tensor.vec_create (Array.length f.trunk_out) in
+  let d1 = Nn.Dense.backward t.head_pi ~x:f.trunk_out ~dy:dpi in
+  Nn.Tensor.add_inplace d_trunk d1;
+  let d2 = Nn.Dense.backward t.head_v ~x:f.trunk_out ~dy:[| dv |] in
+  Nn.Tensor.add_inplace d_trunk d2;
+  let d_raw = Nn.Tensor.tanh_bwd f.trunk_out d_trunk in
+  let d_code = Nn.Mlp.backward t.trunk f.trunk_cache ~dout:d_raw in
+  Embedding.Code2vec.backward t.c2v f.emb ~dcode:d_code
+
+let params (t : t) : Nn.Optim.params =
+  Embedding.Code2vec.params t.c2v
+  @ Nn.Mlp.params t.trunk
+  @ Nn.Dense.params t.head_pi
+  @ Nn.Dense.params t.head_v
+  @ (if t.space = Spaces.Discrete then [] else [ (t.log_std, t.g_log_std) ])
+
+let zero_grad (t : t) : unit =
+  Embedding.Code2vec.zero_grad t.c2v;
+  Nn.Mlp.zero_grad t.trunk;
+  Nn.Dense.zero_grad t.head_pi;
+  Nn.Dense.zero_grad t.head_v;
+  Nn.Tensor.fill_zero t.g_log_std

@@ -1,0 +1,40 @@
+(** Agent checkpoints.
+
+    The paper's deployment story (Section 4.2) is train-once /
+    infer-forever: the trained policy ships with the compiler and makes a
+    single forward pass per loop. These helpers persist a trained agent —
+    embedding tables, trunk, heads, and action-space configuration — so the
+    CLI can train in one invocation and predict in another.
+
+    Format: a magic string + version, then the agent record marshalled
+    (the model is plain data — float arrays and configuration records — so
+    OCaml's Marshal is safe here; the file is tied to the OCaml version
+    like any Marshal artifact). *)
+
+let magic = "neurovec-agent"
+
+let version = 1
+
+exception Bad_checkpoint of string
+
+let save (agent : Agent.t) (path : string) : unit =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_value oc (magic, version);
+      output_value oc agent)
+
+let load (path : string) : Agent.t =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      (match (input_value ic : string * int) with
+      | m, v when m = magic && v = version -> ()
+      | m, v ->
+          raise
+            (Bad_checkpoint
+               (Printf.sprintf "expected %s v%d, found %s v%d" magic version m v))
+      | exception _ -> raise (Bad_checkpoint "not an agent checkpoint"));
+      (input_value ic : Agent.t))

@@ -1,0 +1,149 @@
+(** Proximal Policy Optimization for the vectorization contextual bandit.
+
+    Episodes are one step long (paper Section 2.3): observe a loop's
+    embedding, pick (VF, IF), receive the normalized execution-time
+    improvement as reward. The update is the standard clipped-surrogate
+    PPO loss with a value baseline and entropy bonus:
+
+    {v L = -E[min(r A, clip(r, 1-eps, 1+eps) A)]
+           + vf_coef * 0.5 (V - R)^2 - ent_coef * H v}
+
+    with [r = pi(a|s)/pi_old(a|s)] and advantage [A = R - V_old]. *)
+
+type hyper = {
+  lr : float;
+  batch_size : int;  (** environment steps per policy update *)
+  minibatch : int;
+  epochs : int;  (** SGD epochs over each batch *)
+  clip : float;
+  vf_coef : float;
+  ent_coef : float;
+}
+
+let default_hyper =
+  { lr = 5e-4; batch_size = 500; minibatch = 64; epochs = 4; clip = 0.2;
+    vf_coef = 0.5; ent_coef = 0.01 }
+
+(** The paper's headline hyperparameters (Section 4): lr 5e-5, batch 4000.
+    Training with these takes proportionally longer; the sweep in the
+    fig5 bench explores the grid around them. *)
+let paper_hyper = { default_hyper with lr = 5e-5; batch_size = 4000 }
+
+(** One environment sample: a loop, pre-encoded to vocabulary ids. *)
+type sample = { s_id : int; s_ids : Embedding.Code2vec.ids array }
+
+(** Per-update statistics, one record per policy update. *)
+type stats = {
+  update : int;
+  steps : int;  (** cumulative environment steps *)
+  reward_mean : float;
+  loss : float;
+  entropy_mean : float;
+}
+
+type transition = {
+  t_sample : sample;
+  t_taken : Agent.taken;
+  t_value : float;
+  t_reward : float;
+}
+
+(** Train [agent] for [total_steps] environment steps.
+
+    [reward sample_id action] is the environment: it compiles the program
+    with the chosen pragma and returns the normalized improvement (or the
+    -9 timeout penalty). Returns the per-update statistics history. *)
+let train ?(hyper = default_hyper) ?(progress = fun (_ : stats) -> ())
+    (agent : Agent.t) ~(samples : sample array)
+    ~(reward : int -> Spaces.action -> float) ~(total_steps : int) :
+    stats list =
+  let rng = agent.Agent.rng in
+  let history = ref [] in
+  let steps_done = ref 0 in
+  let update = ref 0 in
+  let opt = Nn.Optim.adam ~lr:hyper.lr () in
+  while !steps_done < total_steps do
+    (* ---- collect a batch under the current (frozen) policy ---- *)
+    let n = min hyper.batch_size (total_steps - !steps_done) in
+    let batch =
+      Array.init n (fun _ ->
+          let s = samples.(Nn.Rng.int rng (Array.length samples)) in
+          let f = Agent.forward agent s.s_ids in
+          let taken = Agent.sample agent f in
+          let r = reward s.s_id taken.Agent.act in
+          { t_sample = s; t_taken = taken; t_value = f.Agent.v; t_reward = r })
+    in
+    steps_done := !steps_done + n;
+    (* ---- PPO epochs ---- *)
+    let loss_acc = ref 0.0 and loss_count = ref 0 in
+    let ent_acc = ref 0.0 in
+    for _epoch = 1 to hyper.epochs do
+      Nn.Rng.shuffle rng batch;
+      let i = ref 0 in
+      while !i < n do
+        let mb_end = min n (!i + hyper.minibatch) in
+        let mb_size = mb_end - !i in
+        Agent.zero_grad agent;
+        for k = !i to mb_end - 1 do
+          let tr = batch.(k) in
+          let f = Agent.forward agent tr.t_sample.s_ids in
+          let lp = Agent.logp agent f tr.t_taken in
+          let ratio = exp (lp -. tr.t_taken.Agent.logp) in
+          let adv = tr.t_reward -. tr.t_value in
+          let unclipped_active =
+            if adv >= 0.0 then ratio < 1.0 +. hyper.clip
+            else ratio > 1.0 -. hyper.clip
+          in
+          (* dL/dlogp for L = -min(r A, clip(r) A) *)
+          let dlogp = if unclipped_active then -.(ratio *. adv) else 0.0 in
+          let dpi =
+            Agent.dpi_of agent f tr.t_taken ~dlogp_coef:dlogp
+              ~dent_coef:(-.hyper.ent_coef)
+          in
+          let dv = hyper.vf_coef *. (f.Agent.v -. tr.t_reward) in
+          Agent.backward agent f ~dpi ~dv;
+          (* bookkeeping *)
+          let surr =
+            let clipped =
+              max (1.0 -. hyper.clip) (min (1.0 +. hyper.clip) ratio)
+            in
+            min (ratio *. adv) (clipped *. adv)
+          in
+          let ent = Agent.entropy agent f in
+          loss_acc :=
+            !loss_acc
+            +. (-.surr)
+            +. (hyper.vf_coef *. 0.5 *. ((f.Agent.v -. tr.t_reward) ** 2.0))
+            -. (hyper.ent_coef *. ent);
+          ent_acc := !ent_acc +. ent;
+          incr loss_count
+        done;
+        Nn.Optim.step ~scale:(float_of_int mb_size) opt (Agent.params agent);
+        i := mb_end
+      done
+    done;
+    incr update;
+    let reward_mean =
+      Array.fold_left (fun acc tr -> acc +. tr.t_reward) 0.0 batch
+      /. float_of_int n
+    in
+    let st =
+      { update = !update; steps = !steps_done; reward_mean;
+        loss = !loss_acc /. float_of_int (max 1 !loss_count);
+        entropy_mean = !ent_acc /. float_of_int (max 1 !loss_count) }
+    in
+    progress st;
+    history := st :: !history
+  done;
+  List.rev !history
+
+(** Greedy evaluation: mean reward of the deterministic policy over
+    [samples]. *)
+let evaluate (agent : Agent.t) ~(samples : sample array)
+    ~(reward : int -> Spaces.action -> float) : float =
+  let total =
+    Array.fold_left
+      (fun acc s -> acc +. reward s.s_id (Agent.predict agent s.s_ids))
+      0.0 samples
+  in
+  total /. float_of_int (max 1 (Array.length samples))

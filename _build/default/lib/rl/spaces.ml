@@ -1,0 +1,51 @@
+(** Action spaces for the vectorization agent.
+
+    The action picks VF and IF from powers of two up to the architectural
+    maxima (paper eq. 3): VF in 2^0..2^6, IF in 2^0..2^4 — the same 35-point
+    grid as the paper's i7/AVX2 target. Three encodings are evaluated
+    (Figure 6):
+
+    - [Discrete]: two categorical heads indexing the VF and IF arrays;
+    - [Continuous1]: one gaussian scalar encoding both factors (decoded by
+      rounding into the flattened 35-point grid);
+    - [Continuous2]: two gaussian scalars, one per factor. *)
+
+let vf_values = [| 1; 2; 4; 8; 16; 32; 64 |]
+
+let if_values = [| 1; 2; 4; 8; 16 |]
+
+let n_vf = Array.length vf_values
+
+let n_if = Array.length if_values
+
+let n_flat = n_vf * n_if
+
+type kind = Discrete | Continuous1 | Continuous2
+
+(** A concrete action: indices into the factor arrays. *)
+type action = { vf_idx : int; if_idx : int }
+
+let vf_of (a : action) = vf_values.(a.vf_idx)
+
+let if_of (a : action) = if_values.(a.if_idx)
+
+let flat_of (a : action) = (a.vf_idx * n_if) + a.if_idx
+
+let of_flat (k : int) : action =
+  let k = max 0 (min (n_flat - 1) k) in
+  { vf_idx = k / n_if; if_idx = k mod n_if }
+
+let clamp_idx ~n (x : float) : int =
+  let i = int_of_float (Float.round x) in
+  max 0 (min (n - 1) i)
+
+let all_actions : action list =
+  List.concat_map
+    (fun v -> List.map (fun i -> { vf_idx = v; if_idx = i })
+        (List.init n_if Fun.id))
+    (List.init n_vf Fun.id)
+
+let kind_to_string = function
+  | Discrete -> "discrete"
+  | Continuous1 -> "continuous-1"
+  | Continuous2 -> "continuous-2"

@@ -1,0 +1,1 @@
+lib/vectorizer/costmodel.ml: Analysis Ir Legality List Transform

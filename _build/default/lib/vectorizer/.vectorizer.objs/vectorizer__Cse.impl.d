@@ -1,0 +1,1 @@
+lib/vectorizer/cse.ml: Hashtbl Ir List Option

@@ -1,0 +1,1 @@
+lib/vectorizer/legality.ml: Analysis Ir

@@ -1,0 +1,1 @@
+lib/vectorizer/licm.ml: Analysis Hashtbl Int Ir List Option Set Transform

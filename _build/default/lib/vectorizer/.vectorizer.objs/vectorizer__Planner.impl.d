@@ -1,0 +1,1 @@
+lib/vectorizer/planner.ml: Analysis Costmodel Ir Legality List Minic Option Transform

@@ -1,0 +1,1 @@
+lib/vectorizer/transform.ml: Analysis Array Hashtbl Int Int64 Ir List Map Set

@@ -1,0 +1,106 @@
+(** Common-subexpression elimination for pure definitions.
+
+    Within each basic block, identical pure rvalues computed into
+    single-assignment registers are deduplicated, and uses of the duplicate
+    register are rewritten to the representative function-wide. Lowering
+    emits a fresh address computation for every syntactic array access, so
+    the load and store of [C[i][j] += ...] address through different
+    registers; after LICM hoists both computations into the same preheader
+    block, this pass makes them literally identical — which is what lets
+    {!Licm.promote_loop}'s syntactic address check fire, exactly like
+    EarlyCSE enabling LICM store promotion in LLVM. *)
+
+let pure (rv : Ir.rvalue) : bool =
+  match rv with
+  | Ir.IBin _ | Ir.FBin _ | Ir.ICmp _ | Ir.FCmp _ | Ir.Select _ | Ir.Cast _
+  | Ir.Splat _ | Ir.Extract _ | Ir.Stride _ ->
+      true
+  | Ir.Load _ | Ir.Mov _ | Ir.Reduce _ -> false
+
+let def_counts (fn : Ir.func) : (Ir.reg, int) Hashtbl.t =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun i ->
+      match i with
+      | Ir.Def (r, _) | Ir.CallI (Some r, _, _) ->
+          Hashtbl.replace counts r
+            (1 + Option.value (Hashtbl.find_opt counts r) ~default:0)
+      | _ -> ())
+    (Ir.all_instrs fn.Ir.fn_body);
+  counts
+
+let run_func (fn : Ir.func) : int =
+  let counts = def_counts fn in
+  let single r = Hashtbl.find_opt counts r = Some 1 in
+  let subst : (Ir.reg, Ir.value) Hashtbl.t = Hashtbl.create 32 in
+  let removed = ref 0 in
+  let sv (v : Ir.value) : Ir.value =
+    match v with
+    | Ir.Reg r -> (
+        match Hashtbl.find_opt subst r with Some v' -> v' | None -> v)
+    | _ -> v
+  in
+  let smref m =
+    { m with Ir.index = sv m.Ir.index; mask = Option.map sv m.Ir.mask }
+  in
+  let srv rv =
+    match rv with
+    | Ir.IBin (op, ty, a, b) -> Ir.IBin (op, ty, sv a, sv b)
+    | Ir.FBin (op, ty, a, b) -> Ir.FBin (op, ty, sv a, sv b)
+    | Ir.ICmp (op, ty, a, b) -> Ir.ICmp (op, ty, sv a, sv b)
+    | Ir.FCmp (op, ty, a, b) -> Ir.FCmp (op, ty, sv a, sv b)
+    | Ir.Select (ty, c, a, b) -> Ir.Select (ty, sv c, sv a, sv b)
+    | Ir.Cast (k, f, t, x) -> Ir.Cast (k, f, t, sv x)
+    | Ir.Load (ty, m) -> Ir.Load (ty, smref m)
+    | Ir.Splat (ty, x) -> Ir.Splat (ty, sv x)
+    | Ir.Extract (st, x, l) -> Ir.Extract (st, sv x, l)
+    | Ir.Reduce (o, st, x) -> Ir.Reduce (o, st, sv x)
+    | Ir.Mov (ty, x) -> Ir.Mov (ty, sv x)
+    | Ir.Stride (ty, x, st) -> Ir.Stride (ty, sv x, st)
+  in
+  let sinstr i =
+    match i with
+    | Ir.Def (r, rv) -> Ir.Def (r, srv rv)
+    | Ir.Store (ty, m, x) -> Ir.Store (ty, smref m, sv x)
+    | Ir.CallI (r, f, args) -> Ir.CallI (r, f, List.map sv args)
+  in
+  let block (is : Ir.instr list) : Ir.instr list =
+    let available : (Ir.rvalue, Ir.reg) Hashtbl.t = Hashtbl.create 16 in
+    List.filter_map
+      (fun i ->
+        let i = sinstr i in
+        match i with
+        | Ir.Def (r, rv) when pure rv && single r -> (
+            match Hashtbl.find_opt available rv with
+            | Some rep when single rep ->
+                Hashtbl.replace subst r (Ir.Reg rep);
+                incr removed;
+                None
+            | _ ->
+                Hashtbl.replace available rv r;
+                Some i)
+        | _ -> Some i)
+      is
+  in
+  let scode (is, v) = (block is, sv v) in
+  let rec node n =
+    match n with
+    | Ir.Block is -> Ir.Block (block is)
+    | Ir.If { cond; then_; else_ } ->
+        let cond = scode cond in
+        Ir.If { cond; then_ = List.map node then_; else_ = List.map node else_ }
+    | Ir.Loop l ->
+        let l_init = scode l.Ir.l_init in
+        let l_bound = scode l.Ir.l_bound in
+        Ir.Loop
+          { l with Ir.l_init; l_bound; l_body = List.map node l.Ir.l_body }
+    | Ir.WhileLoop { w_cond; w_body } ->
+        Ir.WhileLoop { w_cond = scode w_cond; w_body = List.map node w_body }
+    | Ir.Return (Some c) -> Ir.Return (Some (scode c))
+    | other -> other
+  in
+  fn.Ir.fn_body <- List.map node fn.Ir.fn_body;
+  !removed
+
+let run_modul (m : Ir.modul) : int =
+  List.fold_left (fun acc fn -> acc + run_func fn) 0 m.Ir.m_funcs

@@ -1,0 +1,42 @@
+(** Vectorization legality.
+
+    Thin wrapper over {!Analysis.Loopinfo} clamping the requested
+    vectorization factor to what the dependences allow, mirroring how
+    LLVM's LoopVectorizationLegality treats a user pragma: the pragma is a
+    hint, and an infeasible width is reduced (or vectorization refused)
+    rather than miscompiling — "our framework cannot introduce new errors
+    in the compiled code" (paper, Section 3). *)
+
+type t = {
+  info : Analysis.Loopinfo.t;
+  can_vectorize : bool;
+  max_vf : int;  (** largest legal VF (1 = scalar only) *)
+}
+
+let of_info (info : Analysis.Loopinfo.t) : t =
+  let can = info.Analysis.Loopinfo.li_vectorizable in
+  {
+    info;
+    can_vectorize = can;
+    max_vf = (if can then info.Analysis.Loopinfo.li_max_safe_vf else 1);
+  }
+
+let analyze ?outer_vars (l : Ir.loop) : t =
+  of_info (Analysis.Loopinfo.analyze ?outer_vars l)
+
+(** Clamp a requested (vf, if) pair to legal values. Returns the pair
+    actually used — the compiler "ignoring" an over-optimistic pragma. *)
+let clamp (t : t) ~vf ~if_ : int * int =
+  let clamp_pow2 x lo hi =
+    let x = max lo (min hi x) in
+    (* round down to a power of two *)
+    let rec p2 acc = if acc * 2 <= x then p2 (acc * 2) else acc in
+    p2 1
+  in
+  (* interleaving clones the body into parallel copies, so it needs the
+     same legality as widening: an illegal loop stays fully scalar *)
+  if not t.can_vectorize then (1, 1)
+  else
+    let vf = clamp_pow2 vf 1 t.max_vf in
+    let if_ = clamp_pow2 if_ 1 64 in
+    (vf, if_)

@@ -1,0 +1,353 @@
+(** Loop-invariant code motion.
+
+    Hoists pure computations whose operands are loop-invariant out of the
+    loop, innermost first, iterating to a fixpoint so chains of invariant
+    arithmetic (address computations like [i*N + j] under a [k] loop) all
+    move. Loads are also hoisted when their address is invariant and no
+    store in the loop touches the same array.
+
+    Safety rules:
+    - the hoisted definition's target must be defined exactly once in the
+      loop and must not be the induction variable;
+    - all operands must be defined outside the loop (or by already-hoisted
+      definitions);
+    - hoisting runs only on loops with a statically positive trip count,
+      so a zero-trip loop cannot observe a speculated definition.
+
+    Without this pass every iteration recomputes full linearized addresses
+    and the machine model sees loop bodies as compute-bound — hiding the
+    memory effects that make tiling and wide vectors matter. This is the
+    moral equivalent of running -licm before the vectorizer in LLVM. *)
+
+module IntSet = Set.Make (Int)
+
+let value_regs (v : Ir.value) = match v with Ir.Reg r -> [ r ] | _ -> []
+
+let rvalue_regs = Transform.rvalue_operand_regs
+
+let pure_rvalue (rv : Ir.rvalue) : bool =
+  match rv with
+  | Ir.IBin _ | Ir.FBin _ | Ir.ICmp _ | Ir.FCmp _ | Ir.Select _ | Ir.Cast _
+  | Ir.Splat _ | Ir.Extract _ | Ir.Mov _ | Ir.Stride _ | Ir.Reduce _ ->
+      true
+  | Ir.Load _ -> false
+
+(** Defs per register and stored bases in a body. *)
+let body_facts (body : Ir.node list) =
+  let instrs = Ir.all_instrs body in
+  let def_count = Hashtbl.create 16 in
+  let stored = Hashtbl.create 8 in
+  List.iter
+    (fun i ->
+      match i with
+      | Ir.Def (r, _) | Ir.CallI (Some r, _, _) ->
+          Hashtbl.replace def_count r
+            (1 + Option.value (Hashtbl.find_opt def_count r) ~default:0)
+      | Ir.Store (_, m, _) -> Hashtbl.replace stored m.Ir.base ()
+      | Ir.CallI (None, _, _) -> ())
+    instrs;
+  (def_count, stored)
+
+(** Hoist invariants out of one loop (body already LICM'd recursively).
+    Returns (hoisted instrs, new body). Only instructions at Block level
+    are moved (not under Ifs — conditional work stays conditional). *)
+let hoist_loop (l : Ir.loop) : Ir.instr list * Ir.node list =
+  let trip_known_positive =
+    match Analysis.Loopinfo.static_trip_count l with
+    | Some t -> t >= 1
+    | None -> (
+        (* tiled point loops carry a positive hint and provably run *)
+        match l.Ir.l_trip_hint with Some t -> t >= 1 | None -> false)
+  in
+  match trip_known_positive with
+  | true ->
+      let def_count, stored = body_facts l.Ir.l_body in
+      (* registers considered variant: defined in the loop and not (yet)
+         hoisted, plus the induction variable *)
+      let variant = ref (IntSet.singleton l.Ir.l_var) in
+      Hashtbl.iter (fun r _ -> variant := IntSet.add r !variant) def_count;
+      (* nested loop induction variables are variant too *)
+      Ir.iter_loops (fun il -> variant := IntSet.add il.Ir.l_var !variant)
+        l.Ir.l_body;
+      let hoisted = ref [] in
+      let changed = ref true in
+      let invariant_value v =
+        List.for_all (fun r -> not (IntSet.mem r !variant)) (value_regs v)
+      in
+      let hoistable (i : Ir.instr) : bool =
+        match i with
+        | Ir.Def (r, rv) ->
+            Hashtbl.find_opt def_count r = Some 1
+            && (let idx_ops, data_ops = rvalue_regs rv in
+                List.for_all (fun o -> not (IntSet.mem o !variant)) (idx_ops @ data_ops))
+            && (pure_rvalue rv
+               ||
+               match rv with
+               | Ir.Load (_, m) ->
+                   (not (Hashtbl.mem stored m.Ir.base))
+                   && invariant_value m.Ir.index
+                   && (match m.Ir.mask with
+                      | None -> true
+                      | Some mv -> invariant_value mv)
+               | _ -> false)
+        | _ -> false
+      in
+      let scan_nodes nodes =
+        List.map
+          (fun n ->
+            match n with
+            | Ir.Block is ->
+                let keep =
+                  List.filter
+                    (fun i ->
+                      if hoistable i then begin
+                        (match i with
+                        | Ir.Def (r, _) -> variant := IntSet.remove r !variant
+                        | _ -> ());
+                        hoisted := i :: !hoisted;
+                        changed := true;
+                        false
+                      end
+                      else true)
+                    is
+                in
+                Ir.Block keep
+            | other -> other)
+          nodes
+      in
+      let body = ref l.Ir.l_body in
+      while !changed do
+        changed := false;
+        body := scan_nodes !body
+      done;
+      (List.rev !hoisted, !body)
+  | false -> ([], l.Ir.l_body)
+
+
+
+(* ------------------------------------------------------------------ *)
+(* Scalar promotion (register promotion of invariant-address accesses)  *)
+(* ------------------------------------------------------------------ *)
+
+(** Substitute register [from_] with [to_] in all values of a node list. *)
+let subst_uses ~(from_ : Ir.reg) ~(to_ : Ir.reg) (nodes : Ir.node list) :
+    Ir.node list =
+  let v = function Ir.Reg r when r = from_ -> Ir.Reg to_ | x -> x in
+  let mref m =
+    { m with Ir.index = v m.Ir.index; mask = Option.map v m.Ir.mask }
+  in
+  let rvalue rv =
+    match rv with
+    | Ir.IBin (op, ty, a, b) -> Ir.IBin (op, ty, v a, v b)
+    | Ir.FBin (op, ty, a, b) -> Ir.FBin (op, ty, v a, v b)
+    | Ir.ICmp (op, ty, a, b) -> Ir.ICmp (op, ty, v a, v b)
+    | Ir.FCmp (op, ty, a, b) -> Ir.FCmp (op, ty, v a, v b)
+    | Ir.Select (ty, c, a, b) -> Ir.Select (ty, v c, v a, v b)
+    | Ir.Cast (k, f, t, x) -> Ir.Cast (k, f, t, v x)
+    | Ir.Load (ty, m) -> Ir.Load (ty, mref m)
+    | Ir.Splat (ty, x) -> Ir.Splat (ty, v x)
+    | Ir.Extract (st, x, l) -> Ir.Extract (st, v x, l)
+    | Ir.Reduce (o, st, x) -> Ir.Reduce (o, st, v x)
+    | Ir.Mov (ty, x) -> Ir.Mov (ty, v x)
+    | Ir.Stride (ty, x, st) -> Ir.Stride (ty, v x, st)
+  in
+  let instr i =
+    match i with
+    | Ir.Def (r, rv) -> Ir.Def (r, rvalue rv)
+    | Ir.Store (ty, m, x) -> Ir.Store (ty, mref m, v x)
+    | Ir.CallI (r, f, args) -> Ir.CallI (r, f, List.map v args)
+  in
+  let code (is, x) = (List.map instr is, v x) in
+  let rec node n =
+    match n with
+    | Ir.Block is -> Ir.Block (List.map instr is)
+    | Ir.If { cond; then_; else_ } ->
+        Ir.If { cond = code cond; then_ = List.map node then_;
+                else_ = List.map node else_ }
+    | Ir.Loop l ->
+        Ir.Loop { l with Ir.l_init = code l.Ir.l_init;
+                  l_bound = code l.Ir.l_bound;
+                  l_body = List.map node l.Ir.l_body }
+    | Ir.WhileLoop { w_cond; w_body } ->
+        Ir.WhileLoop { w_cond = code w_cond; w_body = List.map node w_body }
+    | Ir.Return (Some c) -> Ir.Return (Some (code c))
+    | other -> other
+  in
+  List.map node nodes
+
+(** Promote loads/stores of a loop-invariant address to a register:
+    [C[i][j] += ...] in a [k]-innermost nest becomes a register reduction
+    the vectorizer can handle — LLVM's LICM store promotion. Conditions:
+    the address value is syntactically invariant, every access to the base
+    inside the loop uses that same address, none of them is masked or
+    inside an [If], and the loop provably runs (the store-back is
+    unconditional). *)
+let promote_loop (fn : Ir.func) (l : Ir.loop) :
+    (Ir.instr list * Ir.loop * Ir.instr list) option =
+  let trip_positive =
+    match Analysis.Loopinfo.static_trip_count l with
+    | Some t -> t >= 1
+    | None -> (
+        match l.Ir.l_trip_hint with Some t -> t >= 1 | None -> false)
+  in
+  if not trip_positive then None
+  else begin
+    let defined = Analysis.Scev.defined_regs l.Ir.l_body in
+    let invariant_value = function
+      | Ir.IConst _ -> true
+      | Ir.Reg r -> not (Analysis.Scev.IntMap.mem r defined) && r <> l.Ir.l_var
+      | Ir.FConst _ -> false
+    in
+    (* collect (base -> accesses) at Block level and whether any access to
+       the base is predicated / inside an If / non-scalar *)
+    let top_accesses = Hashtbl.create 4 in
+    let disqualified = Hashtbl.create 4 in
+    let rec scan ~under_if nodes =
+      List.iter
+        (fun n ->
+          match n with
+          | Ir.Block is ->
+              List.iter
+                (fun i ->
+                  match i with
+                  | Ir.Def (_, Ir.Load (ty, m)) | Ir.Store (ty, m, _) ->
+                      if under_if || m.Ir.mask <> None
+                         || (match ty with Ir.Vec _ -> true | _ -> false)
+                      then Hashtbl.replace disqualified m.Ir.base ()
+                      else
+                        Hashtbl.replace top_accesses m.Ir.base
+                          ((ty, m)
+                           :: Option.value
+                                (Hashtbl.find_opt top_accesses m.Ir.base)
+                                ~default:[])
+                  | _ -> ())
+                is
+          | Ir.If { then_; else_; _ } ->
+              scan ~under_if:true then_;
+              scan ~under_if:true else_
+          | Ir.Loop il -> scan ~under_if il.Ir.l_body
+          | Ir.WhileLoop { w_body; _ } -> scan ~under_if:true w_body
+          | _ -> ())
+        nodes
+    in
+    scan ~under_if:false l.Ir.l_body;
+    (* candidates: all accesses to the base share one invariant address,
+       and at least one is a store (otherwise plain load hoisting covers it) *)
+    let candidate =
+      Hashtbl.fold
+        (fun base accs acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if Hashtbl.mem disqualified base then None
+              else begin
+                let idx0 = (snd (List.hd accs)).Ir.index in
+                let same_addr =
+                  List.for_all (fun (_, m) -> m.Ir.index = idx0) accs
+                in
+                let has_store =
+                  (* stores were recorded indistinguishably; re-scan *)
+                  List.exists
+                    (fun i ->
+                      match i with
+                      | Ir.Store (_, m, _) -> m.Ir.base = base
+                      | _ -> false)
+                    (Ir.all_instrs l.Ir.l_body)
+                in
+                if same_addr && invariant_value idx0 && has_store then
+                  Some (base, fst (List.hd accs), idx0)
+                else None
+              end)
+        top_accesses None
+    in
+    match candidate with
+    | None -> None
+    | Some (base, ty, idx) ->
+        let sty = Ir.elem_ty ty in
+        let p = Ir.fresh_reg fn (Ir.Scalar sty) in
+        let mref = { Ir.base; index = idx; stride = 1; mask = None } in
+        (* phase 1: targets of loads from the promoted address *)
+        let load_targets =
+          List.filter_map
+            (fun i ->
+              match i with
+              | Ir.Def (r, Ir.Load (_, m)) when m.Ir.base = base -> Some r
+              | _ -> None)
+            (Ir.all_instrs l.Ir.l_body)
+        in
+        (* phase 2: drop the loads, turn stores into register updates *)
+        let rewrite_block is =
+          List.filter_map
+            (fun i ->
+              match i with
+              | Ir.Def (_, Ir.Load (_, m)) when m.Ir.base = base -> None
+              | Ir.Store (_, m, v) when m.Ir.base = base ->
+                  Some (Ir.Def (p, Ir.Mov (Ir.Scalar sty, v)))
+              | other -> Some other)
+            is
+        in
+        let body =
+          List.map
+            (fun n ->
+              match n with
+              | Ir.Block is -> Ir.Block (rewrite_block is)
+              | other -> other)
+            l.Ir.l_body
+        in
+        (* phase 3: every former load result now reads the register *)
+        let body =
+          List.fold_left
+            (fun b r -> subst_uses ~from_:r ~to_:p b)
+            body load_targets
+        in
+        let pre = [ Ir.Def (p, Ir.Load (Ir.Scalar sty, mref)) ] in
+        let post = [ Ir.Store (Ir.Scalar sty, mref, Ir.Reg p) ] in
+        Some (pre, { l with Ir.l_body = body }, post)
+  end
+
+(** Run LICM (hoisting + repeated scalar promotion) over a function,
+    innermost loops first. Returns the number of moved instructions. *)
+let run_func (fn : Ir.func) : int =
+  let moved = ref 0 in
+  let rec rewrite nodes =
+    List.concat_map
+      (fun n ->
+        match n with
+        | Ir.Loop l ->
+            let l = { l with Ir.l_body = rewrite l.Ir.l_body } in
+            let hoisted, body = hoist_loop l in
+            moved := !moved + List.length hoisted;
+            let l = { l with Ir.l_body = body } in
+            (* promote as many invariant-address bases as qualify *)
+            let pre_acc = ref [] and post_acc = ref [] in
+            let l = ref l in
+            let continue = ref true in
+            while !continue do
+              match promote_loop fn !l with
+              | Some (pre, l', post) ->
+                  moved := !moved + 2;
+                  pre_acc := !pre_acc @ pre;
+                  post_acc := post @ !post_acc;
+                  l := l'
+              | None -> continue := false
+            done;
+            let nodes = [ Ir.Loop !l ] in
+            let nodes =
+              if !pre_acc = [] then nodes else Ir.Block !pre_acc :: nodes
+            in
+            let nodes =
+              if !post_acc = [] then nodes else nodes @ [ Ir.Block !post_acc ]
+            in
+            if hoisted = [] then nodes else Ir.Block hoisted :: nodes
+        | Ir.If { cond; then_; else_ } ->
+            [ Ir.If { cond; then_ = rewrite then_; else_ = rewrite else_ } ]
+        | Ir.WhileLoop { w_cond; w_body } ->
+            [ Ir.WhileLoop { w_cond; w_body = rewrite w_body } ]
+        | other -> [ other ])
+      nodes
+  in
+  fn.Ir.fn_body <- rewrite fn.Ir.fn_body;
+  !moved
+
+let run_modul (m : Ir.modul) : int =
+  List.fold_left (fun acc fn -> acc + run_func fn) 0 m.Ir.m_funcs

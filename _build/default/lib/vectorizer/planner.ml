@@ -1,0 +1,71 @@
+(** The vectorization planner: runs over a module, decides each innermost
+    loop's (VF, IF) — pragma first, baseline cost model otherwise — clamps
+    the decision to what legality allows, and applies the transform.
+
+    This is the "compiler" the rest of the framework drives: the RL agent
+    injects pragmas into the source, lowering carries them onto loops, and
+    this pass honours them the way Clang/LLVM honour
+    [#pragma clang loop vectorize_width(..) interleave_count(..)]. *)
+
+type decision = {
+  d_loop_id : int;
+  d_requested : Transform.plan option;  (** from pragma, if any *)
+  d_applied : Transform.plan;
+  d_legal : bool;
+  d_reasons : string list;
+}
+
+type report = decision list
+
+(** Decide and transform every innermost loop of a function. *)
+let run_func ?(table = Costmodel.default_table) (fn : Ir.func) : report =
+  let infos = Analysis.Loopinfo.innermost_infos fn in
+  List.map
+    (fun info ->
+      let leg = Legality.of_info info in
+      let l = info.Analysis.Loopinfo.li_loop in
+      let requested =
+        match l.Ir.l_pragma with
+        | Some { Minic.Ast.vectorize_width = vw; interleave_count = ic;
+                 vectorize_enable } -> (
+            match vectorize_enable with
+            | Some false -> Some Transform.no_vectorize
+            | _ -> (
+                match (vw, ic) with
+                | None, None -> None
+                | _ ->
+                    Some
+                      { Transform.vf = Option.value vw ~default:1;
+                        if_ = Option.value ic ~default:1 }))
+        | None -> None
+      in
+      let plan =
+        match requested with
+        | Some p ->
+            let vf, if_ = Legality.clamp leg ~vf:p.Transform.vf ~if_:p.Transform.if_ in
+            { Transform.vf; if_ }
+        | None ->
+            let p = Costmodel.choose ~table leg in
+            let vf, if_ = Legality.clamp leg ~vf:p.Transform.vf ~if_:p.Transform.if_ in
+            { Transform.vf; if_ }
+      in
+      ignore (Transform.vectorize_in_func fn info plan);
+      {
+        d_loop_id = l.Ir.l_id;
+        d_requested = requested;
+        d_applied = plan;
+        d_legal = leg.Legality.can_vectorize;
+        d_reasons = info.Analysis.Loopinfo.li_reasons;
+      })
+    infos
+
+(** Run the planner over a whole module. *)
+let run_modul ?table (m : Ir.modul) : report =
+  List.concat_map (fun fn -> run_func ?table fn) m.Ir.m_funcs
+
+(** Count of instructions in a module after planning — the compile-time
+    model's input. *)
+let modul_size (m : Ir.modul) : int =
+  List.fold_left
+    (fun acc fn -> acc + List.length (Ir.all_instrs fn.Ir.fn_body))
+    0 m.Ir.m_funcs

@@ -1,0 +1,617 @@
+(** The loop vectorization transform: widening + interleaving.
+
+    Given a legal innermost counted loop and a plan [(VF, IF)], produces
+
+    {v setup        (reduction accumulators, live-out pre-seeds)
+       main loop     (step = VF*IF*step, widened + unrolled body)
+       epilogue      (horizontal reductions, live-out extraction)
+       remainder     (the original scalar loop, continuing from where the
+                      main loop stopped) v}
+
+    Design notes:
+    - Registers that feed memory indices stay scalar (one clone per unroll
+      copy, evaluated at the copy's lane-0 iteration); registers that carry
+      data are widened to [VF] lanes. A register may need both.
+    - [If] nodes are if-converted: the condition becomes a lane mask,
+      branch loads/stores are masked, and values defined under the branch
+      merge through [Select]. Scalar ([VF = 1]) interleaving reuses the
+      same path — the interpreter honours masks on scalar accesses.
+    - Reductions get one accumulator per unroll copy, seeded with the
+      operation's identity, combined horizontally in the epilogue.
+    - Every register the original body defines is restored in the epilogue
+      to its "last processed iteration" value (lane [VF-1] of the last
+      copy), so code after the loop — and the remainder loop itself —
+      observes exactly the state scalar execution would have produced. *)
+
+module IntMap = Map.Make (Int)
+module IntSet = Set.Make (Int)
+
+type plan = { vf : int; if_ : int }
+
+let no_vectorize = { vf = 1; if_ = 1 }
+
+(* ------------------------------------------------------------------ *)
+(* Flattening the (legal) body                                          *)
+(* ------------------------------------------------------------------ *)
+
+type flat =
+  | FInstr of Ir.instr
+  | FIf of Ir.code * Ir.instr list * Ir.instr list
+
+let rec flatten (nodes : Ir.node list) : flat list =
+  List.concat_map
+    (fun n ->
+      match n with
+      | Ir.Block is -> List.map (fun i -> FInstr i) is
+      | Ir.If { cond; then_; else_ } ->
+          [ FIf (cond, block_instrs then_, block_instrs else_) ]
+      | Ir.Loop _ | Ir.WhileLoop _ | Ir.Return _ | Ir.BreakN | Ir.ContinueN ->
+          invalid_arg "flatten: body not legal for vectorization")
+    nodes
+
+and block_instrs nodes =
+  List.concat_map
+    (function
+      | Ir.Block is -> is
+      | _ -> invalid_arg "flatten: nested control under If")
+    nodes
+
+(** Original instructions in processing order (cond, then, else for Ifs). *)
+let flat_instrs (fl : flat list) : Ir.instr list =
+  List.concat_map
+    (function
+      | FInstr i -> [ i ]
+      | FIf ((ci, _), t, e) -> ci @ t @ e)
+    fl
+
+(* ------------------------------------------------------------------ *)
+(* Index / data classification                                          *)
+(* ------------------------------------------------------------------ *)
+
+let value_regs (v : Ir.value) = match v with Ir.Reg r -> [ r ] | _ -> []
+
+(** Operand registers of an rvalue, split by context:
+    (index-context, data-context). *)
+let rvalue_operand_regs (rv : Ir.rvalue) : Ir.reg list * Ir.reg list =
+  match rv with
+  | Ir.IBin (_, _, a, b) | Ir.FBin (_, _, a, b) | Ir.ICmp (_, _, a, b)
+  | Ir.FCmp (_, _, a, b) ->
+      ([], value_regs a @ value_regs b)
+  | Ir.Select (_, c, a, b) -> ([], value_regs c @ value_regs a @ value_regs b)
+  | Ir.Cast (_, _, _, v) | Ir.Splat (_, v) | Ir.Extract (_, v, _)
+  | Ir.Reduce (_, _, v) | Ir.Mov (_, v) | Ir.Stride (_, v, _) ->
+      ([], value_regs v)
+  | Ir.Load (_, m) ->
+      ( value_regs m.Ir.index,
+        match m.Ir.mask with Some v -> value_regs v | None -> [] )
+
+let instr_operand_regs (i : Ir.instr) : Ir.reg list * Ir.reg list =
+  match i with
+  | Ir.Def (_, rv) -> rvalue_operand_regs rv
+  | Ir.Store (_, m, v) ->
+      ( value_regs m.Ir.index,
+        value_regs v
+        @ (match m.Ir.mask with Some mv -> value_regs mv | None -> []) )
+  | Ir.CallI (_, _, args) -> ([], List.concat_map value_regs args)
+
+(** Which loop-defined registers are needed in scalar (index) form and which
+    in vector (data) form. If-condition values count as data. *)
+let classify (fl : flat list) ~(defined : IntSet.t) ~(reductions : IntSet.t) :
+    IntSet.t * IntSet.t =
+  let instrs = flat_instrs fl in
+  let index_set = ref IntSet.empty and data_set = ref reductions in
+  let add_def set r = if IntSet.mem r defined then set := IntSet.add r !set in
+  (* Seeds: only *root* uses classify a register. Memory indices are the
+     index roots; stored values, masks and call arguments are data roots.
+     Operands of ordinary defs inherit the classification of their user
+     during propagation below — seeding them directly would mark every
+     register touching arithmetic as data. *)
+  List.iter
+    (fun i ->
+      match i with
+      | Ir.Def (_, Ir.Load (_, m)) -> (
+          List.iter (add_def index_set) (value_regs m.Ir.index);
+          match m.Ir.mask with
+          | Some mv -> List.iter (add_def data_set) (value_regs mv)
+          | None -> ())
+      | Ir.Def _ -> ()
+      | Ir.Store (_, m, v) -> (
+          List.iter (add_def index_set) (value_regs m.Ir.index);
+          List.iter (add_def data_set) (value_regs v);
+          match m.Ir.mask with
+          | Some mv -> List.iter (add_def data_set) (value_regs mv)
+          | None -> ())
+      | Ir.CallI (_, _, args) ->
+          List.iter (fun a -> List.iter (add_def data_set) (value_regs a)) args)
+    instrs;
+  (* If conditions feed masks: data *)
+  List.iter
+    (function
+      | FIf ((_, cv), _, _) -> List.iter (add_def data_set) (value_regs cv)
+      | FInstr _ -> ())
+    fl;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun i ->
+        match i with
+        | Ir.Def (r, rv) ->
+            let idx_ops, data_ops = rvalue_operand_regs rv in
+            let ops = idx_ops @ data_ops in
+            let propagate set =
+              List.iter
+                (fun o ->
+                  if IntSet.mem o defined && not (IntSet.mem o !set) then begin
+                    set := IntSet.add o !set;
+                    changed := true
+                  end)
+                ops
+            in
+            if IntSet.mem r !index_set then propagate index_set;
+            if IntSet.mem r !data_set then propagate data_set
+        | _ -> ())
+      instrs
+  done;
+  (!index_set, !data_set)
+
+(* ------------------------------------------------------------------ *)
+(* Access strides, precomputed per load/store occurrence                *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-iteration element stride of each memory access, in processing
+    order. Raises if any access is non-affine (legality prevents that). *)
+let access_strides (l : Ir.loop) (fl : flat list) : int array =
+  let body_nodes = [ Ir.Block (flat_instrs fl) ] in
+  let env = Analysis.Scev.make_env ~induction_vars:[ l.Ir.l_var ] body_nodes in
+  let strides = ref [] in
+  let record (m : Ir.mem_ref) =
+    let sv = Analysis.Scev.eval_value env m.Ir.index in
+    match sv with
+    | Analysis.Scev.Unknown -> invalid_arg "access_strides: non-affine access"
+    | Analysis.Scev.Affine _ ->
+        strides := (Analysis.Scev.coeff_of l.Ir.l_var sv * l.Ir.l_step) :: !strides
+  in
+  List.iter
+    (fun i ->
+      (match i with
+      | Ir.Def (_, Ir.Load (_, m)) -> record m
+      | Ir.Store (_, m, _) -> record m
+      | _ -> ());
+      Analysis.Scev.step env i)
+    (flat_instrs fl);
+  Array.of_list (List.rev !strides)
+
+(* ------------------------------------------------------------------ *)
+(* Widening context                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type wctx = {
+  fn : Ir.func;
+  cvf : int;
+  loop : Ir.loop;
+  index_set : IntSet.t;
+  data_set : IntSet.t;
+  defined : IntSet.t;
+  red_map : Ir.reg IntMap.t;  (** reduction reg -> this copy's accumulator *)
+  strides : int array;
+  mutable acc_cursor : int;  (** next access occurrence index *)
+  mutable s_map : Ir.value IntMap.t;
+  mutable v_map : Ir.value IntMap.t;
+  mutable out : Ir.instr list;  (** reversed *)
+}
+
+let emit ctx i = ctx.out <- i :: ctx.out
+
+let map_scalar ctx (v : Ir.value) : Ir.value =
+  match v with
+  | Ir.Reg r -> (
+      match IntMap.find_opt r ctx.s_map with Some v -> v | None -> Ir.Reg r)
+  | _ -> v
+
+let map_vector ctx (v : Ir.value) : Ir.value =
+  match v with
+  | Ir.Reg r -> (
+      match IntMap.find_opt r ctx.v_map with Some v -> v | None -> Ir.Reg r)
+  | _ -> v
+
+let wty ctx (ty : Ir.ty) : Ir.ty = Ir.widen ctx.cvf ty
+
+let next_stride ctx =
+  let s = ctx.strides.(ctx.acc_cursor) in
+  ctx.acc_cursor <- ctx.acc_cursor + 1;
+  s
+
+let scalar_rvalue ctx (rv : Ir.rvalue) : Ir.rvalue =
+  let mv = map_scalar ctx in
+  match rv with
+  | Ir.IBin (op, ty, a, b) -> Ir.IBin (op, ty, mv a, mv b)
+  | Ir.FBin (op, ty, a, b) -> Ir.FBin (op, ty, mv a, mv b)
+  | Ir.ICmp (op, ty, a, b) -> Ir.ICmp (op, ty, mv a, mv b)
+  | Ir.FCmp (op, ty, a, b) -> Ir.FCmp (op, ty, mv a, mv b)
+  | Ir.Select (ty, c, a, b) -> Ir.Select (ty, mv c, mv a, mv b)
+  | Ir.Cast (k, f, t, v) -> Ir.Cast (k, f, t, mv v)
+  | Ir.Load (ty, m) -> Ir.Load (ty, { m with Ir.index = mv m.Ir.index })
+  | Ir.Mov (ty, v) -> Ir.Mov (ty, mv v)
+  | Ir.Splat (ty, v) -> Ir.Splat (ty, mv v)
+  | Ir.Extract (s, v, l) -> Ir.Extract (s, mv v, l)
+  | Ir.Reduce (o, s, v) -> Ir.Reduce (o, s, mv v)
+  | Ir.Stride (ty, v, s) -> Ir.Stride (ty, mv v, s)
+
+let vector_rvalue ctx ~stride ~mask (rv : Ir.rvalue) : Ir.rvalue =
+  let mv = map_vector ctx in
+  match rv with
+  | Ir.IBin (op, ty, a, b) -> Ir.IBin (op, wty ctx ty, mv a, mv b)
+  | Ir.FBin (op, ty, a, b) -> Ir.FBin (op, wty ctx ty, mv a, mv b)
+  | Ir.ICmp (op, ty, a, b) -> Ir.ICmp (op, wty ctx ty, mv a, mv b)
+  | Ir.FCmp (op, ty, a, b) -> Ir.FCmp (op, wty ctx ty, mv a, mv b)
+  | Ir.Select (ty, c, a, b) -> Ir.Select (wty ctx ty, mv c, mv a, mv b)
+  | Ir.Cast (k, f, t, v) -> Ir.Cast (k, wty ctx f, wty ctx t, mv v)
+  | Ir.Load (ty, m) ->
+      Ir.Load
+        ( wty ctx ty,
+          { Ir.base = m.Ir.base; index = map_scalar ctx m.Ir.index; stride;
+            mask } )
+  | Ir.Mov (ty, v) -> Ir.Mov (wty ctx ty, mv v)
+  | Ir.Splat (ty, v) -> Ir.Splat (wty ctx ty, mv v)
+  | Ir.Extract (s, v, l) -> Ir.Extract (s, mv v, l)
+  | Ir.Reduce (o, s, v) -> Ir.Reduce (o, s, mv v)
+  | Ir.Stride (ty, v, s) -> Ir.Stride (wty ctx ty, mv v, s)
+
+(** Element scalar type of a register in the original body. *)
+let orig_elem ctx r = Ir.elem_ty (Ir.reg_ty ctx.fn r)
+
+(** Process one original instruction in this unroll copy. *)
+let widen_instr ctx ~(mask : Ir.value option) (i : Ir.instr) : unit =
+  match i with
+  | Ir.Def (r, rv) ->
+      (* scalar clone for index uses *)
+      if IntSet.mem r ctx.index_set then begin
+        let r_s = Ir.fresh_reg ctx.fn (Ir.reg_ty ctx.fn r) in
+        emit ctx (Ir.Def (r_s, scalar_rvalue ctx rv));
+        ctx.s_map <- IntMap.add r (Ir.Reg r_s) ctx.s_map
+      end;
+      (* vector clone for data uses (also the default for dead defs) *)
+      if IntSet.mem r ctx.data_set || not (IntSet.mem r ctx.index_set) then begin
+        let is_load = match rv with Ir.Load _ -> true | _ -> false in
+        let stride = if is_load then next_stride ctx else 0 in
+        let target =
+          match IntMap.find_opt r ctx.red_map with
+          | Some acc -> acc
+          | None -> Ir.fresh_reg ctx.fn (wty ctx (Ir.reg_ty ctx.fn r))
+        in
+        emit ctx (Ir.Def (target, vector_rvalue ctx ~stride ~mask rv));
+        ctx.v_map <- IntMap.add r (Ir.Reg target) ctx.v_map
+      end
+      else begin
+        (* index-only def still consumes its access slot if it's a load *)
+        match rv with Ir.Load _ -> ignore (next_stride ctx) | _ -> ()
+      end
+  | Ir.Store (ty, m, v) ->
+      let stride = next_stride ctx in
+      emit ctx
+        (Ir.Store
+           ( wty ctx ty,
+             { Ir.base = m.Ir.base; index = map_scalar ctx m.Ir.index; stride;
+               mask },
+             map_vector ctx v ))
+  | Ir.CallI _ -> invalid_arg "widen_instr: calls are not vectorizable"
+
+(** If-convert one [FIf]: cond → mask; both branches masked; defs merged. *)
+let widen_if ctx ((ci, cv) : Ir.code) (then_ : Ir.instr list)
+    (else_ : Ir.instr list) : unit =
+  List.iter (widen_instr ctx ~mask:None) ci;
+  let m = map_vector ctx cv in
+  let mask_ty = wty ctx (Ir.Scalar Ir.I1) in
+  let v_before = ctx.v_map in
+  List.iter (widen_instr ctx ~mask:(Some m)) then_;
+  let v_then = ctx.v_map in
+  ctx.v_map <- v_before;
+  let not_m =
+    if else_ = [] then Ir.IConst 0L (* unused *)
+    else begin
+      let r = Ir.fresh_reg ctx.fn mask_ty in
+      emit ctx (Ir.Def (r, Ir.IBin (Ir.Xor, mask_ty, m, Ir.IConst 1L)));
+      Ir.Reg r
+    end
+  in
+  List.iter (widen_instr ctx ~mask:(Some not_m)) else_;
+  let v_else = ctx.v_map in
+  (* merge every data reg defined in either branch *)
+  let branch_defs =
+    List.filter_map
+      (function Ir.Def (r, _) -> Some r | _ -> None)
+      (then_ @ else_)
+    |> List.filter (fun r ->
+           IntSet.mem r ctx.data_set || not (IntSet.mem r ctx.index_set))
+    |> List.sort_uniq compare
+  in
+  ctx.v_map <- v_before;
+  List.iter
+    (fun r ->
+      if IntMap.mem r ctx.red_map then
+        (* predicated reductions were rejected by legality *)
+        invalid_arg "widen_if: predicated reduction";
+      let prev = IntMap.find_opt r v_before in
+      let tv_o = IntMap.find_opt r v_then and ev_o = IntMap.find_opt r v_else in
+      let tv =
+        match (tv_o, prev, ev_o) with
+        | Some v, _, _ -> v
+        | None, Some p, _ -> p
+        | None, None, Some e -> e
+        | None, None, None -> assert false
+      in
+      let ev =
+        match (ev_o, prev) with
+        | Some v, _ -> v
+        | None, Some p -> p
+        | None, None -> tv
+      in
+      if tv = ev then ctx.v_map <- IntMap.add r tv ctx.v_map
+      else begin
+        let vty = wty ctx (Ir.Scalar (orig_elem ctx r)) in
+        let sel = Ir.fresh_reg ctx.fn vty in
+        emit ctx (Ir.Def (sel, Ir.Select (vty, m, tv, ev)));
+        ctx.v_map <- IntMap.add r (Ir.Reg sel) ctx.v_map
+      end)
+    branch_defs
+
+(* ------------------------------------------------------------------ *)
+(* The full transform                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fbin_of_red : Analysis.Reduction.kind -> Ir.fbin = function
+  | Analysis.Reduction.RedAdd -> Ir.FAdd
+  | Analysis.Reduction.RedMul -> Ir.FMul
+  | _ -> invalid_arg "float reduction kind"
+
+let ibin_of_red : Analysis.Reduction.kind -> Ir.ibin = function
+  | Analysis.Reduction.RedAdd -> Ir.Add
+  | Analysis.Reduction.RedMul -> Ir.Mul
+  | Analysis.Reduction.RedAnd -> Ir.And
+  | Analysis.Reduction.RedOr -> Ir.Or
+  | Analysis.Reduction.RedXor -> Ir.Xor
+
+let reduce_op_of_red : Analysis.Reduction.kind -> Ir.reduce_op = function
+  | Analysis.Reduction.RedAdd -> Ir.RAdd
+  | Analysis.Reduction.RedMul -> Ir.RMul
+  | Analysis.Reduction.RedAnd -> Ir.RAnd
+  | Analysis.Reduction.RedOr -> Ir.ROr
+  | Analysis.Reduction.RedXor -> Ir.RXor
+
+(** Apply the transform. The caller guarantees legality ([Legality.clamp]
+    was used on the plan). Returns the replacement nodes. *)
+let vectorize (fn : Ir.func) (info : Analysis.Loopinfo.t) (p : plan) :
+    Ir.node list =
+  let l = info.Analysis.Loopinfo.li_loop in
+  if p.vf = 1 && p.if_ = 1 then
+    [ Ir.Loop { l with Ir.l_pragma = None } ]
+  else begin
+    let vf = p.vf and if_ = p.if_ in
+    let k = vf * if_ in
+    let fl = flatten l.Ir.l_body in
+    let instrs = flat_instrs fl in
+    let defined =
+      List.fold_left
+        (fun s i ->
+          match i with
+          | Ir.Def (r, _) -> IntSet.add r s
+          | _ -> s)
+        IntSet.empty instrs
+    in
+    let reductions = info.Analysis.Loopinfo.li_reductions in
+    let red_set =
+      List.fold_left
+        (fun s r -> IntSet.add r.Analysis.Reduction.red_reg s)
+        IntSet.empty reductions
+    in
+    let index_set, data_set = classify fl ~defined ~reductions:red_set in
+    let strides = access_strides l fl in
+    let var_sty =
+      match Ir.reg_ty fn l.Ir.l_var with Ir.Scalar s -> s | Ir.Vec (_, s) -> s
+    in
+    let setup = ref [] and epilogue = ref [] in
+    let push_setup i = setup := i :: !setup in
+    let push_epi i = epilogue := i :: !epilogue in
+    (* reduction accumulators: one per unroll copy *)
+    let accs_of_red = Hashtbl.create 4 in
+    List.iter
+      (fun red ->
+        let r = red.Analysis.Reduction.red_reg in
+        let sty = Ir.elem_ty (Ir.reg_ty fn r) in
+        let vty = Ir.widen vf (Ir.Scalar sty) in
+        let accs =
+          Array.init if_ (fun _ ->
+              let a = Ir.fresh_reg fn vty in
+              let ident =
+                Analysis.Reduction.identity_value red.Analysis.Reduction.red_kind
+                  red.Analysis.Reduction.red_float
+              in
+              push_setup (Ir.Def (a, Ir.Splat (vty, ident)));
+              a)
+        in
+        Hashtbl.replace accs_of_red r (red, accs))
+      reductions;
+    (* per-copy widening *)
+    let last_copy_vmap = ref IntMap.empty in
+    let last_copy_smap = ref IntMap.empty in
+    let body_out = ref [] in
+    for u = 0 to if_ - 1 do
+      let var_u =
+        if u = 0 then Ir.Reg l.Ir.l_var
+        else begin
+          let r = Ir.fresh_reg fn (Ir.Scalar var_sty) in
+          body_out :=
+            Ir.Def
+              ( r,
+                Ir.IBin
+                  ( Ir.Add, Ir.Scalar var_sty, Ir.Reg l.Ir.l_var,
+                    Ir.IConst (Int64.of_int (u * vf * l.Ir.l_step)) ) )
+            :: !body_out;
+          Ir.Reg r
+        end
+      in
+      (* vector induction value for data uses of the loop variable *)
+      let iv_u = Ir.fresh_reg fn (Ir.widen vf (Ir.Scalar var_sty)) in
+      body_out :=
+        Ir.Def (iv_u, Ir.Stride (Ir.widen vf (Ir.Scalar var_sty), var_u, l.Ir.l_step))
+        :: !body_out;
+      let red_map =
+        Hashtbl.fold
+          (fun r (_, accs) m -> IntMap.add r accs.(u) m)
+          accs_of_red IntMap.empty
+      in
+      let ctx =
+        {
+          fn; cvf = vf; loop = l; index_set; data_set; defined;
+          red_map; strides; acc_cursor = 0;
+          s_map = IntMap.singleton l.Ir.l_var var_u;
+          v_map =
+            IntMap.add l.Ir.l_var (Ir.Reg iv_u)
+              (IntMap.map (fun a -> Ir.Reg a) red_map);
+          out = [];
+        }
+      in
+      List.iter
+        (function
+          | FInstr i -> widen_instr ctx ~mask:None i
+          | FIf (c, t, e) -> widen_if ctx c t e)
+        fl;
+      body_out := List.rev_append (List.rev ctx.out) !body_out;
+      if u = if_ - 1 then begin
+        last_copy_vmap := ctx.v_map;
+        last_copy_smap := ctx.s_map
+      end
+    done;
+    let body_instrs = List.rev !body_out in
+    (* epilogue: combine reductions into the original scalar register *)
+    Hashtbl.iter
+      (fun r (red, accs) ->
+        let sty = Ir.elem_ty (Ir.reg_ty fn r) in
+        let partials =
+          Array.to_list accs
+          |> List.map (fun a ->
+                 if vf = 1 then Ir.Reg a
+                 else begin
+                   let s = Ir.fresh_reg fn (Ir.Scalar sty) in
+                   push_epi
+                     (Ir.Def
+                        ( s,
+                          Ir.Reduce
+                            ( reduce_op_of_red red.Analysis.Reduction.red_kind,
+                              sty, Ir.Reg a ) ));
+                   Ir.Reg s
+                 end)
+        in
+        (* r := r op p0 op p1 ... *)
+        let combine acc v =
+          let t = Ir.fresh_reg fn (Ir.Scalar sty) in
+          let rv =
+            if red.Analysis.Reduction.red_float then
+              Ir.FBin (fbin_of_red red.Analysis.Reduction.red_kind,
+                       Ir.Scalar sty, acc, v)
+            else
+              Ir.IBin (ibin_of_red red.Analysis.Reduction.red_kind,
+                       Ir.Scalar sty, acc, v)
+          in
+          push_epi (Ir.Def (t, rv));
+          Ir.Reg t
+        in
+        let final = List.fold_left combine (Ir.Reg r) partials in
+        push_epi (Ir.Def (r, Ir.Mov (Ir.Scalar sty, final))))
+      accs_of_red;
+    (* epilogue: restore every non-reduction defined register to its
+       last-processed-iteration value; pre-seed so the extract is defined
+       even when the main loop runs zero times *)
+    IntSet.iter
+      (fun r ->
+        if not (IntSet.mem r red_set) then begin
+          let sty = Ir.elem_ty (Ir.reg_ty fn r) in
+          match IntMap.find_opt r !last_copy_vmap with
+          | Some (Ir.Reg vr) ->
+              push_setup
+                (Ir.Def (vr, Ir.Splat (Ir.widen vf (Ir.Scalar sty), Ir.Reg r)));
+              if vf = 1 then
+                push_epi (Ir.Def (r, Ir.Mov (Ir.Scalar sty, Ir.Reg vr)))
+              else
+                push_epi (Ir.Def (r, Ir.Extract (sty, Ir.Reg vr, vf - 1)))
+          | _ -> (
+              (* index-only register: restore from its scalar clone *)
+              match IntMap.find_opt r !last_copy_smap with
+              | Some (Ir.Reg sr) ->
+                  push_setup (Ir.Def (sr, Ir.Mov (Ir.Scalar sty, Ir.Reg r)));
+                  push_epi (Ir.Def (r, Ir.Mov (Ir.Scalar sty, Ir.Reg sr)))
+              | _ -> ())
+        end)
+      defined;
+    (* adjusted main-loop bound: all K lanes must satisfy the exit test *)
+    let bi, bv = l.Ir.l_bound in
+    let ab = Ir.fresh_reg fn (Ir.Scalar var_sty) in
+    let bound_adjust =
+      Ir.Def
+        ( ab,
+          Ir.IBin
+            ( Ir.Sub, Ir.Scalar var_sty, bv,
+              Ir.IConst (Int64.of_int ((k - 1) * l.Ir.l_step)) ) )
+    in
+    (* trip hints: exact when the original bounds are static, an expected
+       value otherwise — the timing model has no way to see through the
+       register-carried remainder start *)
+    let orig_trip =
+      match Analysis.Loopinfo.static_trip_count l with
+      | Some t -> Some t
+      | None -> l.Ir.l_trip_hint
+    in
+    let main_hint, rem_hint =
+      match orig_trip with
+      | Some t -> (Some (t / k), Some (t mod k))
+      | None -> (None, Some (k / 2))
+    in
+    let main_loop =
+      Ir.Loop
+        {
+          l with
+          Ir.l_bound = (bi @ [ bound_adjust ], Ir.Reg ab);
+          l_step = k * l.Ir.l_step;
+          l_pragma = None;
+          l_body = [ Ir.Block body_instrs ];
+          l_trip_hint = main_hint;
+        }
+    in
+    let remainder =
+      Ir.Loop
+        {
+          l with
+          Ir.l_id = l.Ir.l_id + 100000;
+          l_init = ([], Ir.Reg l.Ir.l_var);
+          l_pragma = None;
+          l_trip_hint = rem_hint;
+        }
+    in
+    [ Ir.Block (List.rev !setup); main_loop; Ir.Block (List.rev !epilogue);
+      remainder ]
+  end
+
+(** Vectorize one loop of a function in place (by loop id). Returns [true]
+    if the loop was found. *)
+let vectorize_in_func (fn : Ir.func) (info : Analysis.Loopinfo.t) (p : plan) :
+    bool =
+  let target = info.Analysis.Loopinfo.li_loop.Ir.l_id in
+  let found = ref false in
+  let rec rewrite (nodes : Ir.node list) : Ir.node list =
+    List.concat_map
+      (fun n ->
+        match n with
+        | Ir.Loop l when l.Ir.l_id = target ->
+            found := true;
+            vectorize fn { info with Analysis.Loopinfo.li_loop = l } p
+        | Ir.Loop l -> [ Ir.Loop { l with Ir.l_body = rewrite l.Ir.l_body } ]
+        | Ir.If { cond; then_; else_ } ->
+            [ Ir.If { cond; then_ = rewrite then_; else_ = rewrite else_ } ]
+        | Ir.WhileLoop { w_cond; w_body } ->
+            [ Ir.WhileLoop { w_cond; w_body = rewrite w_body } ]
+        | other -> [ other ])
+      nodes
+  in
+  fn.Ir.fn_body <- rewrite fn.Ir.fn_body;
+  !found

@@ -1,0 +1,1 @@
+test/test_agents.ml: Agents Alcotest Array Nn Printf Rl

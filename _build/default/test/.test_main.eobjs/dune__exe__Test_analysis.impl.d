@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Ir Ir_lower List Minic Printf

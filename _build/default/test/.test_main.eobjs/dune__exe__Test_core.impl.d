@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Dataset List Minic Neurovec Printf Rl String

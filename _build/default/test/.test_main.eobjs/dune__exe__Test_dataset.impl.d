@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Array Dataset Hashtbl Ir Ir_interp Ir_lower List Minic Neurovec Printexc Printf String Vectorizer

@@ -1,0 +1,1 @@
+test/test_embedding.ml: Alcotest Array Embedding Float List Minic Nn Printf String

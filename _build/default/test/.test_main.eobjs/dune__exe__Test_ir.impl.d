@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Float Hashtbl Int64 Ir Ir_interp Ir_lower List Minic Printf QCheck QCheck_alcotest String

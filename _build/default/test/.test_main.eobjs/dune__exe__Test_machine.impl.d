@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Analysis Dataset Ir Ir_lower List Machine Minic Neurovec Printf Vectorizer

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_agents Test_analysis Test_core Test_dataset Test_embedding Test_ir Test_machine Test_minic Test_nn Test_polly Test_rl Test_vectorizer

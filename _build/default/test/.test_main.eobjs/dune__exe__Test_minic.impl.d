@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Ast Int64 Lexer List Minic Parser Pretty Printf QCheck QCheck_alcotest Sema Token

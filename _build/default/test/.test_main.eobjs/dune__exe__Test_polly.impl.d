@@ -1,0 +1,1 @@
+test/test_polly.ml: Alcotest Ir Ir_interp Ir_lower List Machine Minic Polly Printf QCheck QCheck_alcotest Vectorizer

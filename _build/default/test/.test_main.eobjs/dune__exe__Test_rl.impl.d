@@ -1,0 +1,1 @@
+test/test_rl.ml: Alcotest Array Embedding Filename Fun List Minic Neurovec Nn Printf Rl Sys

@@ -1,0 +1,1 @@
+test/test_vectorizer.ml: Alcotest Analysis Ir Ir_interp Ir_lower List Minic Printf QCheck QCheck_alcotest String Vectorizer

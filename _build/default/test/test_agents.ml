@@ -1,0 +1,135 @@
+(* Tests for the alternative predictors: decision tree, NNS, random search. *)
+
+(* ------------------------------------------------------------------ *)
+(* Decision tree                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_dtree_axis_split () =
+  (* label = 1 iff x0 > 0.5 *)
+  let rng = Nn.Rng.create 1 in
+  let xs = Array.init 200 (fun _ -> [| Nn.Rng.float rng; Nn.Rng.float rng |]) in
+  let ys = Array.map (fun x -> if x.(0) > 0.5 then 1 else 0) xs in
+  let t = Agents.Dtree.fit xs ys in
+  let errors = ref 0 in
+  Array.iteri
+    (fun i x -> if Agents.Dtree.predict t x <> ys.(i) then incr errors)
+    xs;
+  Alcotest.(check bool) "fits separable data" true (!errors = 0)
+
+let test_dtree_xor () =
+  (* xor of two thresholds needs depth >= 2 *)
+  let rng = Nn.Rng.create 2 in
+  let xs = Array.init 400 (fun _ -> [| Nn.Rng.float rng; Nn.Rng.float rng |]) in
+  let ys =
+    Array.map (fun x -> if (x.(0) > 0.5) <> (x.(1) > 0.5) then 1 else 0) xs
+  in
+  let t = Agents.Dtree.fit xs ys in
+  let errors = ref 0 in
+  Array.iteri
+    (fun i x -> if Agents.Dtree.predict t x <> ys.(i) then incr errors)
+    xs;
+  Alcotest.(check bool)
+    (Printf.sprintf "xor mostly learnt (%d errors)" !errors)
+    true
+    (!errors < 20)
+
+let test_dtree_depth_bounded () =
+  let rng = Nn.Rng.create 3 in
+  let xs = Array.init 300 (fun _ -> [| Nn.Rng.float rng |]) in
+  let ys = Array.init 300 (fun i -> i mod 7) in
+  let t =
+    Agents.Dtree.fit ~params:{ Agents.Dtree.default_params with max_depth = 4 }
+      xs ys
+  in
+  Alcotest.(check bool) "depth <= 4" true (Agents.Dtree.depth t <= 4)
+
+let test_dtree_empty () =
+  let t = Agents.Dtree.fit [||] [||] in
+  Alcotest.(check int) "default label" 0 (Agents.Dtree.predict t [| 1.0 |])
+
+let test_dtree_single_class () =
+  let xs = Array.init 20 (fun i -> [| float_of_int i |]) in
+  let ys = Array.make 20 5 in
+  let t = Agents.Dtree.fit xs ys in
+  Alcotest.(check int) "leaf only" 1 (Agents.Dtree.size t);
+  Alcotest.(check int) "constant prediction" 5 (Agents.Dtree.predict t [| 3.0 |])
+
+(* ------------------------------------------------------------------ *)
+(* NNS                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_nns_exact_on_training () =
+  let xs = [| [| 0.0; 0.0 |]; [| 1.0; 1.0 |]; [| -1.0; 2.0 |] |] in
+  let ys = [| 10; 20; 30 |] in
+  let t = Agents.Nns.fit xs ys in
+  Array.iteri
+    (fun i x -> Alcotest.(check int) "training point" ys.(i) (Agents.Nns.predict t x))
+    xs
+
+let test_nns_nearest () =
+  let t = Agents.Nns.fit [| [| 0.0 |]; [| 10.0 |] |] [| 1; 2 |] in
+  Alcotest.(check int) "closer to 0" 1 (Agents.Nns.predict t [| 3.0 |]);
+  Alcotest.(check int) "closer to 10" 2 (Agents.Nns.predict t [| 8.0 |])
+
+let test_nns_k_majority () =
+  let xs = [| [| 0.0 |]; [| 0.1 |]; [| 0.2 |]; [| 5.0 |] |] in
+  let ys = [| 1; 1; 1; 9 |] in
+  let t = Agents.Nns.fit xs ys in
+  Alcotest.(check int) "3-NN majority" 1 (Agents.Nns.predict_k t ~k:3 [| 0.05 |])
+
+(* ------------------------------------------------------------------ *)
+(* Random search                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_random_budget_improves () =
+  let reward (a : Rl.Spaces.action) =
+    float_of_int (a.Rl.Spaces.vf_idx + a.Rl.Spaces.if_idx)
+  in
+  let rng1 = Nn.Rng.create 4 in
+  let one = ref 0.0 in
+  for _ = 1 to 50 do
+    let _, r = Agents.Random_search.search ~budget:1 rng1 ~reward in
+    one := !one +. r
+  done;
+  let rng2 = Nn.Rng.create 4 in
+  let twenty = ref 0.0 in
+  for _ = 1 to 50 do
+    let _, r = Agents.Random_search.search ~budget:20 rng2 ~reward in
+    twenty := !twenty +. r
+  done;
+  Alcotest.(check bool) "bigger budget finds more" true (!twenty > !one)
+
+let test_random_in_grid () =
+  let rng = Nn.Rng.create 5 in
+  for _ = 1 to 200 do
+    let a = Agents.Random_search.pick rng in
+    Alcotest.(check bool) "valid indices" true
+      (a.Rl.Spaces.vf_idx >= 0
+      && a.Rl.Spaces.vf_idx < Rl.Spaces.n_vf
+      && a.Rl.Spaces.if_idx >= 0
+      && a.Rl.Spaces.if_idx < Rl.Spaces.n_if)
+  done
+
+let suite =
+  [
+    ( "agents.dtree",
+      [
+        Alcotest.test_case "axis split" `Quick test_dtree_axis_split;
+        Alcotest.test_case "xor" `Quick test_dtree_xor;
+        Alcotest.test_case "depth bounded" `Quick test_dtree_depth_bounded;
+        Alcotest.test_case "empty input" `Quick test_dtree_empty;
+        Alcotest.test_case "single class" `Quick test_dtree_single_class;
+      ] );
+    ( "agents.nns",
+      [
+        Alcotest.test_case "exact on training set" `Quick
+          test_nns_exact_on_training;
+        Alcotest.test_case "nearest" `Quick test_nns_nearest;
+        Alcotest.test_case "k majority" `Quick test_nns_k_majority;
+      ] );
+    ( "agents.random",
+      [
+        Alcotest.test_case "budget improves" `Quick test_random_budget_improves;
+        Alcotest.test_case "stays in grid" `Quick test_random_in_grid;
+      ] );
+  ]

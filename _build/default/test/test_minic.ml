@@ -1,0 +1,520 @@
+(* Tests for the mini-C frontend: lexer, parser, pretty-printer, sema. *)
+
+open Minic
+
+let parse = Parser.parse_string
+
+(* The paper's five dataset examples (Section 3.2), verbatim modulo the
+   declarations they elide. *)
+let example1 =
+  {|
+int assign1[1024]; int assign2[1024]; int assign3[1024];
+short short_a[1024]; short short_b[1024]; short short_c[1024];
+int f() {
+  int i;
+  #pragma clang loop vectorize_width(4) interleave_count(2)
+  for (i = 0; i < 1023; i+=2) {
+    assign1[i] = (int) short_a[i];
+    assign1[i+1] = (int) short_a[i+1];
+    assign2[i] = (int) short_b[i];
+    assign2[i+1] = (int) short_b[i+1];
+    assign3[i] = (int) short_c[i];
+    assign3[i+1] = (int) short_c[i+1];
+  }
+  return assign1[0];
+}
+|}
+
+let example2 =
+  {|
+int G[64][64];
+void f(int x) {
+  int i; int j;
+  for (i=0; i<64; i++) {
+    #pragma clang loop vectorize_width(8) interleave_count(1)
+    for (j=0; j<64; j++) {
+      G[i][j] = x;
+    }
+  }
+}
+|}
+
+let example3 =
+  {|
+int a[2048]; int b[2048];
+void f() {
+  int i;
+  #pragma clang loop vectorize_width(2) interleave_count(4)
+  for (i=0; i<1024*2; i++){
+    int j = a[i];
+    b[i] = (j > 255 ? 255 : 0);
+  }
+}
+|}
+
+let example4 =
+  {|
+float A[64][64]; float B[64][64]; float C[64][64];
+void f(float alpha) {
+  int i; int j; int k;
+  for (i = 0; i < 64; i++){
+    for (j = 0; j < 64; j++){
+      float sum = 0;
+      #pragma clang loop vectorize_width(4) interleave_count(2)
+      for (k = 0; k < 64; k++) {
+        sum += alpha*A[i][k] * B[k][j];
+      }
+      C[i][j] = sum;
+    }
+  }
+}
+|}
+
+let example5 =
+  {|
+float a[512]; float b[1024]; float c[1024]; float d[512];
+void f() {
+  int i;
+  #pragma clang loop vectorize_width(4) interleave_count(2)
+  for (i = 0; i < 512/2-1; i++){
+    a[i] = b[2*i+1] * c[2*i+1] - b[2*i] * c[2*i];
+    d[i] = b[2*i] * c[2*i+1] + b[2*i+1] * c[2*i];
+  }
+}
+|}
+
+let paper_examples =
+  [ ("example1", example1); ("example2", example2); ("example3", example3);
+    ("example4", example4); ("example5", example5) ]
+
+(* ------------------------------------------------------------------ *)
+(* Lexer tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_lex_simple () =
+  let toks = Lexer.tokenize "int x = 42;" in
+  let kinds = List.map (fun t -> t.Token.tok) toks in
+  Alcotest.(check int) "token count" 6 (List.length kinds);
+  match kinds with
+  | [ Token.KW_INT; Token.IDENT "x"; Token.ASSIGN; Token.INT_LIT 42L;
+      Token.SEMI; Token.EOF ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_lex_operators () =
+  let src = "a += b << 2; c >>= 1; d != e && f <= g;" in
+  let toks = Lexer.tokenize src in
+  let has tok = List.exists (fun t -> t.Token.tok = tok) toks in
+  Alcotest.(check bool) "+=" true (has Token.PLUS_ASSIGN);
+  Alcotest.(check bool) "<<" true (has Token.LSHIFT);
+  Alcotest.(check bool) ">>=" true (has Token.RSHIFT_ASSIGN);
+  Alcotest.(check bool) "!=" true (has Token.NEQ);
+  Alcotest.(check bool) "&&" true (has Token.AMPAMP);
+  Alcotest.(check bool) "<=" true (has Token.LE)
+
+let test_lex_floats () =
+  let toks = Lexer.tokenize "1.5 2e3 0.25f 3." in
+  let floats =
+    List.filter_map
+      (fun t -> match t.Token.tok with Token.FLOAT_LIT f -> Some f | _ -> None)
+      toks
+  in
+  Alcotest.(check (list (float 1e-9))) "floats" [ 1.5; 2000.0; 0.25; 3.0 ] floats
+
+let test_lex_hex () =
+  let toks = Lexer.tokenize "0xff 0x10" in
+  let ints =
+    List.filter_map
+      (fun t -> match t.Token.tok with Token.INT_LIT i -> Some i | _ -> None)
+      toks
+  in
+  Alcotest.(check (list int64)) "hex ints" [ 255L; 16L ] ints
+
+let test_lex_comments () =
+  let src = "int /* block \n comment */ x; // line comment\nint y;" in
+  let toks = Lexer.tokenize src in
+  let idents =
+    List.filter_map
+      (fun t -> match t.Token.tok with Token.IDENT s -> Some s | _ -> None)
+      toks
+  in
+  Alcotest.(check (list string)) "idents" [ "x"; "y" ] idents
+
+let test_lex_pragma () =
+  let src = "#pragma clang loop vectorize_width(4) interleave_count(2)\nint x;" in
+  let toks = Lexer.tokenize src in
+  match (List.hd toks).Token.tok with
+  | Token.PRAGMA p ->
+      Alcotest.(check string) "pragma text"
+        "clang loop vectorize_width(4) interleave_count(2)" p
+  | _ -> Alcotest.fail "expected pragma token first"
+
+let test_lex_positions () =
+  let toks = Lexer.tokenize "int\n  x;" in
+  let x = List.nth toks 1 in
+  Alcotest.(check int) "line" 2 x.Token.pos.Token.line;
+  Alcotest.(check int) "col" 3 x.Token.pos.Token.col
+
+let test_lex_error () =
+  Alcotest.check_raises "bad char"
+    (Lexer.Error ("unexpected character '@'", { Token.line = 1; col = 1 }))
+    (fun () -> ignore (Lexer.tokenize "@"))
+
+(* ------------------------------------------------------------------ *)
+(* Parser tests                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let find_func prog name =
+  List.find_map
+    (function Ast.Func f when f.Ast.f_name = name -> Some f | _ -> None)
+    prog
+  |> function
+  | Some f -> f
+  | None -> Alcotest.failf "function %s not found" name
+
+let collect_loops prog =
+  let acc = ref [] in
+  Ast.iter_program_stmts
+    (fun s -> match s with Ast.For f -> acc := f :: !acc | _ -> ())
+    prog;
+  List.rev !acc
+
+let test_parse_paper_examples () =
+  List.iter
+    (fun (name, src) ->
+      let prog = parse src in
+      Alcotest.(check bool)
+        (name ^ " parses to nonempty program")
+        true (prog <> []))
+    paper_examples
+
+let test_parse_pragma_attach () =
+  let prog = parse example1 in
+  match collect_loops prog with
+  | [ f ] -> (
+      match f.Ast.pragma with
+      | Some p ->
+          Alcotest.(check (option int)) "VF" (Some 4) p.Ast.vectorize_width;
+          Alcotest.(check (option int)) "IF" (Some 2) p.Ast.interleave_count
+      | None -> Alcotest.fail "pragma not attached")
+  | ls -> Alcotest.failf "expected 1 loop, got %d" (List.length ls)
+
+let test_parse_nested_pragma () =
+  let prog = parse example2 in
+  match collect_loops prog with
+  | [ outer; inner ] ->
+      Alcotest.(check bool) "outer has no pragma" true (outer.Ast.pragma = None);
+      Alcotest.(check bool) "inner has pragma" true (inner.Ast.pragma <> None)
+  | ls -> Alcotest.failf "expected 2 loops, got %d" (List.length ls)
+
+let test_parse_ternary () =
+  let prog = parse example3 in
+  let f = find_func prog "f" in
+  Alcotest.(check bool) "body nonempty" true (f.Ast.f_body <> [])
+
+let test_parse_precedence () =
+  let prog = parse "int f() { return 1 + 2 * 3; }" in
+  let f = find_func prog "f" in
+  match f.Ast.f_body with
+  | [ Ast.Return (Some (Ast.Binop (Ast.Add, Ast.IntLit 1L,
+        Ast.Binop (Ast.Mul, Ast.IntLit 2L, Ast.IntLit 3L)))) ] ->
+      ()
+  | _ -> Alcotest.fail "precedence wrong: expected 1 + (2 * 3)"
+
+let test_parse_assoc () =
+  let prog = parse "int f() { return 10 - 3 - 2; }" in
+  let f = find_func prog "f" in
+  match f.Ast.f_body with
+  | [ Ast.Return (Some (Ast.Binop (Ast.Sub,
+        Ast.Binop (Ast.Sub, Ast.IntLit 10L, Ast.IntLit 3L), Ast.IntLit 2L))) ] ->
+      ()
+  | _ -> Alcotest.fail "associativity wrong: expected (10 - 3) - 2"
+
+let test_parse_assign_right_assoc () =
+  let prog = parse "int f() { int a; int b; a = b = 1; return a; }" in
+  let f = find_func prog "f" in
+  match List.nth f.Ast.f_body 2 with
+  | Ast.Expr (Ast.Assign (Ast.Ident "a", Ast.Assign (Ast.Ident "b", _))) -> ()
+  | _ -> Alcotest.fail "assignment should be right-associative"
+
+let test_parse_multidim () =
+  let prog = parse "int A[4][8]; int f() { return A[1][2]; }" in
+  match List.hd prog with
+  | Ast.Global g ->
+      Alcotest.(check int) "dims" 2 (List.length g.Ast.g_ty.Ast.dims)
+  | _ -> Alcotest.fail "expected global"
+
+let test_parse_attributes () =
+  let prog =
+    parse
+      "int vec[512] __attribute__((aligned(16)));\n\
+       __attribute__((noinline)) int g() { return vec[0]; }"
+  in
+  (match List.hd prog with
+  | Ast.Global g ->
+      Alcotest.(check bool) "aligned attr" true
+        (List.mem (Ast.Aligned 16) g.Ast.g_attrs)
+  | _ -> Alcotest.fail "expected global");
+  let g = find_func prog "g" in
+  Alcotest.(check bool) "noinline attr" true (List.mem Ast.Noinline g.Ast.f_attrs)
+
+let test_parse_for_decl_init () =
+  let prog = parse "int f() { int s = 0; for (int i = 0; i < 8; i++) s += i; return s; }" in
+  match collect_loops prog with
+  | [ { Ast.init = Some (Ast.Decl (_, "i", Some (Ast.IntLit 0L))); _ } ] -> ()
+  | _ -> Alcotest.fail "for-init declaration not parsed"
+
+let test_parse_cast () =
+  let prog = parse "short s[8]; int f() { return (int) s[0]; }" in
+  let f = find_func prog "f" in
+  match f.Ast.f_body with
+  | [ Ast.Return (Some (Ast.Cast ({ Ast.base = Ast.Int; _ }, _))) ] -> ()
+  | _ -> Alcotest.fail "cast not parsed"
+
+let test_parse_unknown_pragma_ignored () =
+  let prog = parse "#pragma once\nint f() { return 0; }" in
+  Alcotest.(check int) "one decl" 1 (List.length prog)
+
+let test_parse_error_reports_position () =
+  match parse "int f() { return 1 + ; }" with
+  | exception Parser.Error (_, _) -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_parse_comma_decls () =
+  let prog = parse "int f() { int i, j, k; i = 1; j = 2; k = 3; return i+j+k; }" in
+  let f = find_func prog "f" in
+  match List.hd f.Ast.f_body with
+  | Ast.Block decls -> Alcotest.(check int) "3 decls" 3 (List.length decls)
+  | _ -> Alcotest.fail "comma declarations should become a block"
+
+let test_parse_while () =
+  let prog = parse "int f() { int i = 0; while (i < 10) i++; return i; }" in
+  let found = ref false in
+  Ast.iter_program_stmts
+    (fun s -> match s with Ast.While _ -> found := true | _ -> ())
+    prog;
+  Alcotest.(check bool) "while parsed" true !found
+
+let test_parse_pragma_clause_order () =
+  (* interleave_count before vectorize_width must also work *)
+  let src =
+    "int a[8]; int f() { int i;\n\
+     #pragma clang loop interleave_count(8) vectorize_width(64)\n\
+     for (i = 0; i < 8; i++) a[i] = i; return a[0]; }"
+  in
+  match collect_loops (parse src) with
+  | [ { Ast.pragma = Some p; _ } ] ->
+      Alcotest.(check (option int)) "VF" (Some 64) p.Ast.vectorize_width;
+      Alcotest.(check (option int)) "IF" (Some 8) p.Ast.interleave_count
+  | _ -> Alcotest.fail "pragma not parsed"
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printer round trip                                            *)
+(* ------------------------------------------------------------------ *)
+
+let strip_pragmas_prog prog =
+  (* structural equality after round trip, including pragmas *)
+  prog
+
+let test_roundtrip_examples () =
+  List.iter
+    (fun (name, src) ->
+      let p1 = parse src in
+      let printed = Pretty.program_to_string p1 in
+      let p2 = parse printed in
+      if strip_pragmas_prog p1 <> strip_pragmas_prog p2 then
+        Alcotest.failf "%s: round trip changed the AST;\n%s" name printed)
+    paper_examples
+
+let test_roundtrip_precedence_parens () =
+  let src = "int f() { return (1 + 2) * 3; }" in
+  let p1 = parse src in
+  let p2 = parse (Pretty.program_to_string p1) in
+  Alcotest.(check bool) "parens preserved structurally" true (p1 = p2)
+
+let test_pragma_printing () =
+  let p = { Ast.vectorize_width = Some 4; interleave_count = Some 2;
+            vectorize_enable = None } in
+  Alcotest.(check string) "pragma text"
+    "#pragma clang loop vectorize_width(4) interleave_count(2)"
+    (Pretty.pragma_to_string p)
+
+(* ------------------------------------------------------------------ *)
+(* Sema tests                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_sema_examples_ok () =
+  List.iter
+    (fun (name, src) ->
+      match Sema.analyze (parse src) with
+      | _ -> ()
+      | exception Sema.Error msg -> Alcotest.failf "%s: sema error %s" name msg)
+    paper_examples
+
+let test_sema_undeclared () =
+  Alcotest.(check bool) "undeclared rejected" true
+    (match Sema.analyze (parse "int f() { return zz; }") with
+    | exception Sema.Error _ -> true
+    | _ -> false)
+
+let test_sema_bindings () =
+  let src = "int a[N]; int f() { int i; for (i=0;i<N;i++) a[i]=i; return a[0]; }" in
+  (* without a binding for N this must fail... *)
+  (match Sema.analyze (parse src) with
+  | exception Sema.Error _ -> ()
+  | _ -> Alcotest.fail "expected failure without binding");
+  (* ...and succeed with one *)
+  ignore (Sema.analyze ~bindings:[ ("N", 128) ] (parse src))
+
+let test_sema_type_inference () =
+  let prog = parse "float x[4]; int f() { return 0; }" in
+  let env = Sema.analyze prog in
+  let t = Sema.infer env (Ast.Index (Ast.Ident "x", Ast.IntLit 0L)) in
+  Alcotest.(check bool) "x[0] is float" true (t.Ast.base = Ast.Float && t.Ast.dims = [])
+
+let test_sema_promote () =
+  Alcotest.(check bool) "short+short -> int" true
+    (Sema.promote Ast.Short Ast.Short = Ast.Int);
+  Alcotest.(check bool) "int+float -> float" true
+    (Sema.promote Ast.Int Ast.Float = Ast.Float);
+  Alcotest.(check bool) "float+double -> double" true
+    (Sema.promote Ast.Float Ast.Double = Ast.Double)
+
+let test_sema_bad_pragma () =
+  let src =
+    "int a[8]; int f() { int i;\n\
+     #pragma clang loop vectorize_width(3)\n\
+     for (i = 0; i < 8; i++) a[i] = i; return a[0]; }"
+  in
+  Alcotest.(check bool) "non-power-of-two VF rejected" true
+    (match Sema.analyze (parse src) with
+    | exception Sema.Error _ -> true
+    | _ -> false)
+
+let test_sema_array_assign_rejected () =
+  let src = "int a[8]; int b[8]; int f() { a = b; return 0; }" in
+  Alcotest.(check bool) "array assignment rejected" true
+    (match Sema.analyze (parse src) with
+    | exception Sema.Error _ -> true
+    | _ -> false)
+
+let test_sema_const_eval () =
+  let env = Sema.make_env ~bindings:[ ("N", 100) ] () in
+  let e = Ast.Binop (Ast.Sub, Ast.Binop (Ast.Div, Ast.Ident "N", Ast.IntLit 2L),
+                     Ast.IntLit 1L) in
+  Alcotest.(check int) "N/2-1" 49 (Sema.eval_const env e)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: random expressions round-trip through the pretty printer     *)
+(* ------------------------------------------------------------------ *)
+
+let gen_expr : Ast.expr QCheck.arbitrary =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map (fun i -> Ast.IntLit (Int64.of_int i)) (int_range 0 1000);
+        map (fun v -> Ast.Ident v) (oneofl [ "a"; "b"; "i"; "n" ]) ]
+  in
+  let rec expr n =
+    if n <= 0 then leaf
+    else
+      frequency
+        [ (2, leaf);
+          ( 3,
+            map3
+              (fun op l r -> Ast.Binop (op, l, r))
+              (oneofl
+                 [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Shl; Ast.BitAnd;
+                   Ast.Lt; Ast.Eq; Ast.LogAnd ])
+              (expr (n / 2)) (expr (n / 2)) );
+          (1, map (fun e -> Ast.Unop (Ast.Neg, e)) (expr (n - 1)));
+          ( 1,
+            map3
+              (fun c t f -> Ast.Ternary (c, t, f))
+              (expr (n / 3)) (expr (n / 3)) (expr (n / 3)) );
+          ( 1,
+            map2 (fun a i -> Ast.Index (a, i))
+              (oneofl [ Ast.Ident "arr" ])
+              (expr (n / 2)) ) ]
+  in
+  QCheck.make (expr 6) ~print:Pretty.expr_to_string
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~name:"pretty-printed expression reparses identically"
+    ~count:500 gen_expr (fun e ->
+      let src = Printf.sprintf "int f() { return %s; }" (Pretty.expr_to_string e) in
+      match Parser.parse_string src with
+      | [ Ast.Func { Ast.f_body = [ Ast.Return (Some e') ]; _ } ] -> e = e'
+      | _ -> false)
+
+let prop_lexer_never_crashes_on_printable =
+  QCheck.Test.make ~name:"lexer raises only Lexer.Error on junk" ~count:200
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 50) QCheck.Gen.printable)
+    (fun s ->
+      match Lexer.tokenize s with
+      | _ -> true
+      | exception Lexer.Error _ -> true)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_expr_roundtrip; prop_lexer_never_crashes_on_printable ]
+
+let suite =
+  [
+    ( "minic.lexer",
+      [
+        Alcotest.test_case "simple declaration" `Quick test_lex_simple;
+        Alcotest.test_case "multi-char operators" `Quick test_lex_operators;
+        Alcotest.test_case "float literals" `Quick test_lex_floats;
+        Alcotest.test_case "hex literals" `Quick test_lex_hex;
+        Alcotest.test_case "comments" `Quick test_lex_comments;
+        Alcotest.test_case "pragma token" `Quick test_lex_pragma;
+        Alcotest.test_case "source positions" `Quick test_lex_positions;
+        Alcotest.test_case "lex error" `Quick test_lex_error;
+      ] );
+    ( "minic.parser",
+      [
+        Alcotest.test_case "paper examples parse" `Quick test_parse_paper_examples;
+        Alcotest.test_case "pragma attaches to loop" `Quick test_parse_pragma_attach;
+        Alcotest.test_case "pragma attaches to inner loop" `Quick
+          test_parse_nested_pragma;
+        Alcotest.test_case "ternary" `Quick test_parse_ternary;
+        Alcotest.test_case "operator precedence" `Quick test_parse_precedence;
+        Alcotest.test_case "left associativity" `Quick test_parse_assoc;
+        Alcotest.test_case "assignment right-assoc" `Quick
+          test_parse_assign_right_assoc;
+        Alcotest.test_case "multidimensional arrays" `Quick test_parse_multidim;
+        Alcotest.test_case "attributes" `Quick test_parse_attributes;
+        Alcotest.test_case "for-init declaration" `Quick test_parse_for_decl_init;
+        Alcotest.test_case "casts" `Quick test_parse_cast;
+        Alcotest.test_case "unknown pragma ignored" `Quick
+          test_parse_unknown_pragma_ignored;
+        Alcotest.test_case "parse error raised" `Quick
+          test_parse_error_reports_position;
+        Alcotest.test_case "comma declarations" `Quick test_parse_comma_decls;
+        Alcotest.test_case "while loop" `Quick test_parse_while;
+        Alcotest.test_case "pragma clause order" `Quick
+          test_parse_pragma_clause_order;
+      ] );
+    ( "minic.pretty",
+      [
+        Alcotest.test_case "paper examples round-trip" `Quick
+          test_roundtrip_examples;
+        Alcotest.test_case "parens preserved" `Quick
+          test_roundtrip_precedence_parens;
+        Alcotest.test_case "pragma printing" `Quick test_pragma_printing;
+      ]
+      @ qcheck_tests );
+    ( "minic.sema",
+      [
+        Alcotest.test_case "paper examples analyze" `Quick test_sema_examples_ok;
+        Alcotest.test_case "undeclared identifier" `Quick test_sema_undeclared;
+        Alcotest.test_case "symbolic bindings" `Quick test_sema_bindings;
+        Alcotest.test_case "type inference" `Quick test_sema_type_inference;
+        Alcotest.test_case "arithmetic promotion" `Quick test_sema_promote;
+        Alcotest.test_case "bad pragma rejected" `Quick test_sema_bad_pragma;
+        Alcotest.test_case "array assignment rejected" `Quick
+          test_sema_array_assign_rejected;
+        Alcotest.test_case "constant evaluation" `Quick test_sema_const_eval;
+      ] );
+  ]

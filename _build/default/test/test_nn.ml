@@ -1,0 +1,248 @@
+(* Tests for the neural-network substrate: RNG, tensors, layers, optimizers.
+   Gradient checks against finite differences are the load-bearing tests. *)
+
+let feps = 1e-4
+
+(* ------------------------------------------------------------------ *)
+(* RNG                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Nn.Rng.create 7 and b = Nn.Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check (float 0.0)) "same stream" (Nn.Rng.float a) (Nn.Rng.float b)
+  done
+
+let test_rng_range () =
+  let r = Nn.Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Nn.Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0);
+    let i = Nn.Rng.int r 10 in
+    Alcotest.(check bool) "in [0,10)" true (i >= 0 && i < 10)
+  done
+
+let test_rng_normal_moments () =
+  let r = Nn.Rng.create 2 in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> Nn.Rng.normal r) in
+  let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  let var =
+    Array.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 xs
+    /. float_of_int n
+  in
+  Alcotest.(check bool) "mean ~ 0" true (abs_float mean < 0.05);
+  Alcotest.(check bool) "var ~ 1" true (abs_float (var -. 1.0) < 0.1)
+
+let test_rng_shuffle_permutes () =
+  let r = Nn.Rng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Nn.Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "permutation" true (sorted = Array.init 50 Fun.id);
+  Alcotest.(check bool) "actually shuffled" true (a <> Array.init 50 Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Tensor ops                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_gemv () =
+  let m = Nn.Tensor.mat_create 2 3 in
+  (* [[1 2 3]; [4 5 6]] *)
+  List.iteri (fun i v -> m.Nn.Tensor.data.(i) <- v) [ 1.; 2.; 3.; 4.; 5.; 6. ];
+  let y = Nn.Tensor.vec_create 2 in
+  Nn.Tensor.gemv m [| 1.0; 0.5; -1.0 |] y;
+  Alcotest.(check (float feps)) "y0" (-1.0) y.(0);
+  Alcotest.(check (float feps)) "y1" 0.5 y.(1)
+
+let test_gemv_t () =
+  let m = Nn.Tensor.mat_create 2 3 in
+  List.iteri (fun i v -> m.Nn.Tensor.data.(i) <- v) [ 1.; 2.; 3.; 4.; 5.; 6. ];
+  let y = Nn.Tensor.vec_create 3 in
+  Nn.Tensor.gemv_t m [| 1.0; -1.0 |] y;
+  Alcotest.(check (float feps)) "y0" (-3.0) y.(0);
+  Alcotest.(check (float feps)) "y1" (-3.0) y.(1);
+  Alcotest.(check (float feps)) "y2" (-3.0) y.(2)
+
+let test_ger () =
+  let m = Nn.Tensor.mat_create 2 2 in
+  Nn.Tensor.ger m ~alpha:2.0 [| 1.0; 3.0 |] [| 4.0; 5.0 |];
+  Alcotest.(check (float feps)) "m00" 8.0 (Nn.Tensor.get m 0 0);
+  Alcotest.(check (float feps)) "m11" 30.0 (Nn.Tensor.get m 1 1)
+
+let test_softmax () =
+  let p = Nn.Tensor.softmax [| 1.0; 2.0; 3.0 |] in
+  let sum = Array.fold_left ( +. ) 0.0 p in
+  Alcotest.(check (float feps)) "sums to 1" 1.0 sum;
+  Alcotest.(check bool) "monotone" true (p.(0) < p.(1) && p.(1) < p.(2));
+  (* stability with large inputs *)
+  let p2 = Nn.Tensor.softmax [| 1000.0; 1001.0 |] in
+  Alcotest.(check bool) "no nan" true (Float.is_finite p2.(0))
+
+let test_log_softmax_consistent () =
+  let z = [| 0.3; -1.2; 2.0; 0.0 |] in
+  let p = Nn.Tensor.softmax z and lp = Nn.Tensor.log_softmax z in
+  Array.iteri
+    (fun i pi -> Alcotest.(check (float 1e-9)) "log p" (log pi) lp.(i))
+    p
+
+let test_sample_respects_distribution () =
+  let rng = Nn.Rng.create 4 in
+  let counts = [| 0; 0; 0 |] in
+  for _ = 1 to 3000 do
+    let i = Nn.Tensor.sample rng [| 0.1; 0.2; 0.7 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "heavy index dominates" true
+    (counts.(2) > counts.(1) && counts.(1) > counts.(0))
+
+let test_argmax () =
+  Alcotest.(check int) "argmax" 2 (Nn.Tensor.argmax [| 0.1; -3.0; 5.0; 4.9 |])
+
+(* ------------------------------------------------------------------ *)
+(* Gradient checks                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* numerically check dL/dp for a few parameters, L = sum(output .* w) *)
+let test_dense_gradients () =
+  let rng = Nn.Rng.create 5 in
+  let l = Nn.Dense.create rng ~in_dim:4 ~out_dim:3 in
+  let x = [| 0.5; -1.0; 0.25; 2.0 |] in
+  let wsum = [| 1.0; -2.0; 0.5 |] in
+  let loss () = Nn.Tensor.dot (Nn.Dense.forward l x) wsum in
+  Nn.Dense.zero_grad l;
+  ignore (Nn.Dense.backward l ~x ~dy:wsum);
+  (* check a handful of weight gradients *)
+  List.iter
+    (fun (i, j) ->
+      let saved = Nn.Tensor.get l.Nn.Dense.w i j in
+      Nn.Tensor.set l.Nn.Dense.w i j (saved +. 1e-5);
+      let lp = loss () in
+      Nn.Tensor.set l.Nn.Dense.w i j (saved -. 1e-5);
+      let lm = loss () in
+      Nn.Tensor.set l.Nn.Dense.w i j saved;
+      let numeric = (lp -. lm) /. 2e-5 in
+      let analytic = Nn.Tensor.get l.Nn.Dense.gw i j in
+      if abs_float (numeric -. analytic) > 1e-3 then
+        Alcotest.failf "dW[%d,%d]: numeric %f vs analytic %f" i j numeric
+          analytic)
+    [ (0, 0); (1, 2); (2, 3); (0, 1) ]
+
+let test_dense_input_gradient () =
+  let rng = Nn.Rng.create 6 in
+  let l = Nn.Dense.create rng ~in_dim:3 ~out_dim:2 in
+  let x = [| 0.1; 0.7; -0.3 |] in
+  let wsum = [| 0.5; -1.5 |] in
+  Nn.Dense.zero_grad l;
+  let dx = Nn.Dense.backward l ~x ~dy:wsum in
+  for j = 0 to 2 do
+    let x2 = Array.copy x in
+    x2.(j) <- x2.(j) +. 1e-5;
+    let lp = Nn.Tensor.dot (Nn.Dense.forward l x2) wsum in
+    x2.(j) <- x2.(j) -. 2e-5;
+    let lm = Nn.Tensor.dot (Nn.Dense.forward l x2) wsum in
+    let numeric = (lp -. lm) /. 2e-5 in
+    if abs_float (numeric -. dx.(j)) > 1e-3 then
+      Alcotest.failf "dx[%d]: numeric %f vs analytic %f" j numeric dx.(j)
+  done
+
+let test_mlp_gradients () =
+  let rng = Nn.Rng.create 7 in
+  let mlp = Nn.Mlp.create rng ~dims:[ 4; 8; 3 ] ~act:Nn.Mlp.Tanh in
+  let x = [| 0.2; -0.6; 1.1; 0.05 |] in
+  let wsum = [| 1.0; 0.3; -0.8 |] in
+  let loss () = Nn.Tensor.dot (Nn.Mlp.forward mlp x) wsum in
+  Nn.Mlp.zero_grad mlp;
+  let cache = Nn.Mlp.forward_cached mlp x in
+  let dx = Nn.Mlp.backward mlp cache ~dout:wsum in
+  (* input gradient via finite differences *)
+  for j = 0 to 3 do
+    let saved = x.(j) in
+    x.(j) <- saved +. 1e-5;
+    let lp = loss () in
+    x.(j) <- saved -. 1e-5;
+    let lm = loss () in
+    x.(j) <- saved;
+    let numeric = (lp -. lm) /. 2e-5 in
+    if abs_float (numeric -. dx.(j)) > 1e-3 then
+      Alcotest.failf "mlp dx[%d]: numeric %f vs analytic %f" j numeric dx.(j)
+  done;
+  (* and one weight of the first layer *)
+  let l0 = List.hd mlp.Nn.Mlp.layers in
+  let saved = Nn.Tensor.get l0.Nn.Dense.w 2 1 in
+  Nn.Tensor.set l0.Nn.Dense.w 2 1 (saved +. 1e-5);
+  let lp = loss () in
+  Nn.Tensor.set l0.Nn.Dense.w 2 1 (saved -. 1e-5);
+  let lm = loss () in
+  Nn.Tensor.set l0.Nn.Dense.w 2 1 saved;
+  let numeric = (lp -. lm) /. 2e-5 in
+  let analytic = Nn.Tensor.get l0.Nn.Dense.gw 2 1 in
+  if abs_float (numeric -. analytic) > 1e-3 then
+    Alcotest.failf "mlp dW: numeric %f vs analytic %f" numeric analytic
+
+(* ------------------------------------------------------------------ *)
+(* Optimizers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* minimize (p - 3)^2 *)
+let quad_converges opt_of =
+  let p = [| 0.0 |] and g = [| 0.0 |] in
+  let opt = opt_of () in
+  for _ = 1 to 500 do
+    g.(0) <- 2.0 *. (p.(0) -. 3.0);
+    Nn.Optim.step opt [ (p, g) ]
+  done;
+  abs_float (p.(0) -. 3.0) < 0.05
+
+let test_sgd_converges () =
+  Alcotest.(check bool) "sgd" true (quad_converges (fun () -> Nn.Optim.sgd ~lr:0.05))
+
+let test_adam_converges () =
+  Alcotest.(check bool) "adam" true
+    (quad_converges (fun () -> Nn.Optim.adam ~lr:0.05 ()))
+
+let test_adam_beats_noise () =
+  (* adam with tiny lr still moves in the right direction *)
+  let p = [| 10.0 |] and g = [| 0.0 |] in
+  let opt = Nn.Optim.adam ~lr:0.01 () in
+  for _ = 1 to 100 do
+    g.(0) <- p.(0);
+    Nn.Optim.step opt [ (p, g) ]
+  done;
+  Alcotest.(check bool) "moved toward 0" true (p.(0) < 10.0)
+
+let suite =
+  [
+    ( "nn.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "ranges" `Quick test_rng_range;
+        Alcotest.test_case "normal moments" `Quick test_rng_normal_moments;
+        Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+      ] );
+    ( "nn.tensor",
+      [
+        Alcotest.test_case "gemv" `Quick test_gemv;
+        Alcotest.test_case "gemv transpose" `Quick test_gemv_t;
+        Alcotest.test_case "outer product" `Quick test_ger;
+        Alcotest.test_case "softmax" `Quick test_softmax;
+        Alcotest.test_case "log_softmax consistent" `Quick
+          test_log_softmax_consistent;
+        Alcotest.test_case "sampling" `Quick test_sample_respects_distribution;
+        Alcotest.test_case "argmax" `Quick test_argmax;
+      ] );
+    ( "nn.grad",
+      [
+        Alcotest.test_case "dense weight gradients" `Quick test_dense_gradients;
+        Alcotest.test_case "dense input gradient" `Quick
+          test_dense_input_gradient;
+        Alcotest.test_case "mlp gradients" `Quick test_mlp_gradients;
+      ] );
+    ( "nn.optim",
+      [
+        Alcotest.test_case "sgd converges" `Quick test_sgd_converges;
+        Alcotest.test_case "adam converges" `Quick test_adam_converges;
+        Alcotest.test_case "adam direction" `Quick test_adam_beats_noise;
+      ] );
+  ]

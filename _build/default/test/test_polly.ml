@@ -1,0 +1,186 @@
+(* Tests for the polyhedral-lite optimizer: SCoP detection, tiling, fusion. *)
+
+let lower ?bindings src = Ir_lower.lower_program ?bindings (Minic.Parser.parse_string src)
+
+let find_fn m name =
+  match List.find_opt (fun f -> f.Ir.fn_name = name) m.Ir.m_funcs with
+  | Some f -> f
+  | None -> Alcotest.failf "function %s not found" name
+
+let run m name =
+  let st = Ir_interp.init_state m in
+  let r = Ir_interp.run_func st (find_fn m name) () in
+  (r, Ir_interp.state_fingerprint st r)
+
+(* gemm in the PolyBench form (C[i][j] += ...), which is permutable *)
+let gemm n =
+  Printf.sprintf
+    "float A[%d][%d]; float B[%d][%d]; float C[%d][%d];\n\
+     float f() { int i; int j; int k;\n\
+     for (i = 0; i < %d; i++)\n\
+       for (j = 0; j < %d; j++)\n\
+         for (k = 0; k < %d; k++)\n\
+           C[i][j] += A[i][k] * B[k][j];\n\
+     return C[%d][%d]; }"
+    n n n n n n n n n (n / 2) (n / 3)
+
+let test_scop_detect_gemm () =
+  let m = lower (gemm 16) in
+  let fn = find_fn m "f" in
+  match Polly.Scop.scops_of_func fn with
+  | [ s ] ->
+      Alcotest.(check int) "3-deep band" 3 (List.length s.Polly.Scop.nest);
+      Alcotest.(check (list int)) "trips" [ 16; 16; 16 ] s.Polly.Scop.trips;
+      Alcotest.(check bool) "permutable" true (Polly.Scop.is_permutable s)
+  | ss -> Alcotest.failf "expected 1 scop, got %d" (List.length ss)
+
+let test_scop_not_permutable () =
+  (* b[i] = b[i-1]-style coupling across iterations: same base read+written
+     with different index functions *)
+  let m =
+    lower
+      "int b[64]; void f() { int i; int j;\n\
+       for (i = 1; i < 64; i++) for (j = 0; j < 4; j++) b[i] = b[i-1] + j; }"
+  in
+  let fn = find_fn m "f" in
+  match Polly.Scop.scops_of_func fn with
+  | [ s ] -> Alcotest.(check bool) "not permutable" false (Polly.Scop.is_permutable s)
+  | _ -> Alcotest.fail "expected 1 scop"
+
+let test_tiling_preserves_gemm () =
+  let src = gemm 40 in
+  let r0 = run (lower src) "f" in
+  let m = lower src in
+  let stats = Polly.Driver.optimize ~tile:16 m in
+  Alcotest.(check int) "one scop tiled" 1 stats.Polly.Driver.tiled_scops;
+  let r1 = run m "f" in
+  Alcotest.(check bool) "tiling preserves semantics" true (r0 = r1)
+
+let test_tiling_helps_timing () =
+  let src = gemm 256 in
+  let tgt = Machine.Target.skylake_avx2 in
+  let m0 = lower src in
+  ignore (Vectorizer.Licm.run_modul m0);
+  let base = Machine.Timing.cycles tgt m0 (find_fn m0 "f") in
+  let m1 = lower src in
+  ignore (Polly.Driver.optimize ~tile:16 m1);
+  ignore (Vectorizer.Licm.run_modul m1);
+  let tiled = Machine.Timing.cycles tgt m1 (find_fn m1 "f") in
+  if not (tiled < base) then
+    Alcotest.failf "tiling should reduce cycles: %.0f -> %.0f" base tiled
+
+let test_licm_preserves_semantics () =
+  let src = gemm 24 in
+  let r0 = run (lower src) "f" in
+  let m = lower src in
+  let moved = Vectorizer.Licm.run_modul m in
+  Alcotest.(check bool) "something hoisted" true (moved > 0);
+  Alcotest.(check bool) "licm preserves semantics" true (run m "f" = r0)
+
+let test_small_nest_untouched () =
+  (* trips below the tile size: nothing to tile *)
+  let m = lower (gemm 8) in
+  let stats = Polly.Driver.optimize ~tile:16 m in
+  Alcotest.(check int) "no tiling" 0 stats.Polly.Driver.tiled_scops
+
+let fusable_src =
+  "float a[256]; float b[256]; float c[256];\n\
+   float f() { int i; int j;\n\
+   for (i = 0; i < 256; i++) a[i] = b[i] * 2.0;\n\
+   for (j = 0; j < 256; j++) c[j] = a[j] + 1.0;\n\
+   return c[100]; }"
+
+let test_fusion_applies () =
+  let m = lower fusable_src in
+  let fn = find_fn m "f" in
+  let n = Polly.Fusion.apply fn in
+  Alcotest.(check int) "one fusion" 1 n;
+  Alcotest.(check int) "one loop remains" 1 (List.length (Ir.func_loops fn))
+
+let test_fusion_preserves () =
+  let r0 = run (lower fusable_src) "f" in
+  let m = lower fusable_src in
+  ignore (Polly.Fusion.apply (find_fn m "f"));
+  let r1 = run m "f" in
+  Alcotest.(check bool) "fusion preserves semantics" true (r0 = r1)
+
+let test_fusion_rejects_shifted_consumer () =
+  (* second loop reads a[j-1]: fusing would read a stale element *)
+  let src =
+    "int a[256]; int b[256]; int c[256];\n\
+     int f() { int i; int j;\n\
+     for (i = 0; i < 256; i++) a[i] = b[i];\n\
+     for (j = 1; j < 256; j++) c[j] = a[j-1];\n\
+     return c[100]; }"
+  in
+  let m = lower src in
+  let n = Polly.Fusion.apply (find_fn m "f") in
+  Alcotest.(check int) "no fusion" 0 n
+
+let test_fusion_rejects_different_domains () =
+  let src =
+    "int a[256]; int b[256];\n\
+     void f() { int i; int j;\n\
+     for (i = 0; i < 256; i++) a[i] = i;\n\
+     for (j = 0; j < 128; j++) b[j] = j; }"
+  in
+  let m = lower src in
+  Alcotest.(check int) "no fusion" 0 (Polly.Fusion.apply (find_fn m "f"))
+
+(* qcheck: tiling random permutable 2-d nests preserves semantics *)
+let gen_nest : (string * int) QCheck.arbitrary =
+  let open QCheck.Gen in
+  let gen =
+    let* n = int_range 10 50 in
+    let* tile = oneofl [ 4; 8; 16 ] in
+    let* body =
+      oneofl
+        [ "C[i][j] += A[i][j] * 2;";
+          "C[i][j] += A[i][j] + B[j][i];";
+          "C[i][j] = A[i][j] + B[i][j];";
+          "C[i][j] += i + j;" ]
+    in
+    return
+      ( Printf.sprintf
+          "int A[64][64]; int B[64][64]; int C[64][64];\n\
+           int f() { int i; int j;\n\
+           for (i = 0; i < %d; i++) for (j = 0; j < %d; j++) { %s }\n\
+           return C[%d][%d]; }"
+          n n body (n / 2) (n / 2),
+        tile )
+  in
+  QCheck.make gen ~print:(fun (s, t) -> Printf.sprintf "tile=%d\n%s" t s)
+
+let prop_tiling_preserves =
+  QCheck.Test.make ~name:"tiling preserves semantics (random nests)" ~count:100
+    gen_nest (fun (src, tile) ->
+      let r0 = run (lower src) "f" in
+      let m = lower src in
+      ignore (Polly.Driver.optimize ~tile m);
+      run m "f" = r0)
+
+let suite =
+  [
+    ( "polly",
+      [
+        Alcotest.test_case "gemm scop detected" `Quick test_scop_detect_gemm;
+        Alcotest.test_case "non-permutable rejected" `Quick
+          test_scop_not_permutable;
+        Alcotest.test_case "tiling preserves gemm" `Quick
+          test_tiling_preserves_gemm;
+        Alcotest.test_case "tiling reduces cycles" `Quick
+          test_tiling_helps_timing;
+        Alcotest.test_case "licm preserves semantics" `Quick
+          test_licm_preserves_semantics;
+        Alcotest.test_case "small nest untouched" `Quick
+          test_small_nest_untouched;
+        Alcotest.test_case "fusion applies" `Quick test_fusion_applies;
+        Alcotest.test_case "fusion preserves semantics" `Quick
+          test_fusion_preserves;
+        Alcotest.test_case "fusion rejects shifted consumer" `Quick
+          test_fusion_rejects_shifted_consumer;
+        Alcotest.test_case "fusion rejects different domains" `Quick
+          test_fusion_rejects_different_domains;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest [ prop_tiling_preserves ] );
+  ]

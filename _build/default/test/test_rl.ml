@@ -1,0 +1,243 @@
+(* Tests for action spaces, the agent's distributions, and PPO learning on
+   synthetic bandits. *)
+
+let mk_agent ?(space = Rl.Spaces.Discrete) seed =
+  Rl.Agent.create ~space (Nn.Rng.create seed)
+
+let some_ids agent =
+  let prog = Minic.Parser.parse_string
+      "int a[64]; int b[64]; int kernel() { int i; for (i=0;i<64;i++) a[i]=b[i]; return a[0]; }"
+  in
+  let stmt = Neurovec.Extractor.embedding_stmt prog in
+  Embedding.Code2vec.encode agent.Rl.Agent.c2v
+    (Embedding.Ast_path.contexts_of_stmt stmt)
+
+(* ------------------------------------------------------------------ *)
+(* Spaces                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_spaces_grid () =
+  Alcotest.(check int) "35 actions" 35 (List.length Rl.Spaces.all_actions);
+  Alcotest.(check int) "n_flat" 35 Rl.Spaces.n_flat
+
+let test_spaces_flat_roundtrip () =
+  List.iter
+    (fun a ->
+      let a' = Rl.Spaces.of_flat (Rl.Spaces.flat_of a) in
+      Alcotest.(check bool) "round trip" true (a = a'))
+    Rl.Spaces.all_actions
+
+let test_spaces_of_flat_clamps () =
+  let a = Rl.Spaces.of_flat 9999 in
+  Alcotest.(check int) "max vf idx" (Rl.Spaces.n_vf - 1) a.Rl.Spaces.vf_idx;
+  let b = Rl.Spaces.of_flat (-5) in
+  Alcotest.(check int) "min" 0 b.Rl.Spaces.vf_idx
+
+let test_spaces_values_powers_of_two () =
+  Array.iter
+    (fun v -> Alcotest.(check bool) "pow2" true (v land (v - 1) = 0))
+    Rl.Spaces.vf_values
+
+(* ------------------------------------------------------------------ *)
+(* Agent distributions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_sample_logp_consistency () =
+  List.iter
+    (fun space ->
+      let agent = mk_agent ~space 11 in
+      let ids = some_ids agent in
+      for _ = 1 to 20 do
+        let f = Rl.Agent.forward agent ids in
+        let taken = Rl.Agent.sample agent f in
+        let lp = Rl.Agent.logp agent f taken in
+        if abs_float (lp -. taken.Rl.Agent.logp) > 1e-9 then
+          Alcotest.failf "%s: logp mismatch %f vs %f"
+            (Rl.Spaces.kind_to_string space)
+            lp taken.Rl.Agent.logp
+      done)
+    [ Rl.Spaces.Discrete; Rl.Spaces.Continuous1; Rl.Spaces.Continuous2 ]
+
+let test_predict_deterministic () =
+  let agent = mk_agent 12 in
+  let ids = some_ids agent in
+  let a = Rl.Agent.predict agent ids in
+  let b = Rl.Agent.predict agent ids in
+  Alcotest.(check bool) "same action" true (a = b)
+
+let test_entropy_positive () =
+  let agent = mk_agent 13 in
+  let f = Rl.Agent.forward agent (some_ids agent) in
+  Alcotest.(check bool) "entropy > 0" true (Rl.Agent.entropy agent f > 0.0)
+
+(* finite-difference check: d(logp)/d(logits) for the discrete head *)
+let test_discrete_logp_gradient () =
+  let agent = mk_agent 14 in
+  let ids = some_ids agent in
+  let f = Rl.Agent.forward agent ids in
+  let taken = Rl.Agent.sample agent f in
+  let dpi = Rl.Agent.dpi_of agent f taken ~dlogp_coef:1.0 ~dent_coef:0.0 in
+  (* perturb a logit and recompute logp *)
+  List.iter
+    (fun k ->
+      let pi = Array.copy f.Rl.Agent.pi in
+      pi.(k) <- pi.(k) +. 1e-5;
+      let lp_p = Rl.Agent.logp agent { f with Rl.Agent.pi } taken in
+      pi.(k) <- pi.(k) -. 2e-5;
+      let lp_m = Rl.Agent.logp agent { f with Rl.Agent.pi } taken in
+      let numeric = (lp_p -. lp_m) /. 2e-5 in
+      if abs_float (numeric -. dpi.(k)) > 1e-3 then
+        Alcotest.failf "dlogits[%d]: numeric %f vs analytic %f" k numeric
+          dpi.(k))
+    [ 0; 3; 7; 9 ]
+
+(* ------------------------------------------------------------------ *)
+(* PPO on synthetic bandits                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* one context, one rewarded action: PPO must find it *)
+let test_ppo_learns_fixed_target () =
+  let agent = mk_agent 15 in
+  let samples = [| { Rl.Ppo.s_id = 0; s_ids = some_ids agent } |] in
+  let target = { Rl.Spaces.vf_idx = 3; if_idx = 1 } in
+  let reward _ (a : Rl.Spaces.action) =
+    if a = target then 1.0 else if a.Rl.Spaces.vf_idx = 3 then 0.3 else 0.0
+  in
+  ignore
+    (Rl.Ppo.train
+       ~hyper:{ Rl.Ppo.default_hyper with batch_size = 64; lr = 3e-3 }
+       agent ~samples ~reward ~total_steps:1500);
+  let predicted = Rl.Agent.predict agent samples.(0).Rl.Ppo.s_ids in
+  Alcotest.(check bool) "found the rewarded action" true (predicted = target)
+
+(* two distinguishable contexts with different optimal actions *)
+let test_ppo_distinguishes_contexts () =
+  let agent = mk_agent 16 in
+  let ids_of src =
+    let prog = Minic.Parser.parse_string src in
+    Embedding.Code2vec.encode agent.Rl.Agent.c2v
+      (Embedding.Ast_path.contexts_of_stmt
+         (Neurovec.Extractor.embedding_stmt prog))
+  in
+  let s0 =
+    ids_of "int a[64]; int kernel() { int i; for (i=0;i<64;i++) a[i] = i; return a[0]; }"
+  in
+  let s1 =
+    ids_of
+      "float x[64]; float y[64]; int kernel() { float s = 0; int i; for (i=0;i<64;i++) s += x[i]*y[i]; return (int) s; }"
+  in
+  let samples =
+    [| { Rl.Ppo.s_id = 0; s_ids = s0 }; { Rl.Ppo.s_id = 1; s_ids = s1 } |]
+  in
+  let reward id (a : Rl.Spaces.action) =
+    match id with
+    | 0 -> if a.Rl.Spaces.vf_idx = 1 then 1.0 else 0.0
+    | _ -> if a.Rl.Spaces.vf_idx = 5 then 1.0 else 0.0
+  in
+  ignore
+    (Rl.Ppo.train
+       ~hyper:{ Rl.Ppo.default_hyper with batch_size = 128; lr = 3e-3 }
+       agent ~samples ~reward ~total_steps:4000);
+  let p0 = Rl.Agent.predict agent s0 and p1 = Rl.Agent.predict agent s1 in
+  Alcotest.(check int) "context 0 -> vf idx 1" 1 p0.Rl.Spaces.vf_idx;
+  Alcotest.(check int) "context 1 -> vf idx 5" 5 p1.Rl.Spaces.vf_idx
+
+let test_ppo_reward_improves () =
+  let agent = mk_agent 17 in
+  let samples = [| { Rl.Ppo.s_id = 0; s_ids = some_ids agent } |] in
+  let reward _ (a : Rl.Spaces.action) =
+    float_of_int a.Rl.Spaces.vf_idx /. 6.0
+  in
+  let hist =
+    Rl.Ppo.train
+      ~hyper:{ Rl.Ppo.default_hyper with batch_size = 64; lr = 3e-3 }
+      agent ~samples ~reward ~total_steps:1280
+  in
+  let first = (List.hd hist).Rl.Ppo.reward_mean in
+  let last = (List.hd (List.rev hist)).Rl.Ppo.reward_mean in
+  Alcotest.(check bool)
+    (Printf.sprintf "improves (%.3f -> %.3f)" first last)
+    true (last > first)
+
+let test_ppo_stats_shape () =
+  let agent = mk_agent 18 in
+  let samples = [| { Rl.Ppo.s_id = 0; s_ids = some_ids agent } |] in
+  let hist =
+    Rl.Ppo.train
+      ~hyper:{ Rl.Ppo.default_hyper with batch_size = 50 }
+      agent ~samples
+      ~reward:(fun _ _ -> 0.5)
+      ~total_steps:150
+  in
+  Alcotest.(check int) "three updates" 3 (List.length hist);
+  List.iteri
+    (fun i st ->
+      Alcotest.(check int) "update number" (i + 1) st.Rl.Ppo.update;
+      Alcotest.(check (float 1e-9)) "constant reward" 0.5 st.Rl.Ppo.reward_mean)
+    hist
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_checkpoint_roundtrip () =
+  let agent = mk_agent 19 in
+  let ids = some_ids agent in
+  let before = Rl.Agent.predict agent ids in
+  let path = Filename.temp_file "neurovec" ".agent" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Rl.Checkpoint.save agent path;
+      let loaded = Rl.Checkpoint.load path in
+      let after = Rl.Agent.predict loaded ids in
+      Alcotest.(check bool) "same prediction" true (before = after))
+
+let test_checkpoint_rejects_garbage () =
+  let path = Filename.temp_file "neurovec" ".agent" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_value oc ("something-else", 9);
+      close_out oc;
+      match Rl.Checkpoint.load path with
+      | exception Rl.Checkpoint.Bad_checkpoint _ -> ()
+      | _ -> Alcotest.fail "expected Bad_checkpoint")
+
+let suite =
+  [
+    ( "rl.spaces",
+      [
+        Alcotest.test_case "35-point grid" `Quick test_spaces_grid;
+        Alcotest.test_case "flat round trip" `Quick test_spaces_flat_roundtrip;
+        Alcotest.test_case "of_flat clamps" `Quick test_spaces_of_flat_clamps;
+        Alcotest.test_case "powers of two" `Quick
+          test_spaces_values_powers_of_two;
+      ] );
+    ( "rl.agent",
+      [
+        Alcotest.test_case "sample/logp consistency" `Quick
+          test_sample_logp_consistency;
+        Alcotest.test_case "predict deterministic" `Quick
+          test_predict_deterministic;
+        Alcotest.test_case "entropy positive" `Quick test_entropy_positive;
+        Alcotest.test_case "discrete logp gradient" `Quick
+          test_discrete_logp_gradient;
+      ] );
+    ( "rl.checkpoint",
+      [
+        Alcotest.test_case "round trip" `Quick test_checkpoint_roundtrip;
+        Alcotest.test_case "rejects garbage" `Quick
+          test_checkpoint_rejects_garbage;
+      ] );
+    ( "rl.ppo",
+      [
+        Alcotest.test_case "learns fixed target" `Slow
+          test_ppo_learns_fixed_target;
+        Alcotest.test_case "distinguishes contexts" `Slow
+          test_ppo_distinguishes_contexts;
+        Alcotest.test_case "reward improves" `Quick test_ppo_reward_improves;
+        Alcotest.test_case "stats bookkeeping" `Quick test_ppo_stats_shape;
+      ] );
+  ]

@@ -1,0 +1,600 @@
+(* Tests for legality, the transform, and the baseline cost model.
+
+   The central property: for any legal loop and any (VF, IF), the
+   vectorized program computes exactly what the scalar program computes —
+   same return value, same final memory. *)
+
+let lower ?bindings src =
+  let prog = Minic.Parser.parse_string src in
+  Ir_lower.lower_program ?bindings prog
+
+let find_fn m name =
+  match List.find_opt (fun f -> f.Ir.fn_name = name) m.Ir.m_funcs with
+  | Some f -> f
+  | None -> Alcotest.failf "function %s not found" name
+
+let first_innermost fn =
+  match Analysis.Loopinfo.innermost_infos fn with
+  | info :: _ -> info
+  | [] -> Alcotest.fail "no innermost loop"
+
+(* Run function f of a freshly lowered module, optionally vectorizing its
+   innermost loops with the given plan. Returns (result, fingerprint). *)
+let run ?bindings ?plan src name =
+  let m = lower ?bindings src in
+  let fn = find_fn m name in
+  (match plan with
+  | Some p ->
+      List.iter
+        (fun info ->
+          let leg = Vectorizer.Legality.of_info info in
+          let vf, if_ =
+            Vectorizer.Legality.clamp leg ~vf:p.Vectorizer.Transform.vf
+              ~if_:p.Vectorizer.Transform.if_
+          in
+          ignore
+            (Vectorizer.Transform.vectorize_in_func fn info
+               { Vectorizer.Transform.vf; if_ }))
+        (Analysis.Loopinfo.innermost_infos fn)
+  | None -> ());
+  let st = Ir_interp.init_state m in
+  let result = Ir_interp.run_func st fn () in
+  (result, Ir_interp.state_fingerprint st result)
+
+let check_equiv ?bindings ~vf ~if_ src name =
+  let r_scalar, f_scalar = run ?bindings src name in
+  let r_vec, f_vec =
+    run ?bindings ~plan:{ Vectorizer.Transform.vf; if_ } src name
+  in
+  if r_scalar <> r_vec || f_scalar <> f_vec then
+    Alcotest.failf "vf=%d if=%d changed semantics for:\n%s" vf if_ src
+
+(* ------------------------------------------------------------------ *)
+(* Legality                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_first ?bindings src =
+  let m = lower ?bindings src in
+  let fn = List.hd m.Ir.m_funcs in
+  first_innermost fn
+
+let test_legal_simple_copy () =
+  let info =
+    analyze_first
+      "int a[64]; int b[64]; void f() { int i; for (i=0;i<64;i++) a[i] = b[i]; }"
+  in
+  Alcotest.(check bool) "vectorizable" true info.Analysis.Loopinfo.li_vectorizable;
+  Alcotest.(check bool) "unbounded vf" true
+    (info.Analysis.Loopinfo.li_max_safe_vf >= 64)
+
+let test_legal_trip_count () =
+  let info =
+    analyze_first
+      "int a[100]; void f() { int i; for (i=0;i<100;i+=3) a[i] = i; }"
+  in
+  Alcotest.(check (option int)) "trip count" (Some 34)
+    info.Analysis.Loopinfo.li_trip_count
+
+let test_legal_flow_dependence_blocks () =
+  (* a[i] = a[i-1]: flow dependence, distance 1 -> cannot vectorize *)
+  let info =
+    analyze_first
+      "int a[64]; void f() { int i; for (i=1;i<64;i++) a[i] = a[i-1] + 1; }"
+  in
+  Alcotest.(check bool) "not vectorizable" false
+    info.Analysis.Loopinfo.li_vectorizable
+
+let test_legal_distance_limits_vf () =
+  (* a[i] = a[i-4]: distance 4 allows VF up to 4 *)
+  let info =
+    analyze_first
+      "int a[64]; void f() { int i; for (i=4;i<64;i++) a[i] = a[i-4] + 1; }"
+  in
+  Alcotest.(check int) "max safe vf" 4 info.Analysis.Loopinfo.li_max_safe_vf;
+  Alcotest.(check bool) "vectorizable" true info.Analysis.Loopinfo.li_vectorizable
+
+let test_legal_anti_dependence_ok () =
+  (* a[i] = a[i+1]: anti dependence, safe at any VF *)
+  let info =
+    analyze_first
+      "int a[65]; void f() { int i; for (i=0;i<64;i++) a[i] = a[i+1]; }"
+  in
+  Alcotest.(check bool) "vectorizable" true info.Analysis.Loopinfo.li_vectorizable;
+  Alcotest.(check bool) "unbounded" true
+    (info.Analysis.Loopinfo.li_max_safe_vf >= 64)
+
+let test_legal_reduction_recognised () =
+  let info =
+    analyze_first
+      "int a[64]; int f() { int s = 0; int i; for (i=0;i<64;i++) s += a[i]; return s; }"
+  in
+  Alcotest.(check int) "one reduction" 1
+    (List.length info.Analysis.Loopinfo.li_reductions);
+  Alcotest.(check bool) "vectorizable" true info.Analysis.Loopinfo.li_vectorizable
+
+let test_legal_carried_scalar_blocks () =
+  (* prev carries a value across iterations and is not a reduction *)
+  let info =
+    analyze_first
+      "int a[64]; int b[64]; void f() { int prev = 0; int i;\n\
+       for (i=0;i<64;i++) { b[i] = prev; prev = a[i]; } }"
+  in
+  Alcotest.(check bool) "not vectorizable" false
+    info.Analysis.Loopinfo.li_vectorizable
+
+let test_legal_while_blocks () =
+  let info =
+    analyze_first
+      "int a[64]; void f() { int i; for (i=0;i<64;i++) { int j = 0; while (j < i) j++; a[i] = j; } }"
+  in
+  Alcotest.(check bool) "not vectorizable" false
+    info.Analysis.Loopinfo.li_vectorizable
+
+let test_legal_predicate_ok () =
+  let info =
+    analyze_first
+      "int a[64]; int b[64]; void f() { int i;\n\
+       for (i=0;i<64;i++) { if (b[i] > 100) a[i] = 0; } }"
+  in
+  Alcotest.(check bool) "if-convertible" true
+    info.Analysis.Loopinfo.li_vectorizable
+
+let test_legal_unknown_index_blocks () =
+  (* indirect store: a[b[i]] cannot be analysed *)
+  let info =
+    analyze_first
+      "int a[256]; int b[64]; void f() { int i; for (i=0;i<64;i++) a[b[i]] = i; }"
+  in
+  Alcotest.(check bool) "not vectorizable" false
+    info.Analysis.Loopinfo.li_vectorizable
+
+let test_clamp_pragma () =
+  let info =
+    analyze_first
+      "int a[64]; void f() { int i; for (i=4;i<64;i++) a[i] = a[i-4] + 1; }"
+  in
+  let leg = Vectorizer.Legality.of_info info in
+  let vf, if_ = Vectorizer.Legality.clamp leg ~vf:16 ~if_:2 in
+  Alcotest.(check int) "vf clamped to 4" 4 vf;
+  Alcotest.(check int) "if kept" 2 if_
+
+(* ------------------------------------------------------------------ *)
+(* Transform correctness on targeted shapes                             *)
+(* ------------------------------------------------------------------ *)
+
+let vf_if_grid = [ (2, 1); (4, 1); (4, 2); (8, 1); (1, 4); (8, 4); (16, 2) ]
+
+let check_grid ?bindings src name =
+  List.iter (fun (vf, if_) -> check_equiv ?bindings ~vf ~if_ src name) vf_if_grid
+
+let test_tr_copy () =
+  check_grid
+    "int a[100]; int b[100]; int f() { int i; for (i=0;i<100;i++) a[i] = b[i] * 3; return a[99]; }"
+    "f"
+
+let test_tr_trip_not_multiple () =
+  (* 37 iterations: remainder loop must run *)
+  check_grid
+    "int a[64]; int f() { int i; for (i=0;i<37;i++) a[i] = i * i; return a[36]; }"
+    "f"
+
+let test_tr_reduction_int () =
+  check_grid
+    "int a[128]; int f() { int s = 0; int i; for (i=0;i<128;i++) s += a[i] * a[i]; return s; }"
+    "f"
+
+let test_tr_reduction_xor () =
+  check_grid
+    "int a[100]; int f() { int s = 0; int i; for (i=0;i<100;i++) s ^= a[i]; return s; }"
+    "f"
+
+let test_tr_reduction_mul () =
+  (* small bound to avoid overflow noise; wrapping is deterministic anyway *)
+  check_grid
+    "int a[10]; int f() { int p = 1; int i; for (i=0;i<10;i++) p *= (a[i] & 7) + 1; return p; }"
+    "f"
+
+let test_tr_strided_access () =
+  check_grid
+    "int a[128]; int b[256]; int f() { int i; for (i=0;i<128;i++) a[i] = b[2*i]; return a[100]; }"
+    "f"
+
+let test_tr_step2_loop () =
+  check_grid
+    "int a[128]; int f() { int i; for (i=0;i<128;i+=2) { a[i] = i; a[i+1] = -i; } return a[99]; }"
+    "f"
+
+let test_tr_downward_loop () =
+  check_grid
+    "int a[64]; int f() { int i; for (i=63;i>=0;i--) a[i] = i * 2; return a[0]; }"
+    "f"
+
+let test_tr_predicate_store () =
+  check_grid
+    "int a[100]; int b[100]; int f() { int i;\n\
+     for (i=0;i<100;i++) { if (b[i] > 128) a[i] = b[i]; } return a[50]; }"
+    "f"
+
+let test_tr_predicate_else () =
+  check_grid
+    "int a[100]; int b[100]; int f() { int i;\n\
+     for (i=0;i<100;i++) { if (b[i] > 128) a[i] = 1; else a[i] = 0; } return a[50]; }"
+    "f"
+
+let test_tr_predicate_merge_value () =
+  check_grid
+    "int a[100]; int b[100]; int f() { int i;\n\
+     for (i=0;i<100;i++) { int t = 0; if (b[i] > 100) t = b[i] * 2; a[i] = t; } return a[7]; }"
+    "f"
+
+let test_tr_ternary () =
+  check_grid
+    "int a[100]; int b[100]; int f() { int i;\n\
+     for (i=0;i<100;i++) { int j = b[i]; a[i] = (j > 200 ? 200 : 0); } return a[31]; }"
+    "f"
+
+let test_tr_type_conversions () =
+  check_grid
+    "short sa[100]; int a[100]; int f() { int i;\n\
+     for (i=0;i<100;i++) a[i] = (int) sa[i] + 1; return a[42]; }"
+    "f"
+
+let test_tr_float_elementwise () =
+  (* element-wise float ops vectorize exactly (no reassociation) *)
+  check_grid
+    "float a[100]; float b[100]; float c[100]; float f() { int i;\n\
+     for (i=0;i<100;i++) c[i] = a[i] * b[i] + 0.5; return c[13]; }"
+    "f"
+
+let test_tr_live_out_scalar () =
+  (* "last" must hold the final iteration's value after the loop *)
+  check_grid
+    "int a[100]; int f() { int last = -1; int i;\n\
+     for (i=0;i<100;i++) { last = a[i] + i; } return last; }"
+    "f"
+
+let test_tr_induction_used_as_data () =
+  check_grid
+    "int a[100]; int f() { int i; for (i=0;i<100;i++) a[i] = i * 3 + 1; return a[77]; }"
+    "f"
+
+let test_tr_nested_inner () =
+  check_grid ~bindings:[ ("N", 20) ]
+    "int g[20][20]; int f(int x) { int i; int j;\n\
+     for (i=0;i<N;i++) { for (j=0;j<N;j++) { g[i][j] = x + i * j; } }\n\
+     return g[11][17]; }"
+    "f"
+
+let test_tr_paper_example5 () =
+  check_grid
+    "float a[512]; float b[1024]; float c[1024]; float d[512];\n\
+     float f() { int i;\n\
+     for (i = 0; i < 512/2-1; i++){\n\
+       a[i] = b[2*i+1] * c[2*i+1] - b[2*i] * c[2*i];\n\
+       d[i] = b[2*i] * c[2*i+1] + b[2*i+1] * c[2*i];\n\
+     } return a[100] + d[100]; }"
+    "f"
+
+let test_tr_zero_trip () =
+  check_grid
+    "int a[8]; int f() { int i; for (i=0;i<0;i++) a[i] = 1; return a[0]; }"
+    "f"
+
+let test_tr_one_trip () =
+  check_grid
+    "int a[8]; int f() { int i; for (i=0;i<1;i++) a[i] = 42; return a[0]; }"
+    "f"
+
+let test_tr_float_reduction_tolerance () =
+  (* float reductions reassociate; compare within tolerance *)
+  let src =
+    "float a[256]; float f() { float s = 0; int i; for (i=0;i<256;i++) s += a[i]; return s; }"
+  in
+  let to_f = function
+    | Some (Ir_interp.VF f) -> f
+    | _ -> Alcotest.fail "expected float result"
+  in
+  let r_scalar, _ = run src "f" in
+  List.iter
+    (fun (vf, if_) ->
+      let r_vec, _ = run ~plan:{ Vectorizer.Transform.vf; if_ } src "f" in
+      let s = to_f r_scalar and v = to_f r_vec in
+      if abs_float (s -. v) > 1e-3 *. (abs_float s +. 1.) then
+        Alcotest.failf "float reduction diverged: %f vs %f (vf=%d if=%d)" s v vf
+          if_)
+    vf_if_grid
+
+(* ------------------------------------------------------------------ *)
+(* Baseline cost model behaviour                                        *)
+(* ------------------------------------------------------------------ *)
+
+let choose_for ?bindings src =
+  let info = analyze_first ?bindings src in
+  Vectorizer.Costmodel.choose (Vectorizer.Legality.of_info info)
+
+let test_cm_dot_product_picks_4_2 () =
+  (* the paper's running example: baseline picks (VF=4, IF=2) *)
+  let p =
+    choose_for
+      "int vec[512]; int f() { int sum = 0; int i;\n\
+       for (i = 0; i < 512; i++) sum += vec[i] * vec[i]; return sum; }"
+  in
+  Alcotest.(check int) "VF" 4 p.Vectorizer.Transform.vf;
+  Alcotest.(check int) "IF" 2 p.Vectorizer.Transform.if_
+
+let test_cm_short_picks_wider () =
+  (* 16-bit elements fit 8 lanes in the baseline's 128-bit budget *)
+  let p =
+    choose_for
+      "short a[512]; short b[512]; void f() { int i;\n\
+       for (i = 0; i < 512; i++) a[i] = b[i]; }"
+  in
+  Alcotest.(check bool) "VF >= 8" true (p.Vectorizer.Transform.vf >= 8)
+
+let test_cm_gather_stays_scalar () =
+  (* non-unit stride: the gather cost should keep the baseline at VF=1 *)
+  let p =
+    choose_for
+      "int a[64]; int b[1024]; void f() { int i;\n\
+       for (i = 0; i < 64; i++) a[i] = b[16*i]; }"
+  in
+  Alcotest.(check int) "VF" 1 p.Vectorizer.Transform.vf
+
+let test_cm_illegal_loop_no_vectorize () =
+  let p =
+    choose_for
+      "int a[64]; void f() { int i; for (i=1;i<64;i++) a[i] = a[i-1]; }"
+  in
+  Alcotest.(check int) "VF" 1 p.Vectorizer.Transform.vf
+
+let test_planner_pragma_wins () =
+  let src =
+    "int a[256]; int b[256]; int f() { int i;\n\
+     #pragma clang loop vectorize_width(16) interleave_count(4)\n\
+     for (i=0;i<256;i++) a[i] = b[i] + 1; return a[0]; }"
+  in
+  let m = lower src in
+  let report = Vectorizer.Planner.run_modul m in
+  match report with
+  | [ d ] ->
+      Alcotest.(check int) "vf honoured" 16
+        d.Vectorizer.Planner.d_applied.Vectorizer.Transform.vf;
+      Alcotest.(check int) "if honoured" 4
+        d.Vectorizer.Planner.d_applied.Vectorizer.Transform.if_
+  | _ -> Alcotest.fail "expected one decision"
+
+let test_planner_pragma_clamped () =
+  let src =
+    "int a[256]; int f() { int i;\n\
+     #pragma clang loop vectorize_width(64) interleave_count(2)\n\
+     for (i=4;i<256;i++) a[i] = a[i-4] + 1; return a[0]; }"
+  in
+  let m = lower src in
+  let report = Vectorizer.Planner.run_modul m in
+  (match report with
+  | [ d ] ->
+      Alcotest.(check int) "vf clamped to dependence distance" 4
+        d.Vectorizer.Planner.d_applied.Vectorizer.Transform.vf
+  | _ -> Alcotest.fail "expected one decision");
+  (* and the clamped program still computes the right thing *)
+  let st = Ir_interp.init_state m in
+  let r = Ir_interp.run_func st (find_fn m "f") () in
+  let m2 = lower src in
+  let st2 = Ir_interp.init_state m2 in
+  let r2 = Ir_interp.run_func st2 (find_fn m2 "f") () in
+  Alcotest.(check bool) "clamped result matches scalar" true (r = r2)
+
+let test_planner_disable_pragma () =
+  let src =
+    "int a[256]; int b[256]; void f() { int i;\n\
+     #pragma clang loop vectorize(disable)\n\
+     for (i=0;i<256;i++) a[i] = b[i]; }"
+  in
+  let m = lower src in
+  let report = Vectorizer.Planner.run_modul m in
+  match report with
+  | [ d ] ->
+      Alcotest.(check int) "vf 1" 1
+        d.Vectorizer.Planner.d_applied.Vectorizer.Transform.vf
+  | _ -> Alcotest.fail "expected one decision"
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: random loops, random plans — semantics preserved             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_loop_program : (string * int * int) QCheck.arbitrary =
+  let open QCheck.Gen in
+  let body_stmt =
+    oneofl
+      [ "a[i] = b[i] + 3;";
+        "a[i] = b[i] * c[i];";
+        "s += b[i];";
+        "s += a[i] * 2;";
+        "a[i] = i * 5;";
+        "if (b[i] > 128) a[i] = b[i];";
+        "a[i] = b[i] > 100 ? 1 : 0;";
+        "a[i] = (int) sh[i];";
+        "a[i] = b[2*i];";
+        "s ^= b[i];";
+        "a[i] = b[i] << 2;";
+        "a[i] = c[i] - b[i];" ]
+  in
+  let gen =
+    let* n_stmts = int_range 1 4 in
+    let* stmts = list_repeat n_stmts body_stmt in
+    let* bound = int_range 1 130 in
+    let* step = oneofl [ 1; 1; 1; 2 ] in
+    let* vf = oneofl [ 1; 2; 4; 8; 16 ] in
+    let* if_ = oneofl [ 1; 2; 4 ] in
+    let src =
+      Printf.sprintf
+        "int a[512]; int b[512]; int c[512]; short sh[512];\n\
+         int f() { int s = 0; int i;\n\
+         for (i = 0; i < %d; i += %d) { %s }\n\
+         return s + a[0] + a[%d]; }"
+        bound step (String.concat " " stmts) (max 0 (bound - 1))
+    in
+    return (src, vf, if_)
+  in
+  QCheck.make gen ~print:(fun (s, vf, if_) ->
+      Printf.sprintf "vf=%d if=%d\n%s" vf if_ s)
+
+let prop_vectorization_preserves_semantics =
+  QCheck.Test.make ~name:"vectorization preserves semantics (random loops)"
+    ~count:300 gen_loop_program (fun (src, vf, if_) ->
+      let r1, f1 = run src "f" in
+      let r2, f2 = run ~plan:{ Vectorizer.Transform.vf; if_ } src "f" in
+      r1 = r2 && f1 = f2)
+
+let prop_baseline_plan_is_legal =
+  QCheck.Test.make ~name:"baseline cost model always yields a legal plan"
+    ~count:200 gen_loop_program (fun (src, _, _) ->
+      let m = lower src in
+      let fn = find_fn m "f" in
+      List.for_all
+        (fun info ->
+          let leg = Vectorizer.Legality.of_info info in
+          let p = Vectorizer.Costmodel.choose leg in
+          let vf, if_ =
+            Vectorizer.Legality.clamp leg ~vf:p.Vectorizer.Transform.vf
+              ~if_:p.Vectorizer.Transform.if_
+          in
+          vf = p.Vectorizer.Transform.vf && if_ = p.Vectorizer.Transform.if_)
+        (Analysis.Loopinfo.innermost_infos fn))
+
+(* the full optimization pipeline — LICM (hoist + store promotion), CSE,
+   planner — must preserve semantics on random programs, including memory
+   reductions like a[0] += ... *)
+let gen_opt_program : string QCheck.arbitrary =
+  let open QCheck.Gen in
+  let stmt =
+    oneofl
+      [ "a[i] = b[i] + c[0];";
+        "c[0] += b[i];";
+        "a[i] = b[i] * k;";
+        "c[1] = c[1] + a[i] * b[i];";
+        "s += b[i];";
+        "a[i] = b[i] + i * k;";
+        "if (b[i] > 100) c[2] += 1;" ]
+  in
+  let gen =
+    let* n_stmts = int_range 1 4 in
+    let* stmts = list_repeat n_stmts stmt in
+    let* bound = int_range 1 80 in
+    return
+      (Printf.sprintf
+         "int a[256]; int b[256]; int c[8];\n\
+          int f() { int s = 0; int k = 3; int i;\n\
+          for (i = 0; i < %d; i++) { %s }\n\
+          return s + a[0] + c[0] + c[1] + c[2]; }"
+         bound (String.concat " " stmts))
+  in
+  QCheck.make gen ~print:(fun s -> s)
+
+let prop_opt_pipeline_preserves_semantics =
+  QCheck.Test.make ~name:"LICM/CSE/promotion preserve semantics" ~count:200
+    gen_opt_program (fun src ->
+      let plain = run src "f" in
+      let m = lower src in
+      let fn = find_fn m "f" in
+      ignore (Vectorizer.Licm.run_func fn);
+      ignore (Vectorizer.Cse.run_func fn);
+      ignore (Vectorizer.Licm.run_func fn);
+      let st = Ir_interp.init_state m in
+      let r = Ir_interp.run_func st fn () in
+      (r, Ir_interp.state_fingerprint st r) = plain)
+
+let prop_opt_then_vectorize_preserves =
+  QCheck.Test.make ~name:"optimize + vectorize preserves semantics" ~count:150
+    gen_opt_program (fun src ->
+      let plain = run src "f" in
+      let m = lower src in
+      let fn = find_fn m "f" in
+      ignore (Vectorizer.Licm.run_func fn);
+      ignore (Vectorizer.Cse.run_func fn);
+      ignore (Vectorizer.Licm.run_func fn);
+      List.iter
+        (fun info ->
+          let leg = Vectorizer.Legality.of_info info in
+          let vf, if_ = Vectorizer.Legality.clamp leg ~vf:8 ~if_:2 in
+          ignore
+            (Vectorizer.Transform.vectorize_in_func fn info
+               { Vectorizer.Transform.vf; if_ }))
+        (Analysis.Loopinfo.innermost_infos fn);
+      let st = Ir_interp.init_state m in
+      let r = Ir_interp.run_func st fn () in
+      (r, Ir_interp.state_fingerprint st r) = plain)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_vectorization_preserves_semantics; prop_baseline_plan_is_legal;
+      prop_opt_pipeline_preserves_semantics; prop_opt_then_vectorize_preserves ]
+
+let suite =
+  [
+    ( "vectorizer.legality",
+      [
+        Alcotest.test_case "simple copy legal" `Quick test_legal_simple_copy;
+        Alcotest.test_case "trip count" `Quick test_legal_trip_count;
+        Alcotest.test_case "flow dependence blocks" `Quick
+          test_legal_flow_dependence_blocks;
+        Alcotest.test_case "distance limits VF" `Quick
+          test_legal_distance_limits_vf;
+        Alcotest.test_case "anti dependence ok" `Quick
+          test_legal_anti_dependence_ok;
+        Alcotest.test_case "reduction recognised" `Quick
+          test_legal_reduction_recognised;
+        Alcotest.test_case "carried scalar blocks" `Quick
+          test_legal_carried_scalar_blocks;
+        Alcotest.test_case "inner while blocks" `Quick test_legal_while_blocks;
+        Alcotest.test_case "predicate if-convertible" `Quick
+          test_legal_predicate_ok;
+        Alcotest.test_case "indirect index blocks" `Quick
+          test_legal_unknown_index_blocks;
+        Alcotest.test_case "pragma clamp" `Quick test_clamp_pragma;
+      ] );
+    ( "vectorizer.transform",
+      [
+        Alcotest.test_case "copy loop" `Quick test_tr_copy;
+        Alcotest.test_case "non-multiple trip count" `Quick
+          test_tr_trip_not_multiple;
+        Alcotest.test_case "int add reduction" `Quick test_tr_reduction_int;
+        Alcotest.test_case "xor reduction" `Quick test_tr_reduction_xor;
+        Alcotest.test_case "mul reduction" `Quick test_tr_reduction_mul;
+        Alcotest.test_case "strided load" `Quick test_tr_strided_access;
+        Alcotest.test_case "step-2 loop" `Quick test_tr_step2_loop;
+        Alcotest.test_case "downward loop" `Quick test_tr_downward_loop;
+        Alcotest.test_case "predicated store" `Quick test_tr_predicate_store;
+        Alcotest.test_case "if/else store" `Quick test_tr_predicate_else;
+        Alcotest.test_case "predicated value merge" `Quick
+          test_tr_predicate_merge_value;
+        Alcotest.test_case "ternary select" `Quick test_tr_ternary;
+        Alcotest.test_case "type conversions" `Quick test_tr_type_conversions;
+        Alcotest.test_case "float elementwise" `Quick test_tr_float_elementwise;
+        Alcotest.test_case "live-out scalar" `Quick test_tr_live_out_scalar;
+        Alcotest.test_case "induction as data" `Quick
+          test_tr_induction_used_as_data;
+        Alcotest.test_case "nested loop inner" `Quick test_tr_nested_inner;
+        Alcotest.test_case "paper example 5" `Quick test_tr_paper_example5;
+        Alcotest.test_case "zero-trip loop" `Quick test_tr_zero_trip;
+        Alcotest.test_case "one-trip loop" `Quick test_tr_one_trip;
+        Alcotest.test_case "float reduction tolerance" `Quick
+          test_tr_float_reduction_tolerance;
+      ]
+      @ qcheck_tests );
+    ( "vectorizer.costmodel",
+      [
+        Alcotest.test_case "dot product -> (4,2)" `Quick
+          test_cm_dot_product_picks_4_2;
+        Alcotest.test_case "short elements widen" `Quick
+          test_cm_short_picks_wider;
+        Alcotest.test_case "gather stays scalar" `Quick
+          test_cm_gather_stays_scalar;
+        Alcotest.test_case "illegal loop untouched" `Quick
+          test_cm_illegal_loop_no_vectorize;
+        Alcotest.test_case "pragma honoured" `Quick test_planner_pragma_wins;
+        Alcotest.test_case "pragma clamped" `Quick test_planner_pragma_clamped;
+        Alcotest.test_case "vectorize(disable)" `Quick
+          test_planner_disable_pragma;
+      ] );
+  ]
