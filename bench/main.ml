@@ -57,6 +57,16 @@ let micro () =
     Test.make ~name:"code2vec forward"
       (Staged.stage (fun () -> ignore (Embedding.Code2vec.forward_ids c2v ids)))
   in
+  let frontend_cold_test =
+    Test.make ~name:"front end: cold (parse+sema)"
+      (Staged.stage (fun () ->
+           Neurovec.Frontend.clear ();
+           ignore (Neurovec.Frontend.checked dot)))
+  in
+  let frontend_warm_test =
+    Test.make ~name:"front end: cached artifact"
+      (Staged.stage (fun () -> ignore (Neurovec.Frontend.checked dot)))
+  in
   let interp_test =
     let m =
       Ir_lower.lower_program
@@ -70,7 +80,8 @@ let micro () =
   in
   let tests =
     Test.make_grouped ~name:"neurovectorizer"
-      [ parse_test; compile_test; vectorize_test; embed_test; interp_test ]
+      [ parse_test; compile_test; vectorize_test; frontend_cold_test;
+        frontend_warm_test; embed_test; interp_test ]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
@@ -106,9 +117,13 @@ let () =
       else
         match List.find_opt (fun (i, _, _) -> i = id) experiments with
         | Some (_, _, f) ->
+            (* scope the pipeline scoreboard (per-phase wall time, cache hit
+               rates) to this experiment *)
+            Neurovec.Stats.reset ();
             let t0 = Sys.time () in
             f ();
-            Printf.printf "[%s done in %.1fs cpu]\n%!" id (Sys.time () -. t0)
+            Printf.printf "[%s done in %.1fs cpu]\n%!" id (Sys.time () -. t0);
+            Experiments.Common.pipeline_stats ()
         | None ->
             Printf.printf "unknown experiment %s; available: %s micro\n" id
               (String.concat " " (List.map (fun (i, _, _) -> i) experiments)))

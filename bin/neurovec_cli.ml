@@ -25,6 +25,14 @@ let program_of_file ?(kernel = "kernel") path =
   Dataset.Program.make ~kernel ~family:"cli" (Filename.basename path)
     (read_file path)
 
+(** Report malformed input as a one-line error instead of cmdliner's
+    uncaught-exception banner. *)
+let or_compile_error (f : unit -> unit) : unit =
+  try f ()
+  with Neurovec.Pipeline.Compile_error msg ->
+    Printf.eprintf "neurovec: compile error: %s\n" msg;
+    exit 1
+
 (* ---- compile ----------------------------------------------------- *)
 
 let compile_cmd =
@@ -33,7 +41,9 @@ let compile_cmd =
   let if_ = Arg.(value & opt (some int) None & info [ "if" ] ~doc:"Force interleave_count.") in
   let polly = Arg.(value & flag & info [ "polly" ] ~doc:"Run the polyhedral pipeline first.") in
   let kernel = Arg.(value & opt string "kernel" & info [ "kernel" ] ~doc:"Function to time.") in
-  let run file vf if_ polly kernel =
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print pipeline phase timings and cache stats.") in
+  let run file vf if_ polly kernel stats =
+    or_compile_error @@ fun () ->
     let p = program_of_file ~kernel file in
     let options = { Neurovec.Pipeline.default_options with polly } in
     let result =
@@ -60,17 +70,20 @@ let compile_cmd =
       result.Neurovec.Pipeline.compile_seconds;
     Printf.printf "execution:    %.3e s  (%.0f cycles on %s)\n"
       result.Neurovec.Pipeline.exec_seconds result.Neurovec.Pipeline.exec_cycles
-      options.Neurovec.Pipeline.target.Machine.Target.name
+      options.Neurovec.Pipeline.target.Machine.Target.name;
+    if stats then print_string (Neurovec.Stats.report ())
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a mini-C file and simulate it.")
-    Term.(const run $ file $ vf $ if_ $ polly $ kernel)
+    Term.(const run $ file $ vf $ if_ $ polly $ kernel $ stats)
 
 (* ---- sweep -------------------------------------------------------- *)
 
 let sweep_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let kernel = Arg.(value & opt string "kernel" & info [ "kernel" ]) in
-  let run file kernel =
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print pipeline phase timings and cache stats.") in
+  let run file kernel stats =
+    or_compile_error @@ fun () ->
     let p = program_of_file ~kernel file in
     let base = Neurovec.Pipeline.run_baseline p in
     let t_base = base.Neurovec.Pipeline.exec_seconds in
@@ -86,10 +99,11 @@ let sweep_cmd =
             Printf.printf "%8.2f" (t_base /. r.Neurovec.Pipeline.exec_seconds))
           Rl.Spaces.if_values;
         print_newline ())
-      Rl.Spaces.vf_values
+      Rl.Spaces.vf_values;
+    if stats then print_string (Neurovec.Stats.report ())
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Brute-force the (VF, IF) grid for a file.")
-    Term.(const run $ file $ kernel)
+    Term.(const run $ file $ kernel $ stats)
 
 (* ---- dataset ------------------------------------------------------ *)
 
@@ -161,6 +175,7 @@ let predict_cmd =
   let model = Arg.(required & opt (some file) None & info [ "model" ] ~doc:"Trained agent checkpoint.") in
   let kernel = Arg.(value & opt string "kernel" & info [ "kernel" ]) in
   let run file model kernel =
+    or_compile_error @@ fun () ->
     let agent = Rl.Checkpoint.load model in
     let p = program_of_file ~kernel file in
     let decisions = Neurovec.Framework.predict_decisions agent p in

@@ -19,7 +19,7 @@ type t = {
     nest's outermost statement, mapped to vocabulary ids. *)
 let encode (agent : Rl.Agent.t) (p : Dataset.Program.t) :
     Embedding.Code2vec.ids array =
-  let prog = Minic.Parser.parse_string p.Dataset.Program.p_source in
+  let prog = (Frontend.checked p).Frontend.a_ast in
   let stmt = Extractor.embedding_stmt prog in
   let cfg = agent.Rl.Agent.c2v.Embedding.Code2vec.cfg in
   let ctxs =
@@ -62,7 +62,7 @@ let train ?(hyper = Rl.Ppo.default_hyper) ?progress (t : t)
 (** Per-loop pragma decisions for a program under the trained policy. *)
 let predict_decisions (agent : Rl.Agent.t) (p : Dataset.Program.t) :
     (int * Minic.Ast.loop_pragma) list =
-  let prog = Minic.Parser.parse_string p.Dataset.Program.p_source in
+  let prog = (Frontend.checked p).Frontend.a_ast in
   List.map
     (fun site ->
       let act = Rl.Agent.predict agent (encode_site agent site) in

@@ -1,0 +1,81 @@
+(** Compiled front-end artifacts.
+
+    Every oracle client (PPO training, brute force, NNS, the decision tree)
+    evaluates ~35 actions per program, and each evaluation used to re-run
+    the whole front end on freshly pretty-printed text.  Parsing and
+    semantic analysis depend only on the program source and its symbolic
+    bindings — not on the pragma decision under evaluation — so we do them
+    once, cache the checked AST keyed by a content hash, and let
+    {!Pipeline} apply pragma decisions directly on the cached AST.
+
+    The cache is process-global and content-addressed: two [Program.t]
+    values with identical source and bindings (regardless of name, kernel
+    or family) share one artifact.  Traffic is recorded in {!Stats}. *)
+
+(** Raised for any malformed program: parse errors, semantic errors, and
+    (via {!Pipeline}) lowering failures.  [Pipeline.Compile_error] is a
+    re-export of this exception, so existing handlers keep working. *)
+exception Compile_error of string
+
+type artifact = {
+  a_hash : string;  (** content hash of (source, bindings) *)
+  a_ast : Minic.Ast.program;  (** parsed and sema-checked, pragmas intact *)
+  a_loops : int;  (** innermost for-loop count, in extractor order *)
+}
+
+(** Content hash of a program's source and bindings (name/kernel/family are
+    metadata the front end never sees). *)
+let hash_program (p : Dataset.Program.t) : string =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x01"
+          (p.Dataset.Program.p_source
+          :: List.concat_map
+               (fun (k, v) -> [ k; string_of_int v ])
+               p.Dataset.Program.p_bindings)))
+
+let cache : (string, artifact) Hashtbl.t = Hashtbl.create 256
+
+let clear () = Hashtbl.reset cache
+let size () = Hashtbl.length cache
+
+(** Parse and sema-check [p], wrapping front-end failures in
+    {!Compile_error} (timed under [Stats.Parse] / [Stats.Sema]). *)
+let parse_checked (p : Dataset.Program.t) : Minic.Ast.program =
+  let prog =
+    Stats.time Stats.Parse (fun () ->
+        try Minic.Parser.parse_string p.Dataset.Program.p_source
+        with Minic.Parser.Error (msg, pos) ->
+          raise
+            (Compile_error
+               (Printf.sprintf "%s: parse error at %d:%d: %s"
+                  p.Dataset.Program.p_name pos.Minic.Token.line
+                  pos.Minic.Token.col msg)))
+  in
+  Stats.time Stats.Sema (fun () ->
+      try
+        ignore (Minic.Sema.analyze ~bindings:p.Dataset.Program.p_bindings prog)
+      with Minic.Sema.Error msg ->
+        raise
+          (Compile_error
+             (Printf.sprintf "%s: %s" p.Dataset.Program.p_name msg)));
+  prog
+
+(** The checked AST for [p], parsed and analyzed at most once per distinct
+    (source, bindings) content.  Malformed programs are not cached; every
+    attempt re-raises {!Compile_error}. *)
+let checked (p : Dataset.Program.t) : artifact =
+  let h = hash_program p in
+  match Hashtbl.find_opt cache h with
+  | Some a ->
+      Stats.frontend_hit ();
+      a
+  | None ->
+      Stats.frontend_miss ();
+      let ast = parse_checked p in
+      let a =
+        { a_hash = h; a_ast = ast;
+          a_loops = List.length (Extractor.extract ast) }
+      in
+      Hashtbl.replace cache h a;
+      a

@@ -50,12 +50,13 @@ let inject_source ?(clear_others = false) (source : string)
   let prog = Minic.Parser.parse_string source in
   Minic.Pretty.program_to_string (inject_ast ~clear_others prog ~decisions)
 
+(** AST-level convenience: same (vf, if) pragma on every innermost loop. *)
+let inject_all_ast (prog : Minic.Ast.program) ~vf ~if_ : Minic.Ast.program =
+  let n = List.length (Extractor.extract prog) in
+  let decisions = List.init n (fun i -> (i, pragma_of ~vf ~if_)) in
+  inject_ast ~clear_others:true prog ~decisions
+
 (** Convenience: same (vf, if) pragma on every innermost loop. *)
 let inject_all (source : string) ~vf ~if_ : string =
   let prog = Minic.Parser.parse_string source in
-  let n = List.length (Extractor.extract prog) in
-  let decisions =
-    List.init n (fun i -> (i, pragma_of ~vf ~if_))
-  in
-  Minic.Pretty.program_to_string
-    (inject_ast ~clear_others:true prog ~decisions)
+  Minic.Pretty.program_to_string (inject_all_ast prog ~vf ~if_)

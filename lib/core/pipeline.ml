@@ -2,7 +2,14 @@
     Figure 3): parse, check, lower, optionally run Polly, run the loop
     vectorizer (pragmas first, baseline cost model otherwise), clean up
     with LICM, then price compile time and simulate execution time on the
-    target machine. *)
+    target machine.
+
+    The front end (parse + sema) runs at most once per distinct program:
+    all entry points pull the checked AST from {!Frontend} and apply
+    pragma decisions with [Injector.inject_ast] directly on that AST, so a
+    35-action reward sweep pays for parsing exactly once instead of
+    round-tripping pretty-printed text per action.  Back-end phases are
+    timed under {!Stats}. *)
 
 type options = {
   target : Machine.Target.t;
@@ -14,6 +21,12 @@ let default_options =
   { target = Machine.Target.skylake_avx2; polly = false;
     compile_model = Machine.Compile.default }
 
+(** Stable cache key for an options value (used by the reward cache). *)
+let options_key (o : options) : string =
+  Printf.sprintf "%s|polly=%b|cm=%g+%g" o.target.Machine.Target.name o.polly
+    o.compile_model.Machine.Compile.base_seconds
+    o.compile_model.Machine.Compile.per_instr_seconds
+
 type result = {
   modul : Ir.modul;
   decisions : Vectorizer.Planner.report;
@@ -22,74 +35,79 @@ type result = {
   exec_cycles : float;
 }
 
-exception Compile_error of string
+exception Compile_error = Frontend.Compile_error
 
 let find_kernel (m : Ir.modul) (name : string) : Ir.func =
   match List.find_opt (fun f -> f.Ir.fn_name = name) m.Ir.m_funcs with
   | Some f -> f
   | None -> raise (Compile_error (Printf.sprintf "kernel %s not found" name))
 
-(** Compile and simulate one program. *)
-let run ?(options = default_options) (p : Dataset.Program.t) : result =
-  let prog =
-    try Minic.Parser.parse_string p.Dataset.Program.p_source
-    with Minic.Parser.Error (msg, pos) ->
-      raise
-        (Compile_error
-           (Printf.sprintf "%s: parse error at %d:%d: %s"
-              p.Dataset.Program.p_name pos.Minic.Token.line pos.Minic.Token.col
-              msg))
-  in
-  (try ignore (Minic.Sema.analyze ~bindings:p.Dataset.Program.p_bindings prog)
-   with Minic.Sema.Error msg ->
-     raise
-       (Compile_error (Printf.sprintf "%s: %s" p.Dataset.Program.p_name msg)));
+(** Back end: lower a checked AST and simulate it.  [name], [kernel] and
+    [bindings] come from the program the AST was derived from. *)
+let run_ast ?(options = default_options) ~(name : string) ~(kernel : string)
+    ~(bindings : (string * int) list) (prog : Minic.Ast.program) : result =
   let m =
-    try
-      Ir_lower.lower_program ~bindings:p.Dataset.Program.p_bindings prog
-    with Ir_lower.Error msg ->
-      raise
-        (Compile_error (Printf.sprintf "%s: %s" p.Dataset.Program.p_name msg))
+    Stats.time Stats.Lower (fun () ->
+        try Ir_lower.lower_program ~bindings prog
+        with Ir_lower.Error msg ->
+          raise (Compile_error (Printf.sprintf "%s: %s" name msg)))
   in
-  if options.polly then ignore (Polly.Driver.optimize m);
+  if options.polly then
+    Stats.time Stats.Polly (fun () -> ignore (Polly.Driver.optimize m));
   (* LICM + scalar promotion first (as -licm before the vectorizer in
      LLVM): promotes memory reductions to register reductions the
      vectorizer can widen, and exposes invariant address arithmetic *)
-  ignore (Vectorizer.Licm.run_modul m);
-  ignore (Vectorizer.Cse.run_modul m);
-  ignore (Vectorizer.Licm.run_modul m);
-  let decisions = Vectorizer.Planner.run_modul m in
-  ignore (Vectorizer.Licm.run_modul m);
+  Stats.time Stats.Scalar_opt (fun () ->
+      ignore (Vectorizer.Licm.run_modul m);
+      ignore (Vectorizer.Cse.run_modul m);
+      ignore (Vectorizer.Licm.run_modul m));
+  let decisions =
+    Stats.time Stats.Vectorize (fun () -> Vectorizer.Planner.run_modul m)
+  in
+  Stats.time Stats.Scalar_opt (fun () -> ignore (Vectorizer.Licm.run_modul m));
   let compile_seconds =
     Machine.Compile.seconds ~model:options.compile_model m
   in
-  let kernel = find_kernel m p.Dataset.Program.p_kernel in
-  let exec_cycles = Machine.Timing.cycles options.target m kernel in
+  let kernel_fn = find_kernel m kernel in
+  let exec_cycles =
+    Stats.time Stats.Timing (fun () ->
+        Machine.Timing.cycles options.target m kernel_fn)
+  in
   let exec_seconds =
     exec_cycles /. (options.target.Machine.Target.ghz *. 1e9)
   in
+  Stats.pipeline_run ();
   { modul = m; decisions; compile_seconds; exec_seconds; exec_cycles }
+
+let run_artifact ?(options = default_options) (p : Dataset.Program.t)
+    (prog : Minic.Ast.program) : result =
+  run_ast ~options ~name:p.Dataset.Program.p_name
+    ~kernel:p.Dataset.Program.p_kernel ~bindings:p.Dataset.Program.p_bindings
+    prog
+
+(** Compile and simulate one program, honouring pragmas in its source. *)
+let run ?(options = default_options) (p : Dataset.Program.t) : result =
+  run_artifact ~options p (Frontend.checked p).Frontend.a_ast
 
 (** Compile with a specific (vf, if) pragma on every innermost loop. *)
 let run_with_pragma ?(options = default_options) (p : Dataset.Program.t) ~vf
     ~if_ : result =
-  let source = Injector.inject_all p.Dataset.Program.p_source ~vf ~if_ in
-  run ~options { p with Dataset.Program.p_source = source }
+  let a = Frontend.checked p in
+  let decisions =
+    List.init a.Frontend.a_loops (fun i -> (i, Injector.pragma_of ~vf ~if_))
+  in
+  run_artifact ~options p
+    (Injector.inject_ast ~clear_others:true a.Frontend.a_ast ~decisions)
 
 (** Compile with the baseline cost model only (existing pragmas removed). *)
 let run_baseline ?(options = default_options) (p : Dataset.Program.t) : result =
-  let prog = Minic.Parser.parse_string p.Dataset.Program.p_source in
-  let stripped =
-    Minic.Pretty.program_to_string
-      (Injector.inject_ast ~clear_others:true prog ~decisions:[])
-  in
-  run ~options { p with Dataset.Program.p_source = stripped }
+  let a = Frontend.checked p in
+  run_artifact ~options p
+    (Injector.inject_ast ~clear_others:true a.Frontend.a_ast ~decisions:[])
 
 (** Compile with per-loop pragma decisions. *)
 let run_with_decisions ?(options = default_options) (p : Dataset.Program.t)
     ~(decisions : (int * Minic.Ast.loop_pragma) list) : result =
-  let source =
-    Injector.inject_source ~clear_others:true p.Dataset.Program.p_source
-      ~decisions
-  in
-  run ~options { p with Dataset.Program.p_source = source }
+  let a = Frontend.checked p in
+  run_artifact ~options p
+    (Injector.inject_ast ~clear_others:true a.Frontend.a_ast ~decisions)

@@ -6,67 +6,100 @@
     the penalty reward -9 (equivalent to 10x the baseline execution time),
     teaching the agent not to over-vectorize.
 
-    All (program, action) evaluations are memoized: the environment is
-    deterministic, and both RL training and the brute-force/NNS/decision
-    tree baselines draw from the same table — mirroring how the paper
-    reuses its brute-force measurements as supervised labels. *)
+    All (program, action) evaluations are memoized, and the memo table is
+    content-addressed: the key is (source hash, pipeline options, pragma
+    decision), so duplicate programs in a dataset share entries regardless
+    of their names — mirroring how the paper reuses its brute-force
+    measurements as supervised labels.  Each entry records whether the
+    compile-time penalty fired, so penalized actions are reported exactly
+    (not inferred by comparing the reward against the penalty sentinel,
+    which misclassified genuine >10x slowdowns as timeouts). *)
+
+type entry = {
+  e_reward : float;
+  e_penalized : bool;  (** the compile-time budget fired for this action *)
+}
 
 type t = {
   programs : Dataset.Program.t array;
   options : Pipeline.options;
   timeout_factor : float;
   penalty : float;
-  baselines : (int, float * float) Hashtbl.t;
-      (** program -> (exec seconds, compile seconds) *)
-  cache : (int * int * int, float) Hashtbl.t;
-      (** (program, vf_idx, if_idx) -> reward *)
+  keys : string array;
+      (** per-program content key: source hash + options, precomputed *)
+  baselines : (string, float * float) Hashtbl.t;
+      (** content key -> (exec seconds, compile seconds) *)
+  cache : (string, entry) Hashtbl.t;
+      (** content key + decision -> reward entry *)
   mutable evaluations : int;  (** non-memoized compile+run count *)
+  mutable hits : int;  (** memoized reward lookups served from cache *)
 }
 
 let create ?(options = Pipeline.default_options) ?(timeout_factor = 10.0)
     ?(penalty = -9.0) (programs : Dataset.Program.t array) : t =
+  let opt_key = Pipeline.options_key options in
   { programs; options; timeout_factor; penalty;
+    keys =
+      Array.map
+        (fun p -> Frontend.hash_program p ^ "|" ^ opt_key)
+        programs;
     baselines = Hashtbl.create (Array.length programs);
     cache = Hashtbl.create (4 * Array.length programs);
-    evaluations = 0 }
+    evaluations = 0; hits = 0 }
 
 let baseline (t : t) (idx : int) : float * float =
-  match Hashtbl.find_opt t.baselines idx with
+  match Hashtbl.find_opt t.baselines t.keys.(idx) with
   | Some b -> b
   | None ->
       let r = Pipeline.run_baseline ~options:t.options t.programs.(idx) in
       t.evaluations <- t.evaluations + 1;
       let b = (r.Pipeline.exec_seconds, r.Pipeline.compile_seconds) in
-      Hashtbl.replace t.baselines idx b;
+      Hashtbl.replace t.baselines t.keys.(idx) b;
       b
 
-(** Reward of applying [action] to every innermost loop of program [idx]. *)
-let reward (t : t) (idx : int) (action : Rl.Spaces.action) : float =
-  let key = (idx, action.Rl.Spaces.vf_idx, action.Rl.Spaces.if_idx) in
+(** Memoized reward entry of applying [action] to every innermost loop of
+    program [idx]. *)
+let entry (t : t) (idx : int) (action : Rl.Spaces.action) : entry =
+  let key =
+    Printf.sprintf "%s|vf=%d,if=%d" t.keys.(idx)
+      (Rl.Spaces.vf_of action) (Rl.Spaces.if_of action)
+  in
   match Hashtbl.find_opt t.cache key with
-  | Some r -> r
+  | Some e ->
+      t.hits <- t.hits + 1;
+      Stats.reward_hit ();
+      e
   | None ->
+      Stats.reward_miss ();
       let t_base, c_base = baseline t idx in
       let res =
         Pipeline.run_with_pragma ~options:t.options t.programs.(idx)
           ~vf:(Rl.Spaces.vf_of action) ~if_:(Rl.Spaces.if_of action)
       in
       t.evaluations <- t.evaluations + 1;
-      let r =
-        if res.Pipeline.compile_seconds > t.timeout_factor *. c_base then
-          t.penalty
-        else (t_base -. res.Pipeline.exec_seconds) /. t_base
+      let penalized =
+        res.Pipeline.compile_seconds > t.timeout_factor *. c_base
       in
-      Hashtbl.replace t.cache key r;
-      r
+      let e =
+        { e_penalized = penalized;
+          e_reward =
+            (if penalized then t.penalty
+             else (t_base -. res.Pipeline.exec_seconds) /. t_base) }
+      in
+      Hashtbl.replace t.cache key e;
+      e
+
+(** Reward of applying [action] to every innermost loop of program [idx]. *)
+let reward (t : t) (idx : int) (action : Rl.Spaces.action) : float =
+  (entry t idx action).e_reward
 
 (** Execution time under [action] (seconds); penalized actions return the
     baseline time scaled by the timeout factor. *)
 let exec_seconds (t : t) (idx : int) (action : Rl.Spaces.action) : float =
   let t_base, _ = baseline t idx in
-  let r = reward t idx action in
-  if r <= t.penalty then t.timeout_factor *. t_base
-  else t_base *. (1.0 -. r)
+  let e = entry t idx action in
+  if e.e_penalized then t.timeout_factor *. t_base
+  else t_base *. (1.0 -. e.e_reward)
 
 (** Best action and reward by exhaustive search (35 compilations, memoized). *)
 let brute_force (t : t) (idx : int) : Rl.Spaces.action * float =

@@ -1,0 +1,144 @@
+(** Pipeline instrumentation: per-phase wall time, cache hit/miss counters
+    and evaluation counts for the compile-and-measure oracle.
+
+    The reward oracle dominates training cost (every PPO step, brute-force
+    sweep, NNS probe and decision-tree label goes through the pipeline), so
+    speedups there must be observable, not asserted.  This module is the
+    single global scoreboard: {!Frontend} and {!Pipeline} record phase
+    timings, {!Frontend} and {!Reward} record cache traffic, and
+    [bench/main.ml], the experiment drivers and the CLI render {!report}.
+
+    Counters are process-global; call {!reset} to scope a measurement. *)
+
+type phase =
+  | Parse
+  | Sema
+  | Lower
+  | Polly
+  | Scalar_opt  (** LICM + CSE cleanup passes *)
+  | Vectorize  (** the loop-vectorization planner *)
+  | Timing  (** the target-machine cycle model *)
+
+let all_phases = [ Parse; Sema; Lower; Polly; Scalar_opt; Vectorize; Timing ]
+
+let phase_name = function
+  | Parse -> "parse"
+  | Sema -> "sema"
+  | Lower -> "lower"
+  | Polly -> "polly"
+  | Scalar_opt -> "licm+cse"
+  | Vectorize -> "vectorize"
+  | Timing -> "timing"
+
+type acc = { mutable seconds : float; mutable calls : int }
+
+let phase_index = function
+  | Parse -> 0
+  | Sema -> 1
+  | Lower -> 2
+  | Polly -> 3
+  | Scalar_opt -> 4
+  | Vectorize -> 5
+  | Timing -> 6
+
+let accs = Array.init 7 (fun _ -> { seconds = 0.0; calls = 0 })
+
+(** Run [f], charging its wall time to [phase] (accumulated even when [f]
+    raises, so failed compiles still show up in the profile). *)
+let time (phase : phase) (f : unit -> 'a) : 'a =
+  let a = accs.(phase_index phase) in
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      a.seconds <- a.seconds +. (Unix.gettimeofday () -. t0);
+      a.calls <- a.calls + 1)
+    f
+
+let phase_seconds (p : phase) : float = accs.(phase_index p).seconds
+let phase_calls (p : phase) : int = accs.(phase_index p).calls
+
+(* ------------------------------------------------------------------ *)
+(* Cache and evaluation counters                                        *)
+(* ------------------------------------------------------------------ *)
+
+let frontend_hits = ref 0
+let frontend_misses = ref 0
+let reward_hits = ref 0
+let reward_misses = ref 0
+let pipeline_runs = ref 0
+
+let frontend_hit () = incr frontend_hits
+let frontend_miss () = incr frontend_misses
+let reward_hit () = incr reward_hits
+let reward_miss () = incr reward_misses
+let pipeline_run () = incr pipeline_runs
+
+let hit_rate ~(hits : int) ~(misses : int) : float =
+  let total = hits + misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots and reporting                                              *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  phases : (string * float * int) list;  (** name, total seconds, calls *)
+  frontend_hits : int;
+  frontend_misses : int;
+  reward_hits : int;
+  reward_misses : int;
+  pipeline_runs : int;
+}
+
+let snapshot () : snapshot =
+  {
+    phases =
+      List.map
+        (fun p -> (phase_name p, phase_seconds p, phase_calls p))
+        all_phases;
+    frontend_hits = !frontend_hits;
+    frontend_misses = !frontend_misses;
+    reward_hits = !reward_hits;
+    reward_misses = !reward_misses;
+    pipeline_runs = !pipeline_runs;
+  }
+
+let reset () =
+  Array.iter
+    (fun a ->
+      a.seconds <- 0.0;
+      a.calls <- 0)
+    accs;
+  frontend_hits := 0;
+  frontend_misses := 0;
+  reward_hits := 0;
+  reward_misses := 0;
+  pipeline_runs := 0
+
+(** Human-readable scoreboard: per-phase wall time and cache hit rates. *)
+let report () : string =
+  let b = Buffer.create 512 in
+  let s = snapshot () in
+  Buffer.add_string b "--- pipeline stats ---\n";
+  Buffer.add_string b
+    (Printf.sprintf "%-12s %10s %12s %12s\n" "phase" "calls" "total ms"
+       "mean us");
+  List.iter
+    (fun (name, seconds, calls) ->
+      if calls > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "%-12s %10d %12.2f %12.2f\n" name calls
+             (seconds *. 1e3)
+             (seconds *. 1e6 /. float_of_int calls)))
+    s.phases;
+  Buffer.add_string b
+    (Printf.sprintf "front-end cache: %d hits / %d misses (%.1f%% hit rate)\n"
+       s.frontend_hits s.frontend_misses
+       (100.0 *. hit_rate ~hits:s.frontend_hits ~misses:s.frontend_misses));
+  Buffer.add_string b
+    (Printf.sprintf "reward cache:    %d hits / %d misses (%.1f%% hit rate)\n"
+       s.reward_hits s.reward_misses
+       (100.0 *. hit_rate ~hits:s.reward_hits ~misses:s.reward_misses));
+  Buffer.add_string b
+    (Printf.sprintf "pipeline evaluations: %d\n" s.pipeline_runs);
+  Buffer.contents b

@@ -45,7 +45,7 @@ let encode_outer agent p = Neurovec.Framework.encode agent p
 let encode_inner (agent : Rl.Agent.t) (p : Dataset.Program.t) :
     Embedding.Code2vec.ids array =
   (* innermost loop only, against the paper's recommendation *)
-  let prog = Minic.Parser.parse_string p.Dataset.Program.p_source in
+  let prog = (Neurovec.Frontend.checked p).Neurovec.Frontend.a_ast in
   let stmt =
     match Neurovec.Extractor.extract prog with
     | site :: _ -> Minic.Ast.For site.Neurovec.Extractor.innermost

@@ -42,3 +42,9 @@ let table ~(cols : string list) ~(rows : (string * float list) list) : unit =
 let bar (label : string) (v : float) =
   let n = max 0 (min 60 (int_of_float (v *. 12.0))) in
   Printf.printf "%-22s %6.2fx %s\n" label v (String.make n '#')
+
+(** Print the pipeline instrumentation scoreboard (per-phase wall time,
+    front-end / reward cache hit rates, evaluation counts).  Drivers and
+    the bench harness call this after a run; pair with
+    [Neurovec.Stats.reset] to scope the numbers to one experiment. *)
+let pipeline_stats () = print_string (Neurovec.Stats.report ())

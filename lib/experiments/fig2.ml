@@ -8,16 +8,19 @@
 type row = { name : string; best_speedup : float; best_vf : int; best_if : int }
 
 let run () : row list =
-  Array.to_list Dataset.Llvm_suite.programs
-  |> List.map (fun p ->
-         let oracle = Neurovec.Reward.create [| p |] in
-         let act, _ = Neurovec.Reward.brute_force oracle 0 in
-         let t_base, _ = Neurovec.Reward.baseline oracle 0 in
-         let t_best = Neurovec.Reward.exec_seconds oracle 0 act in
+  let programs = Dataset.Llvm_suite.programs in
+  let oracle = Neurovec.Reward.create programs in
+  Array.to_list
+    (Array.mapi
+       (fun i p ->
+         let act, _ = Neurovec.Reward.brute_force oracle i in
+         let t_base, _ = Neurovec.Reward.baseline oracle i in
+         let t_best = Neurovec.Reward.exec_seconds oracle i act in
          { name = p.Dataset.Program.p_name;
            best_speedup = t_base /. t_best;
            best_vf = Rl.Spaces.vf_of act;
            best_if = Rl.Spaces.if_of act })
+       programs)
 
 let print () =
   Common.header

@@ -83,7 +83,7 @@ let seconds (t : t) (m : method_) (p : Dataset.Program.t) : float =
   let flat_decisions (predict : Dataset.Program.t -> int) =
     (* one model decision reused for every loop of the program, driven by
        per-loop contexts *)
-    let prog = Minic.Parser.parse_string p.Dataset.Program.p_source in
+    let prog = (Neurovec.Frontend.checked p).Neurovec.Frontend.a_ast in
     List.map
       (fun site ->
         ignore site;

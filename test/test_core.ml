@@ -133,6 +133,54 @@ let test_inject_clear_others () =
         (site.Neurovec.Extractor.innermost.Minic.Ast.pragma = None)
   | _ -> Alcotest.fail "loop lost"
 
+(* A program mixing sibling loops, a triple nest with a trailing sibling
+   inside the outer body, and a loop under an [if] — the shapes where an
+   injector/extractor ordinal mismatch would silently re-target pragmas. *)
+let mixed_loops_src =
+  "int a[64]; int b[64]; int c[64]; int g[8][8][8];\n\
+   int kernel() {\n\
+  \  int i;\n\
+  \  int j;\n\
+  \  int k;\n\
+  \  for (i = 0; i < 64; i++) a[i] = b[i];\n\
+  \  for (i = 0; i < 8; i++) {\n\
+  \    for (j = 0; j < 8; j++) {\n\
+  \      for (k = 0; k < 8; k++) g[i][j][k] = i + j + k;\n\
+  \    }\n\
+  \    for (k = 0; k < 8; k++) c[k] = c[k] + 1;\n\
+  \  }\n\
+  \  if (a[0] < 100) {\n\
+  \    for (j = 0; j < 64; j++) b[j] = a[j] * 2;\n\
+  \  }\n\
+  \  return a[0] + c[0] + g[1][2][3] + b[5];\n\
+   }\n"
+
+let test_inject_ast_ordinals_agree_with_extractor () =
+  let ast = Minic.Parser.parse_string mixed_loops_src in
+  let n = List.length (Neurovec.Extractor.extract ast) in
+  Alcotest.(check int) "four innermost loops" 4 n;
+  (* inject a unique pragma at each ordinal and check it lands exactly on
+     the extractor's site of the same ordinal *)
+  for target = 0 to n - 1 do
+    let vf = 1 lsl (1 + (target mod 6)) in
+    let inj =
+      Neurovec.Injector.inject_ast ~clear_others:true ast
+        ~decisions:[ (target, Neurovec.Injector.pragma_of ~vf ~if_:2) ]
+    in
+    List.iteri
+      (fun i site ->
+        let got =
+          match site.Neurovec.Extractor.innermost.Minic.Ast.pragma with
+          | Some p -> p.Minic.Ast.vectorize_width
+          | None -> None
+        in
+        let expected = if i = target then Some vf else None in
+        Alcotest.(check (option int))
+          (Printf.sprintf "site %d when targeting %d" i target)
+          expected got)
+      (Neurovec.Extractor.extract inj)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Pipeline                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -168,6 +216,58 @@ let test_pipeline_missing_kernel () =
   match Neurovec.Pipeline.run_baseline p with
   | exception Neurovec.Pipeline.Compile_error _ -> ()
   | _ -> Alcotest.fail "expected Compile_error"
+
+(* Regression: malformed programs used to escape run_baseline /
+   run_with_pragma / run_with_decisions as raw Minic.Parser.Error because
+   those entry points parsed outside run's try/with. *)
+let test_pipeline_wraps_parse_errors () =
+  let p = prog "bad" "int kernel( { return 0; }" in
+  let expect_compile_error label f =
+    match f () with
+    | exception Neurovec.Pipeline.Compile_error _ -> ()
+    | exception e ->
+        Alcotest.failf "%s: expected Compile_error, got %s" label
+          (Printexc.to_string e)
+    | _ -> Alcotest.failf "%s: expected Compile_error" label
+  in
+  expect_compile_error "run" (fun () -> Neurovec.Pipeline.run p);
+  expect_compile_error "run_baseline" (fun () ->
+      Neurovec.Pipeline.run_baseline p);
+  expect_compile_error "run_with_pragma" (fun () ->
+      Neurovec.Pipeline.run_with_pragma p ~vf:4 ~if_:2);
+  expect_compile_error "run_with_decisions" (fun () ->
+      Neurovec.Pipeline.run_with_decisions p ~decisions:[])
+
+let test_pipeline_wraps_sema_errors () =
+  (* unbound symbolic array bound: a semantic, not syntactic, failure *)
+  let p =
+    prog "unbound" "int a[N]; int kernel() { return a[0]; }"
+  in
+  let check label f =
+    match f () with
+    | exception Neurovec.Pipeline.Compile_error _ -> ()
+    | exception e ->
+        Alcotest.failf "%s: expected Compile_error, got %s" label
+          (Printexc.to_string e)
+    | _ -> Alcotest.failf "%s: expected Compile_error" label
+  in
+  check "run_baseline" (fun () -> Neurovec.Pipeline.run_baseline p);
+  check "run_with_pragma" (fun () ->
+      Neurovec.Pipeline.run_with_pragma p ~vf:4 ~if_:2)
+
+(* The front-end artifact cache must not change results: a cold and a warm
+   evaluation of the same (program, pragma) point are identical. *)
+let test_frontend_cache_identical_results () =
+  let p = prog "t" simple_src in
+  Neurovec.Frontend.clear ();
+  let cold = Neurovec.Pipeline.run_with_pragma p ~vf:8 ~if_:2 in
+  let warm = Neurovec.Pipeline.run_with_pragma p ~vf:8 ~if_:2 in
+  Alcotest.(check (float 0.0)) "exec" cold.Neurovec.Pipeline.exec_seconds
+    warm.Neurovec.Pipeline.exec_seconds;
+  Alcotest.(check (float 0.0)) "compile" cold.Neurovec.Pipeline.compile_seconds
+    warm.Neurovec.Pipeline.compile_seconds;
+  Alcotest.(check (float 0.0)) "cycles" cold.Neurovec.Pipeline.exec_cycles
+    warm.Neurovec.Pipeline.exec_cycles
 
 (* ------------------------------------------------------------------ *)
 (* Reward oracle                                                        *)
@@ -212,6 +312,80 @@ let test_reward_timeout_penalty () =
   in
   let r = Neurovec.Reward.reward oracle 0 extreme in
   Alcotest.(check (float 1e-9)) "penalty -9" (-9.0) r
+
+(* Regression: exec_seconds used to detect the compile-timeout penalty by
+   comparing the reward against the penalty value, so a genuinely terrible
+   action (real reward <= penalty) was misreported as a timeout.  With a
+   tiny |penalty| and a timeout factor no action can hit, every action's
+   time must still satisfy t = t_base * (1 - r). *)
+let test_exec_seconds_not_penalty_sentinel () =
+  let oracle =
+    Neurovec.Reward.create ~timeout_factor:1e9 ~penalty:(-0.0001)
+      [| prog "t" simple_src |]
+  in
+  let t_base, _ = Neurovec.Reward.baseline oracle 0 in
+  List.iter
+    (fun a ->
+      let r = Neurovec.Reward.reward oracle 0 a in
+      let s = Neurovec.Reward.exec_seconds oracle 0 a in
+      Alcotest.(check (float 1e-9)) "t = tb*(1-r)" (t_base *. (1.0 -. r)) s)
+    Rl.Spaces.all_actions;
+  (* the regression only bites if some real reward is at or below the
+     penalty value — make sure the corpus actually exercises that *)
+  Alcotest.(check bool) "some real reward <= penalty" true
+    (List.exists
+       (fun a -> Neurovec.Reward.reward oracle 0 a <= -0.0001)
+       Rl.Spaces.all_actions)
+
+let test_exec_seconds_penalized_action () =
+  let oracle = Neurovec.Reward.create [| prog "big" big_body_src |] in
+  let extreme =
+    { Rl.Spaces.vf_idx = Rl.Spaces.n_vf - 1; if_idx = Rl.Spaces.n_if - 1 }
+  in
+  Alcotest.(check (float 1e-9)) "penalty reward" (-9.0)
+    (Neurovec.Reward.reward oracle 0 extreme);
+  let t_base, _ = Neurovec.Reward.baseline oracle 0 in
+  Alcotest.(check (float 1e-9)) "timeout time = 10x baseline"
+    (10.0 *. t_base)
+    (Neurovec.Reward.exec_seconds oracle 0 extreme)
+
+(* One parse + one sema per distinct program, no matter how many actions
+   the oracle evaluates: the acceptance criterion of the front-end cache. *)
+let test_brute_force_one_parse_per_program () =
+  Neurovec.Frontend.clear ();
+  Neurovec.Stats.reset ();
+  let programs =
+    [| prog "a" simple_src; prog "b" two_loops_src; prog "c" nested_src |]
+  in
+  let oracle = Neurovec.Reward.create programs in
+  Array.iteri (fun i _ -> ignore (Neurovec.Reward.brute_force oracle i)) programs;
+  Alcotest.(check int) "3 parses" 3
+    (Neurovec.Stats.phase_calls Neurovec.Stats.Parse);
+  Alcotest.(check int) "3 sema runs" 3
+    (Neurovec.Stats.phase_calls Neurovec.Stats.Sema);
+  let s = Neurovec.Stats.snapshot () in
+  Alcotest.(check int) "3 front-end misses" 3 s.Neurovec.Stats.frontend_misses;
+  (* 36 front-end lookups per program (35 actions + 1 baseline) *)
+  Alcotest.(check int) "remaining lookups hit" ((3 * 36) - 3)
+    s.Neurovec.Stats.frontend_hits;
+  (* every (program, action) point compiled exactly once *)
+  Alcotest.(check int) "108 evaluations" (3 * 36)
+    oracle.Neurovec.Reward.evaluations
+
+(* The reward cache is content-addressed: two programs with identical
+   source (different names) share every entry. *)
+let test_reward_cache_content_addressed () =
+  let programs = [| prog "x" simple_src; prog "same-as-x" simple_src |] in
+  let oracle = Neurovec.Reward.create programs in
+  let a = { Rl.Spaces.vf_idx = 2; if_idx = 1 } in
+  let r0 = Neurovec.Reward.reward oracle 0 a in
+  let evals = oracle.Neurovec.Reward.evaluations in
+  let r1 = Neurovec.Reward.reward oracle 1 a in
+  Alcotest.(check (float 0.0)) "identical reward" r0 r1;
+  Alcotest.(check int) "duplicate program costs no evaluation" evals
+    oracle.Neurovec.Reward.evaluations;
+  Alcotest.(check bool) "cache hit recorded" true
+    (oracle.Neurovec.Reward.hits >= 1)
 
 let test_reward_exec_seconds_consistent () =
   let oracle = Neurovec.Reward.create [| prog "t" simple_src |] in
@@ -261,6 +435,8 @@ let suite =
         Alcotest.test_case "per-loop decisions" `Quick
           test_inject_per_loop_decisions;
         Alcotest.test_case "clear others" `Quick test_inject_clear_others;
+        Alcotest.test_case "ordinals agree with extractor" `Quick
+          test_inject_ast_ordinals_agree_with_extractor;
       ] );
     ( "core.pipeline",
       [
@@ -270,6 +446,12 @@ let suite =
           test_pipeline_compile_time_grows;
         Alcotest.test_case "deterministic" `Quick test_pipeline_deterministic;
         Alcotest.test_case "missing kernel" `Quick test_pipeline_missing_kernel;
+        Alcotest.test_case "wraps parse errors" `Quick
+          test_pipeline_wraps_parse_errors;
+        Alcotest.test_case "wraps sema errors" `Quick
+          test_pipeline_wraps_sema_errors;
+        Alcotest.test_case "cache preserves results" `Quick
+          test_frontend_cache_identical_results;
       ] );
     ( "core.reward",
       [
@@ -278,6 +460,14 @@ let suite =
         Alcotest.test_case "timeout penalty" `Quick test_reward_timeout_penalty;
         Alcotest.test_case "exec seconds consistent" `Quick
           test_reward_exec_seconds_consistent;
+        Alcotest.test_case "exec seconds without penalty sentinel" `Quick
+          test_exec_seconds_not_penalty_sentinel;
+        Alcotest.test_case "exec seconds of penalized action" `Quick
+          test_exec_seconds_penalized_action;
+        Alcotest.test_case "brute force: one parse per program" `Quick
+          test_brute_force_one_parse_per_program;
+        Alcotest.test_case "content-addressed cache" `Quick
+          test_reward_cache_content_addressed;
       ] );
     ( "core.framework",
       [ Alcotest.test_case "end-to-end smoke" `Slow test_framework_smoke ] );
