@@ -25,13 +25,20 @@ let program_of_file ?(kernel = "kernel") path =
   Dataset.Program.make ~kernel ~family:"cli" (Filename.basename path)
     (read_file path)
 
-(** Report malformed input as a one-line error instead of cmdliner's
-    uncaught-exception banner. *)
+(** Report malformed input, corrupt checkpoints and quarantined programs
+    as a one-line error (exit 1) instead of cmdliner's uncaught-exception
+    banner. *)
 let or_compile_error (f : unit -> unit) : unit =
-  try f ()
-  with Neurovec.Pipeline.Compile_error msg ->
-    Printf.eprintf "neurovec: compile error: %s\n" msg;
-    exit 1
+  try f () with
+  | Neurovec.Pipeline.Compile_error msg ->
+      Printf.eprintf "neurovec: compile error: %s\n" msg;
+      exit 1
+  | Rl.Checkpoint.Bad_checkpoint msg ->
+      Printf.eprintf "neurovec: bad checkpoint: %s\n" msg;
+      exit 1
+  | Neurovec.Reward.Quarantined (name, why) ->
+      Printf.eprintf "neurovec: %s quarantined: %s\n" name why;
+      exit 1
 
 (* ---- compile ----------------------------------------------------- *)
 
@@ -138,17 +145,44 @@ let dataset_cmd =
 
 let train_cmd =
   let programs = Arg.(value & opt int 200 & info [ "programs" ] ~doc:"Corpus size.") in
-  let steps = Arg.(value & opt int 5000 & info [ "steps" ] ~doc:"Environment steps.") in
+  let steps = Arg.(value & opt int 5000 & info [ "steps" ] ~doc:"Environment steps (cumulative when resuming).") in
   let seed = Arg.(value & opt int 3 & info [ "seed" ]) in
   let batch = Arg.(value & opt int 500 & info [ "batch" ]) in
   let lr = Arg.(value & opt float 5e-4 & info [ "lr" ]) in
-  let save = Arg.(value & opt (some string) None & info [ "save" ] ~doc:"Write the trained agent to FILE.") in
-  let run programs steps seed batch lr save =
+  let save = Arg.(value & opt (some string) None & info [ "save" ] ~doc:"Write the trained agent (resumable checkpoint) to FILE.") in
+  let ckpt_every = Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~doc:"Also checkpoint to the --save path every N environment steps (crash-safe atomic writes; 0 disables periodic checkpoints).") in
+  let resume = Arg.(value & opt (some file) None & info [ "resume" ] ~doc:"Resume training from a checkpoint written by --save, restoring step count, statistics history and optimizer state.") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print pipeline phase timings, cache and fault statistics.") in
+  let run programs steps seed batch lr save ckpt_every resume stats =
+    or_compile_error @@ fun () ->
     let corpus = Dataset.Loopgen.generate ~seed programs in
-    let fw = Neurovec.Framework.create ~seed corpus in
+    (* fault injection / timing noise, if requested via NEUROVEC_FAULTS *)
+    let options =
+      { Neurovec.Pipeline.default_options with
+        faults = Neurovec.Faults.of_env () }
+    in
+    let resumed = Option.map Rl.Checkpoint.load_full resume in
+    let fw =
+      Neurovec.Framework.create
+        ?agent:(Option.map fst resumed)
+        ~options ~seed corpus
+    in
+    List.iter
+      (fun (name, why) ->
+        Printf.eprintf "neurovec: quarantined %s: %s\n%!" name why)
+      fw.Neurovec.Framework.skipped;
+    (match Option.bind resumed snd with
+    | Some st ->
+        Printf.printf "resuming at step %d (update %d)\n%!"
+          st.Rl.Train_state.ts_steps st.Rl.Train_state.ts_update
+    | None ->
+        if resume <> None then
+          Printf.printf "checkpoint has no training state; starting fresh from its weights\n%!");
     let hyper = { Rl.Ppo.default_hyper with batch_size = batch; lr } in
     ignore
       (Neurovec.Framework.train fw ~hyper ~total_steps:steps
+         ?checkpoint_path:save ~checkpoint_every:ckpt_every
+         ?resume:(Option.bind resumed snd)
          ~progress:(fun st ->
            Printf.printf "update %3d  steps %6d  reward_mean %+0.3f  loss %8.3f\n%!"
              st.Rl.Ppo.update st.Rl.Ppo.steps st.Rl.Ppo.reward_mean
@@ -159,14 +193,19 @@ let train_cmd =
         ~reward:(fun i a -> Neurovec.Reward.reward fw.Neurovec.Framework.oracle i a)
     in
     Printf.printf "greedy mean reward over the corpus: %+0.3f\n" greedy;
-    match save with
-    | Some path ->
-        Rl.Checkpoint.save fw.Neurovec.Framework.agent path;
-        Printf.printf "agent saved to %s\n" path
-    | None -> ()
+    (match fw.Neurovec.Framework.skipped with
+    | [] -> ()
+    | skipped ->
+        Printf.printf "quarantined programs: %d (excluded from training)\n"
+          (List.length skipped));
+    (match save with
+    | Some path -> Printf.printf "agent saved to %s\n" path
+    | None -> ());
+    if stats then print_string (Neurovec.Stats.report ())
   in
   Cmd.v (Cmd.info "train" ~doc:"Train the PPO vectorization agent.")
-    Term.(const run $ programs $ steps $ seed $ batch $ lr $ save)
+    Term.(const run $ programs $ steps $ seed $ batch $ lr $ save $ ckpt_every
+          $ resume $ stats)
 
 (* ---- predict ------------------------------------------------------ *)
 

@@ -1,0 +1,188 @@
+(** Deterministic, seeded fault injection for the measurement pipeline.
+
+    The paper's reward is a *measured* execution time on real hardware:
+    compiles occasionally fail or blow the time budget, runs trap or hit
+    resource limits, and every timing sample carries multiplicative noise
+    with the occasional heavy-tailed spike (a context switch, a frequency
+    transition).  This module reproduces those conditions on demand so the
+    training loop, the reward oracle and the experiment drivers can be
+    hardened against them — and *tested* against them, because every fault
+    is a deterministic function of the spec seed.
+
+    Two kinds of randomness, deliberately different:
+
+    - {b Discrete faults} (compile failure, runtime trap, fuel exhaustion,
+      compile-time spike) are keyed by [hash(seed, key, kind)], where [key]
+      identifies the (program, decision) being evaluated.  The same seed
+      and key always give the same outcome, independent of evaluation
+      order, so a fault is a persistent property of a measurement point —
+      exactly like a program that deterministically fails to compile under
+      a specific pragma — and cached rewards never disagree with a re-run.
+    - {b Timing noise} is drawn from a mutable RNG seeded from the spec, so
+      repeated measurements of the same point differ (that is the point:
+      the oracle must median them away) while a full run at a fixed seed is
+      still reproducible end to end.
+
+    Off by default ([none]); enable via [Pipeline.options] or the
+    [NEUROVEC_FAULTS] environment variable, e.g.
+    [NEUROVEC_FAULTS="seed=7,compile=0.05,trap=0.03,fuel=0.02,timeout=0.02,noise=0.1,tail=0.02"]. *)
+
+type fault = Compile_fault | Trap_fault | Fuel_fault
+
+type spec = {
+  f_seed : int;
+  p_compile : float;  (** probability an evaluation fails to compile *)
+  p_trap : float;  (** probability the measured run traps *)
+  p_fuel : float;  (** probability the run exhausts its interpreter fuel *)
+  p_timeout : float;
+      (** probability compile time spikes far past the 10x budget *)
+  noise : float;  (** sigma of multiplicative lognormal timing noise *)
+  p_tail : float;  (** per-sample probability of a heavy-tailed spike *)
+  rng : Nn.Rng.t;  (** consumed per timing sample; see module comment *)
+}
+
+(** Stands in for an interpreter/testbed resource limit; converted to the
+    [Fuel_exhausted] reward failure by {!Reward}. *)
+exception Fuel_exhausted of string
+
+let create ?(seed = 0) ?(compile = 0.0) ?(trap = 0.0) ?(fuel = 0.0)
+    ?(timeout = 0.0) ?(noise = 0.0) ?(tail = 0.0) () : spec =
+  { f_seed = seed; p_compile = compile; p_trap = trap; p_fuel = fuel;
+    p_timeout = timeout; noise; p_tail = tail;
+    rng = Nn.Rng.create (seed + 0x5eed) }
+
+let none = create ()
+
+let noisy (s : spec) : bool = s.noise > 0.0 || s.p_tail > 0.0
+
+let discrete (s : spec) : bool =
+  s.p_compile > 0.0 || s.p_trap > 0.0 || s.p_fuel > 0.0 || s.p_timeout > 0.0
+
+let active (s : spec) : bool = discrete s || noisy s
+
+(** Cache-key fragment; empty for an inactive spec so fault-free runs keep
+    their original reward-cache keys. *)
+let descriptor (s : spec) : string =
+  if not (active s) then ""
+  else
+    Printf.sprintf "|faults=%d:%g,%g,%g,%g,%g,%g" s.f_seed s.p_compile
+      s.p_trap s.p_fuel s.p_timeout s.noise s.p_tail
+
+(** Uniform in [0, 1) as a pure function of (seed, key, salt). *)
+let hash01 (s : spec) ~(key : string) ~(salt : string) : float =
+  let d =
+    Digest.string (Printf.sprintf "%d\x00%s\x00%s" s.f_seed key salt)
+  in
+  let acc = ref 0.0 in
+  for i = 0 to 6 do
+    acc := (!acc *. 256.0) +. float_of_int (Char.code d.[i])
+  done;
+  !acc /. (256.0 ** 7.0)
+
+(** The discrete fault (if any) injected into the evaluation identified by
+    [key]; deterministic per (seed, key). *)
+let pick (s : spec) ~(key : string) : fault option =
+  if s.p_compile > 0.0 && hash01 s ~key ~salt:"compile" < s.p_compile then
+    Some Compile_fault
+  else if s.p_trap > 0.0 && hash01 s ~key ~salt:"trap" < s.p_trap then
+    Some Trap_fault
+  else if s.p_fuel > 0.0 && hash01 s ~key ~salt:"fuel" < s.p_fuel then
+    Some Fuel_fault
+  else None
+
+(** Multiplier on simulated compile time; 25x (deterministically per key)
+    with probability [p_timeout], which sails past the oracle's 10x budget
+    and triggers the paper's -9 penalty path. *)
+let timeout_multiplier (s : spec) ~(key : string) : float =
+  if s.p_timeout > 0.0 && hash01 s ~key ~salt:"timeout" < s.p_timeout then
+    25.0
+  else 1.0
+
+(** Multiplier on one timing sample: lognormal noise, plus a Pareto-ish
+    spike (up to ~80x) with probability [p_tail]. *)
+let noise_factor (s : spec) : float =
+  if not (noisy s) then 1.0
+  else begin
+    let f =
+      if s.noise > 0.0 then exp (s.noise *. Nn.Rng.normal s.rng) else 1.0
+    in
+    if s.p_tail > 0.0 && Nn.Rng.float s.rng < s.p_tail then
+      f *. (1.0 +. (4.0 /. max 0.05 (Nn.Rng.float s.rng)))
+    else f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Parse a ["k=v,k=v"] spec string (keys: seed, compile, trap, fuel,
+    timeout, noise, tail).  Unknown keys and unparseable values are
+    reported in the warnings list and otherwise ignored. *)
+let of_string (text : string) : spec * string list =
+  let warnings = ref [] in
+  let warn fmt = Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt in
+  let spec =
+    List.fold_left
+      (fun s field ->
+        let field = String.trim field in
+        if field = "" then s
+        else
+          match String.index_opt field '=' with
+          | None ->
+              warn "ignoring field %S (expected key=value)" field;
+              s
+          | Some i -> (
+              let k = String.sub field 0 i in
+              let v =
+                String.sub field (i + 1) (String.length field - i - 1)
+              in
+              let fl () =
+                match float_of_string_opt v with
+                | Some f when f >= 0.0 -> Some f
+                | _ ->
+                    warn "ignoring %s=%S (expected a non-negative number)" k v;
+                    None
+              in
+              match k with
+              | "seed" -> (
+                  match int_of_string_opt v with
+                  | Some n -> { s with f_seed = n }
+                  | None ->
+                      warn "ignoring seed=%S (expected an integer)" v;
+                      s)
+              | "compile" -> (
+                  match fl () with
+                  | Some f -> { s with p_compile = f }
+                  | None -> s)
+              | "trap" -> (
+                  match fl () with Some f -> { s with p_trap = f } | None -> s)
+              | "fuel" -> (
+                  match fl () with Some f -> { s with p_fuel = f } | None -> s)
+              | "timeout" -> (
+                  match fl () with
+                  | Some f -> { s with p_timeout = f }
+                  | None -> s)
+              | "noise" -> (
+                  match fl () with Some f -> { s with noise = f } | None -> s)
+              | "tail" -> (
+                  match fl () with Some f -> { s with p_tail = f } | None -> s)
+              | _ ->
+                  warn "ignoring unknown key %S" k;
+                  s))
+      none
+      (String.split_on_char ',' text)
+  in
+  (* re-seed the noise rng from the parsed seed *)
+  ({ spec with rng = Nn.Rng.create (spec.f_seed + 0x5eed) }, List.rev !warnings)
+
+(** The spec selected by [NEUROVEC_FAULTS] ({!none} when unset); parse
+    warnings go to stderr rather than being silently swallowed. *)
+let of_env () : spec =
+  match Sys.getenv_opt "NEUROVEC_FAULTS" with
+  | None | Some "" -> none
+  | Some text ->
+      let spec, warnings = of_string text in
+      List.iter
+        (fun w -> Printf.eprintf "neurovec: NEUROVEC_FAULTS: %s\n%!" w)
+        warnings;
+      spec

@@ -12,7 +12,9 @@ type t = {
   agent : Rl.Agent.t;
   oracle : Reward.t;
   train_programs : Dataset.Program.t array;
-  samples : Rl.Ppo.sample array;
+  samples : Rl.Ppo.sample array;  (** quarantined programs excluded *)
+  skipped : (string * string) list;
+      (** programs quarantined at corpus intake: (name, reason) *)
 }
 
 (** Encode a program for the agent: AST path contexts of the first loop
@@ -38,24 +40,45 @@ let encode_site (agent : Rl.Agent.t) (site : Extractor.loop_site) :
   in
   Embedding.Code2vec.encode agent.Rl.Agent.c2v ctxs
 
-let create ?(space = Rl.Spaces.Discrete) ?(hidden = [ 64; 64 ])
+(** Build PPO samples for [programs], probing each program's baseline
+    first: a program whose baseline cannot be measured (front-end failure,
+    trap, fuel exhaustion, zero-cost loop) is quarantined by the oracle
+    and dropped here instead of crashing the training loop hundreds of
+    steps later.  Returns the surviving samples (with [s_id] indexing into
+    [programs]) and the dropped (name, reason) pairs. *)
+let probe_samples ?(encode = encode) (agent : Rl.Agent.t) (oracle : Reward.t)
+    (programs : Dataset.Program.t array) :
+    Rl.Ppo.sample array * (string * string) list =
+  let samples = ref [] and skipped = ref [] in
+  Array.iteri
+    (fun i p ->
+      try
+        ignore (Reward.baseline oracle i);
+        samples := { Rl.Ppo.s_id = i; s_ids = encode agent p } :: !samples
+      with Reward.Quarantined (name, why) -> skipped := (name, why) :: !skipped)
+    programs;
+  (Array.of_list (List.rev !samples), List.rev !skipped)
+
+let create ?agent ?(space = Rl.Spaces.Discrete) ?(hidden = [ 64; 64 ])
     ?(c2v_cfg = Embedding.Code2vec.default_config)
     ?(options = Pipeline.default_options) ~(seed : int)
     (train_programs : Dataset.Program.t array) : t =
-  let rng = Nn.Rng.create seed in
-  let agent = Rl.Agent.create ~hidden ~c2v_cfg ~space rng in
-  let oracle = Reward.create ~options train_programs in
-  let samples =
-    Array.mapi
-      (fun i p -> { Rl.Ppo.s_id = i; s_ids = encode agent p })
-      train_programs
+  let agent =
+    match agent with
+    | Some a -> a  (* e.g. restored from a checkpoint for resumed training *)
+    | None -> Rl.Agent.create ~hidden ~c2v_cfg ~space (Nn.Rng.create seed)
   in
-  { agent; oracle; train_programs; samples }
+  let oracle = Reward.create ~options train_programs in
+  let samples, skipped = probe_samples agent oracle train_programs in
+  { agent; oracle; train_programs; samples; skipped }
 
-(** Train the agent; returns per-update statistics. *)
-let train ?(hyper = Rl.Ppo.default_hyper) ?progress (t : t)
-    ~(total_steps : int) : Rl.Ppo.stats list =
-  Rl.Ppo.train ~hyper ?progress t.agent ~samples:t.samples
+(** Train the agent; returns per-update statistics.  [checkpoint_path],
+    [checkpoint_every] and [resume] behave as in {!Rl.Ppo.train}. *)
+let train ?(hyper = Rl.Ppo.default_hyper) ?progress ?checkpoint_path
+    ?(checkpoint_every = 0) ?resume (t : t) ~(total_steps : int) :
+    Rl.Ppo.stats list =
+  Rl.Ppo.train ~hyper ?progress ?checkpoint_path ~checkpoint_every ?resume
+    t.agent ~samples:t.samples
     ~reward:(fun idx act -> Reward.reward t.oracle idx act)
     ~total_steps
 

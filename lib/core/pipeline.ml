@@ -15,17 +15,22 @@ type options = {
   target : Machine.Target.t;
   polly : bool;
   compile_model : Machine.Compile.t;
+  faults : Faults.spec;
+      (** fault injection and timing noise; [Faults.none] = off *)
 }
 
 let default_options =
   { target = Machine.Target.skylake_avx2; polly = false;
-    compile_model = Machine.Compile.default }
+    compile_model = Machine.Compile.default; faults = Faults.none }
 
-(** Stable cache key for an options value (used by the reward cache). *)
+(** Stable cache key for an options value (used by the reward cache).
+    The fault descriptor is empty when injection is off, so fault-free
+    runs keep their original keys. *)
 let options_key (o : options) : string =
-  Printf.sprintf "%s|polly=%b|cm=%g+%g" o.target.Machine.Target.name o.polly
+  Printf.sprintf "%s|polly=%b|cm=%g+%g%s" o.target.Machine.Target.name o.polly
     o.compile_model.Machine.Compile.base_seconds
     o.compile_model.Machine.Compile.per_instr_seconds
+    (Faults.descriptor o.faults)
 
 type result = {
   modul : Ir.modul;
@@ -43,9 +48,26 @@ let find_kernel (m : Ir.modul) (name : string) : Ir.func =
   | None -> raise (Compile_error (Printf.sprintf "kernel %s not found" name))
 
 (** Back end: lower a checked AST and simulate it.  [name], [kernel] and
-    [bindings] come from the program the AST was derived from. *)
-let run_ast ?(options = default_options) ~(name : string) ~(kernel : string)
-    ~(bindings : (string * int) list) (prog : Minic.Ast.program) : result =
+    [bindings] come from the program the AST was derived from.
+
+    [fault_key] identifies the (program, decision) point for deterministic
+    fault injection; entry points derive it from the content hash and the
+    pragma decision so the same measurement point always faults the same
+    way (defaults to [name] for direct callers). *)
+let run_ast ?(options = default_options) ?fault_key ~(name : string)
+    ~(kernel : string) ~(bindings : (string * int) list)
+    (prog : Minic.Ast.program) : result =
+  let fkey = Option.value fault_key ~default:name in
+  (match Faults.pick options.faults ~key:fkey with
+  | Some Faults.Compile_fault ->
+      raise (Compile_error (name ^ ": injected fault: compile failure"))
+  | Some Faults.Trap_fault ->
+      raise (Ir_interp.Trap (name ^ ": injected fault: runtime trap"))
+  | Some Faults.Fuel_fault ->
+      raise
+        (Faults.Fuel_exhausted
+           (name ^ ": injected fault: interpreter fuel exhausted"))
+  | None -> ());
   let m =
     Stats.time Stats.Lower (fun () ->
         try Ir_lower.lower_program ~bindings prog
@@ -67,11 +89,13 @@ let run_ast ?(options = default_options) ~(name : string) ~(kernel : string)
   Stats.time Stats.Scalar_opt (fun () -> ignore (Vectorizer.Licm.run_modul m));
   let compile_seconds =
     Machine.Compile.seconds ~model:options.compile_model m
+    *. Faults.timeout_multiplier options.faults ~key:fkey
   in
   let kernel_fn = find_kernel m kernel in
   let exec_cycles =
     Stats.time Stats.Timing (fun () ->
         Machine.Timing.cycles options.target m kernel_fn)
+    *. Faults.noise_factor options.faults
   in
   let exec_seconds =
     exec_cycles /. (options.target.Machine.Target.ghz *. 1e9)
@@ -79,15 +103,17 @@ let run_ast ?(options = default_options) ~(name : string) ~(kernel : string)
   Stats.pipeline_run ();
   { modul = m; decisions; compile_seconds; exec_seconds; exec_cycles }
 
-let run_artifact ?(options = default_options) (p : Dataset.Program.t)
-    (prog : Minic.Ast.program) : result =
-  run_ast ~options ~name:p.Dataset.Program.p_name
+let run_artifact ?(options = default_options) ?fault_key
+    (p : Dataset.Program.t) (prog : Minic.Ast.program) : result =
+  run_ast ~options ?fault_key ~name:p.Dataset.Program.p_name
     ~kernel:p.Dataset.Program.p_kernel ~bindings:p.Dataset.Program.p_bindings
     prog
 
 (** Compile and simulate one program, honouring pragmas in its source. *)
 let run ?(options = default_options) (p : Dataset.Program.t) : result =
-  run_artifact ~options p (Frontend.checked p).Frontend.a_ast
+  let a = Frontend.checked p in
+  run_artifact ~options ~fault_key:(a.Frontend.a_hash ^ "|asis") p
+    a.Frontend.a_ast
 
 (** Compile with a specific (vf, if) pragma on every innermost loop. *)
 let run_with_pragma ?(options = default_options) (p : Dataset.Program.t) ~vf
@@ -96,18 +122,30 @@ let run_with_pragma ?(options = default_options) (p : Dataset.Program.t) ~vf
   let decisions =
     List.init a.Frontend.a_loops (fun i -> (i, Injector.pragma_of ~vf ~if_))
   in
-  run_artifact ~options p
+  run_artifact ~options
+    ~fault_key:(Printf.sprintf "%s|vf=%d,if=%d" a.Frontend.a_hash vf if_)
+    p
     (Injector.inject_ast ~clear_others:true a.Frontend.a_ast ~decisions)
 
 (** Compile with the baseline cost model only (existing pragmas removed). *)
 let run_baseline ?(options = default_options) (p : Dataset.Program.t) : result =
   let a = Frontend.checked p in
-  run_artifact ~options p
+  run_artifact ~options ~fault_key:(a.Frontend.a_hash ^ "|baseline") p
     (Injector.inject_ast ~clear_others:true a.Frontend.a_ast ~decisions:[])
 
 (** Compile with per-loop pragma decisions. *)
 let run_with_decisions ?(options = default_options) (p : Dataset.Program.t)
     ~(decisions : (int * Minic.Ast.loop_pragma) list) : result =
   let a = Frontend.checked p in
-  run_artifact ~options p
+  let fault_key =
+    a.Frontend.a_hash ^ "|d:"
+    ^ String.concat ";"
+        (List.map
+           (fun (ord, pr) ->
+             Printf.sprintf "%d=%d,%d" ord
+               (Option.value pr.Minic.Ast.vectorize_width ~default:0)
+               (Option.value pr.Minic.Ast.interleave_count ~default:0))
+           decisions)
+  in
+  run_artifact ~options ~fault_key p
     (Injector.inject_ast ~clear_others:true a.Frontend.a_ast ~decisions)

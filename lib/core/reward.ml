@@ -13,11 +13,42 @@
     measurements as supervised labels.  Each entry records whether the
     compile-time penalty fired, so penalized actions are reported exactly
     (not inferred by comparing the reward against the penalty sentinel,
-    which misclassified genuine >10x slowdowns as timeouts). *)
+    which misclassified genuine >10x slowdowns as timeouts).
+
+    {b Failure handling.}  The paper's reward is a measurement on real
+    hardware, where individual evaluations fail; the oracle therefore
+    never lets an evaluation failure escape as a raw exception:
+
+    - An {e action} evaluation that fails (compile error, runtime trap,
+      fuel exhaustion) converts to the penalty reward with the failure
+      recorded in the entry and in {!Stats} — the policy update proceeds.
+    - A {e baseline} failure means the program cannot be normalized at
+      all: the program is quarantined ({!Quarantined} is raised and the
+      program is remembered, so drivers can skip it and report it).  A
+      baseline measuring zero (e.g. a trip-0 loop) is quarantined too —
+      dividing by it would send NaN rewards into the PPO advantages.
+    - Under nonzero timing noise ({!Faults.noisy}), every measurement is
+      the median of [noise_samples] runs with MAD outlier rejection, so
+      one heavy-tailed spike cannot poison a cached reward. *)
+
+(** Why an evaluation failed. *)
+type failure = Compile_failed | Trap | Fuel_exhausted | Timed_out
+
+let failure_name = function
+  | Compile_failed -> "compile"
+  | Trap -> "trap"
+  | Fuel_exhausted -> "fuel"
+  | Timed_out -> "timeout"
+
+(** Raised when a program's baseline cannot be measured; carries the
+    program name and a human-readable reason.  Once raised for a program,
+    every later evaluation of it re-raises without re-measuring. *)
+exception Quarantined of string * string
 
 type entry = {
   e_reward : float;
-  e_penalized : bool;  (** the compile-time budget fired for this action *)
+  e_penalized : bool;  (** the action was penalized (budget or failure) *)
+  e_failure : failure option;  (** why, when [e_penalized] *)
 }
 
 type t = {
@@ -25,40 +56,140 @@ type t = {
   options : Pipeline.options;
   timeout_factor : float;
   penalty : float;
+  noise_samples : int;
+      (** timing samples per measurement when the fault spec is noisy *)
   keys : string array;
       (** per-program content key: source hash + options, precomputed *)
   baselines : (string, float * float) Hashtbl.t;
       (** content key -> (exec seconds, compile seconds) *)
   cache : (string, entry) Hashtbl.t;
       (** content key + decision -> reward entry *)
+  quarantined : (string, string) Hashtbl.t;  (** content key -> reason *)
+  mutable quarantine_log : (string * string) list;
+      (** (program name, reason), newest first *)
   mutable evaluations : int;  (** non-memoized compile+run count *)
   mutable hits : int;  (** memoized reward lookups served from cache *)
 }
 
 let create ?(options = Pipeline.default_options) ?(timeout_factor = 10.0)
-    ?(penalty = -9.0) (programs : Dataset.Program.t array) : t =
+    ?(penalty = -9.0) ?(noise_samples = 5) (programs : Dataset.Program.t array)
+    : t =
   let opt_key = Pipeline.options_key options in
-  { programs; options; timeout_factor; penalty;
+  { programs; options; timeout_factor; penalty; noise_samples;
     keys =
       Array.map
         (fun p -> Frontend.hash_program p ^ "|" ^ opt_key)
         programs;
     baselines = Hashtbl.create (Array.length programs);
     cache = Hashtbl.create (4 * Array.length programs);
+    quarantined = Hashtbl.create 8; quarantine_log = [];
     evaluations = 0; hits = 0 }
 
+(** Programs dropped so far, oldest first. *)
+let quarantine_report (t : t) : (string * string) list =
+  List.rev t.quarantine_log
+
+(* ------------------------------------------------------------------ *)
+(* Robust measurement                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let classify_exn : exn -> (failure * string) option = function
+  | Pipeline.Compile_error msg -> Some (Compile_failed, msg)
+  | Ir_interp.Trap msg -> Some (Trap, msg)
+  | Faults.Fuel_exhausted msg -> Some (Fuel_exhausted, msg)
+  | _ -> None
+
+let median (xs : float list) : float =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+      let n = List.length sorted in
+      let nth i = List.nth sorted i in
+      if n mod 2 = 1 then nth (n / 2)
+      else 0.5 *. (nth ((n / 2) - 1) +. nth (n / 2))
+
+(** Median after rejecting samples more than 3 MADs from the median — the
+    standard robust defence against heavy-tailed timing spikes. *)
+let robust_estimate (xs : float list) : float =
+  let m = median xs in
+  let mad = median (List.map (fun x -> abs_float (x -. m)) xs) in
+  if mad <= 0.0 then m
+  else
+    match List.filter (fun x -> abs_float (x -. m) <= 3.0 *. mad) xs with
+    | [] -> m
+    | kept -> median kept
+
+(** (exec, compile) seconds of one measurement point: a single run when
+    timing is deterministic, median-of-k with MAD rejection when the fault
+    spec injects noise.  Re-raises whatever [f] raises. *)
+let measure (t : t) (f : unit -> Pipeline.result) : float * float =
+  let r0 = f () in
+  if (not (Faults.noisy t.options.Pipeline.faults)) || t.noise_samples <= 1
+  then (r0.Pipeline.exec_seconds, r0.Pipeline.compile_seconds)
+  else begin
+    let rest =
+      List.init (t.noise_samples - 1) (fun _ ->
+          Stats.record_timing_retry ();
+          f ())
+    in
+    let all = r0 :: rest in
+    ( robust_estimate (List.map (fun r -> r.Pipeline.exec_seconds) all),
+      robust_estimate (List.map (fun r -> r.Pipeline.compile_seconds) all) )
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Baseline                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let quarantine (t : t) (idx : int) (why : string) : 'a =
+  let name = t.programs.(idx).Dataset.Program.p_name in
+  if not (Hashtbl.mem t.quarantined t.keys.(idx)) then begin
+    Hashtbl.replace t.quarantined t.keys.(idx) why;
+    t.quarantine_log <- (name, why) :: t.quarantine_log;
+    Stats.record_quarantine ()
+  end;
+  raise (Quarantined (name, why))
+
 let baseline (t : t) (idx : int) : float * float =
-  match Hashtbl.find_opt t.baselines t.keys.(idx) with
-  | Some b -> b
-  | None ->
-      let r = Pipeline.run_baseline ~options:t.options t.programs.(idx) in
-      t.evaluations <- t.evaluations + 1;
-      let b = (r.Pipeline.exec_seconds, r.Pipeline.compile_seconds) in
-      Hashtbl.replace t.baselines t.keys.(idx) b;
-      b
+  let key = t.keys.(idx) in
+  match Hashtbl.find_opt t.quarantined key with
+  | Some why ->
+      raise (Quarantined (t.programs.(idx).Dataset.Program.p_name, why))
+  | None -> (
+      match Hashtbl.find_opt t.baselines key with
+      | Some b -> b
+      | None -> (
+          match
+            measure t (fun () ->
+                Pipeline.run_baseline ~options:t.options t.programs.(idx))
+          with
+          | exception e -> (
+              match classify_exn e with
+              | Some (kind, msg) ->
+                  Stats.record_failure (failure_name kind);
+                  quarantine t idx
+                    (Printf.sprintf "baseline %s: %s" (failure_name kind) msg)
+              | None -> raise e)
+          | t_exec, t_compile ->
+              t.evaluations <- t.evaluations + 1;
+              if (not (Float.is_finite t_exec)) || t_exec <= 0.0 then
+                quarantine t idx
+                  (Printf.sprintf
+                     "baseline execution time %g cannot normalize rewards"
+                     t_exec)
+              else begin
+                let b = (t_exec, t_compile) in
+                Hashtbl.replace t.baselines key b;
+                b
+              end))
+
+(* ------------------------------------------------------------------ *)
+(* Action evaluation                                                    *)
+(* ------------------------------------------------------------------ *)
 
 (** Memoized reward entry of applying [action] to every innermost loop of
-    program [idx]. *)
+    program [idx].  Raises {!Quarantined} if the program's baseline is
+    unusable; any failure of the action itself converts to the penalty. *)
 let entry (t : t) (idx : int) (action : Rl.Spaces.action) : entry =
   let key =
     Printf.sprintf "%s|vf=%d,if=%d" t.keys.(idx)
@@ -69,25 +200,40 @@ let entry (t : t) (idx : int) (action : Rl.Spaces.action) : entry =
       t.hits <- t.hits + 1;
       Stats.reward_hit ();
       e
-  | None ->
+  | None -> (
       Stats.reward_miss ();
       let t_base, c_base = baseline t idx in
-      let res =
-        Pipeline.run_with_pragma ~options:t.options t.programs.(idx)
-          ~vf:(Rl.Spaces.vf_of action) ~if_:(Rl.Spaces.if_of action)
+      let finish e =
+        Hashtbl.replace t.cache key e;
+        e
       in
-      t.evaluations <- t.evaluations + 1;
-      let penalized =
-        res.Pipeline.compile_seconds > t.timeout_factor *. c_base
+      let penalize kind =
+        Stats.record_failure (failure_name kind);
+        finish
+          { e_reward = t.penalty; e_penalized = true; e_failure = Some kind }
       in
-      let e =
-        { e_penalized = penalized;
-          e_reward =
-            (if penalized then t.penalty
-             else (t_base -. res.Pipeline.exec_seconds) /. t_base) }
-      in
-      Hashtbl.replace t.cache key e;
-      e
+      match
+        measure t (fun () ->
+            Pipeline.run_with_pragma ~options:t.options t.programs.(idx)
+              ~vf:(Rl.Spaces.vf_of action) ~if_:(Rl.Spaces.if_of action))
+      with
+      | exception e -> (
+          match classify_exn e with
+          | Some (kind, _msg) ->
+              t.evaluations <- t.evaluations + 1;
+              penalize kind
+          | None -> raise e)
+      | t_exec, c_act ->
+          t.evaluations <- t.evaluations + 1;
+          if c_act > t.timeout_factor *. c_base then penalize Timed_out
+          else if (not (Float.is_finite t_exec)) || t_exec < 0.0 then
+            (* defensive: a non-finite sample must never reach the PPO
+               advantages *)
+            penalize Trap
+          else
+            finish
+              { e_reward = (t_base -. t_exec) /. t_base; e_penalized = false;
+                e_failure = None })
 
 (** Reward of applying [action] to every innermost loop of program [idx]. *)
 let reward (t : t) (idx : int) (action : Rl.Spaces.action) : float =

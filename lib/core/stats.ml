@@ -73,6 +73,33 @@ let reward_hit () = incr reward_hits
 let reward_miss () = incr reward_misses
 let pipeline_run () = incr pipeline_runs
 
+(* ------------------------------------------------------------------ *)
+(* Robustness counters                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Failed evaluations by taxonomy kind ("compile", "trap", "fuel",
+    "timeout", ...), recorded by {!Reward} when an action evaluation is
+    converted to the penalty reward or a baseline is quarantined. *)
+let failures : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let record_failure (kind : string) : unit =
+  Hashtbl.replace failures kind
+    (1 + Option.value ~default:0 (Hashtbl.find_opt failures kind))
+
+let failure_count (kind : string) : int =
+  Option.value ~default:0 (Hashtbl.find_opt failures kind)
+
+let quarantines = ref 0
+
+(** A program whose baseline measurement failed was dropped from further
+    evaluation. *)
+let record_quarantine () = incr quarantines
+
+let timing_retries = ref 0
+
+(** One extra timing sample taken for the median-of-k noise defence. *)
+let record_timing_retry () = incr timing_retries
+
 let hit_rate ~(hits : int) ~(misses : int) : float =
   let total = hits + misses in
   if total = 0 then 0.0 else float_of_int hits /. float_of_int total
@@ -88,6 +115,9 @@ type snapshot = {
   reward_hits : int;
   reward_misses : int;
   pipeline_runs : int;
+  failures : (string * int) list;  (** taxonomy kind -> failed evaluations *)
+  quarantines : int;
+  timing_retries : int;
 }
 
 let snapshot () : snapshot =
@@ -101,6 +131,11 @@ let snapshot () : snapshot =
     reward_hits = !reward_hits;
     reward_misses = !reward_misses;
     pipeline_runs = !pipeline_runs;
+    failures =
+      List.sort compare
+        (Hashtbl.fold (fun k n acc -> (k, n) :: acc) failures []);
+    quarantines = !quarantines;
+    timing_retries = !timing_retries;
   }
 
 let reset () =
@@ -113,7 +148,10 @@ let reset () =
   frontend_misses := 0;
   reward_hits := 0;
   reward_misses := 0;
-  pipeline_runs := 0
+  pipeline_runs := 0;
+  Hashtbl.reset failures;
+  quarantines := 0;
+  timing_retries := 0
 
 (** Human-readable scoreboard: per-phase wall time and cache hit rates. *)
 let report () : string =
@@ -141,4 +179,15 @@ let report () : string =
        (100.0 *. hit_rate ~hits:s.reward_hits ~misses:s.reward_misses));
   Buffer.add_string b
     (Printf.sprintf "pipeline evaluations: %d\n" s.pipeline_runs);
+  if s.failures <> [] then
+    Buffer.add_string b
+      (Printf.sprintf "reward failures: %s\n"
+         (String.concat " "
+            (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) s.failures)));
+  if s.quarantines > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "quarantined programs: %d\n" s.quarantines);
+  if s.timing_retries > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "timing resamples (median-of-k): %d\n" s.timing_retries);
   Buffer.contents b

@@ -23,9 +23,10 @@ let train_with ~label ~(encode : Rl.Agent.t -> Dataset.Program.t -> Embedding.Co
   let c2v_cfg = { Embedding.Code2vec.default_config with use_attention } in
   let agent = Rl.Agent.create ~c2v_cfg ~space:Rl.Spaces.Discrete rng in
   let oracle = Neurovec.Reward.create ~penalty programs in
-  let samples =
-    Array.mapi (fun i p -> { Rl.Ppo.s_id = i; s_ids = encode agent p }) programs
+  let samples, skipped =
+    Neurovec.Framework.probe_samples ~encode agent oracle programs
   in
+  List.iter (fun (n, why) -> Common.note_skip n why) skipped;
   ignore
     (Rl.Ppo.train
        ~hyper:{ Rl.Ppo.default_hyper with batch_size = 400 }

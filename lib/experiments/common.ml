@@ -6,7 +6,14 @@
 
 let scale : float =
   match Sys.getenv_opt "NEUROVEC_SCALE" with
-  | Some s -> ( match float_of_string_opt s with Some f -> f | None -> 1.0)
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some f -> f
+      | None ->
+          (* don't mask a typo as "scale 1.0" *)
+          Printf.eprintf
+            "neurovec: unparseable NEUROVEC_SCALE=%S, using 1.0\n%!" s;
+          1.0)
   | None -> 1.0
 
 let scaled (n : int) : int = max 1 (int_of_float (float_of_int n *. scale))
@@ -43,8 +50,53 @@ let bar (label : string) (v : float) =
   let n = max 0 (min 60 (int_of_float (v *. 12.0))) in
   Printf.printf "%-22s %6.2fx %s\n" label v (String.make n '#')
 
+(* ------------------------------------------------------------------ *)
+(* Per-program fault tolerance                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Programs dropped by {!guard} in this process: (name, reason). *)
+let skipped : (string * string) list ref = ref []
+
+let note_skip (name : string) (reason : string) : unit =
+  skipped := (name, reason) :: !skipped
+
+(** Run one program's worth of work, converting any evaluation failure
+    (quarantined baseline, compile error, trap, fuel exhaustion) into a
+    recorded skip instead of aborting the whole corpus sweep.  Drivers
+    filter the [None]s out and call {!skipped_report} at the end, so a
+    sweep over a faulty corpus always completes and reports what it
+    dropped. *)
+let guard ~(name : string) (f : unit -> 'a) : 'a option =
+  try Some (f ()) with
+  | Neurovec.Reward.Quarantined (n, why) ->
+      note_skip n why;
+      None
+  | Neurovec.Pipeline.Compile_error msg ->
+      note_skip name msg;
+      None
+  | Ir_interp.Trap msg ->
+      note_skip name ("trap: " ^ msg);
+      None
+  | Neurovec.Faults.Fuel_exhausted msg ->
+      note_skip name ("fuel exhausted: " ^ msg);
+      None
+
+(** One line per skipped program (nothing when no program was skipped). *)
+let skipped_report () : unit =
+  match List.rev !skipped with
+  | [] -> ()
+  | dropped ->
+      Printf.printf "\nskipped %d program(s):\n" (List.length dropped);
+      List.iter
+        (fun (name, why) -> Printf.printf "  %-22s %s\n" name why)
+        dropped;
+      Printf.printf "%!"
+
 (** Print the pipeline instrumentation scoreboard (per-phase wall time,
-    front-end / reward cache hit rates, evaluation counts).  Drivers and
-    the bench harness call this after a run; pair with
-    [Neurovec.Stats.reset] to scope the numbers to one experiment. *)
-let pipeline_stats () = print_string (Neurovec.Stats.report ())
+    front-end / reward cache hit rates, evaluation counts, fault and
+    quarantine counters).  Drivers and the bench harness call this after a
+    run; pair with [Neurovec.Stats.reset] to scope the numbers to one
+    experiment. *)
+let pipeline_stats () =
+  print_string (Neurovec.Stats.report ());
+  skipped_report ()

@@ -10,17 +10,19 @@ type row = { name : string; best_speedup : float; best_vf : int; best_if : int }
 let run () : row list =
   let programs = Dataset.Llvm_suite.programs in
   let oracle = Neurovec.Reward.create programs in
-  Array.to_list
-    (Array.mapi
-       (fun i p ->
-         let act, _ = Neurovec.Reward.brute_force oracle i in
-         let t_base, _ = Neurovec.Reward.baseline oracle i in
-         let t_best = Neurovec.Reward.exec_seconds oracle i act in
-         { name = p.Dataset.Program.p_name;
-           best_speedup = t_base /. t_best;
-           best_vf = Rl.Spaces.vf_of act;
-           best_if = Rl.Spaces.if_of act })
-       programs)
+  Array.to_list programs
+  |> List.mapi (fun i p -> (i, p))
+  |> List.filter_map (fun (i, p) ->
+         (* a program whose baseline cannot be measured is skipped and
+            reported, not allowed to abort the sweep *)
+         Common.guard ~name:p.Dataset.Program.p_name (fun () ->
+             let act, _ = Neurovec.Reward.brute_force oracle i in
+             let t_base, _ = Neurovec.Reward.baseline oracle i in
+             let t_best = Neurovec.Reward.exec_seconds oracle i act in
+             { name = p.Dataset.Program.p_name;
+               best_speedup = t_base /. t_best;
+               best_vf = Rl.Spaces.vf_of act;
+               best_if = Rl.Spaces.if_of act }))
 
 let print () =
   Common.header

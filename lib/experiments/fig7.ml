@@ -36,11 +36,14 @@ let run () : row list * (Trained.method_ * float) list =
   let benches = pick_benchmarks t in
   let rows =
     Array.to_list benches
-    |> List.map (fun p ->
-           let base = Trained.seconds t Trained.Baseline p in
-           { bench = p.Dataset.Program.p_name;
-             speedups =
-               List.map (fun m -> (m, base /. Trained.seconds t m p)) methods })
+    |> List.filter_map (fun p ->
+           Common.guard ~name:p.Dataset.Program.p_name (fun () ->
+               let base = Trained.seconds t Trained.Baseline p in
+               { bench = p.Dataset.Program.p_name;
+                 speedups =
+                   List.map
+                     (fun m -> (m, base /. Trained.seconds t m p))
+                     methods }))
   in
   let averages =
     List.map

@@ -12,10 +12,12 @@ let run () =
   let t = Trained.get () in
   let rows =
     Array.to_list Dataset.Polybench.programs
-    |> List.map (fun p ->
-           let base = Trained.seconds t Trained.Baseline p in
-           ( p.Dataset.Program.p_name,
-             List.map (fun m -> (m, base /. Trained.seconds t m p)) methods ))
+    |> List.filter_map (fun p ->
+           Common.guard ~name:p.Dataset.Program.p_name (fun () ->
+               let base = Trained.seconds t Trained.Baseline p in
+               ( p.Dataset.Program.p_name,
+                 List.map (fun m -> (m, base /. Trained.seconds t m p))
+                   methods )))
   in
   let avg m =
     Common.geomean (List.map (fun (_, ss) -> List.assoc m ss) rows)

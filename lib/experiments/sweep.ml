@@ -22,11 +22,8 @@ let run_one ?(space = Rl.Spaces.Discrete) ?(hidden = [ 64; 64 ])
   let rng = Nn.Rng.create seed in
   let c2v_cfg = { Embedding.Code2vec.default_config with use_attention } in
   let agent = Rl.Agent.create ~hidden ~c2v_cfg ~space rng in
-  let samples =
-    Array.mapi
-      (fun i p -> { Rl.Ppo.s_id = i; s_ids = Neurovec.Framework.encode agent p })
-      programs
-  in
+  let samples, skipped = Neurovec.Framework.probe_samples agent oracle programs in
+  List.iter (fun (n, why) -> Common.note_skip n why) skipped;
   let points =
     Rl.Ppo.train ~hyper agent ~samples
       ~reward:(fun i a -> Neurovec.Reward.reward oracle i a)

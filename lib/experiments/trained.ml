@@ -26,17 +26,22 @@ let build () : t =
     (Neurovec.Framework.train fw
        ~hyper:{ Rl.Ppo.default_hyper with batch_size = 500 }
        ~total_steps:(Common.scaled 8000));
-  (* brute-force labels on a labeled portion of the training split *)
+  (* brute-force labels on a labeled portion of the training split; a
+     program the oracle quarantined contributes no label instead of
+     aborting the build *)
   let n_labeled = min (Array.length train_set) (Common.scaled 250) in
-  let xs =
-    Array.init n_labeled (fun i ->
-        code_vector fw.Neurovec.Framework.agent train_set.(i))
+  let labeled =
+    List.init n_labeled Fun.id
+    |> List.filter_map (fun i ->
+           Common.guard ~name:train_set.(i).Dataset.Program.p_name (fun () ->
+               let act, _ =
+                 Neurovec.Reward.brute_force fw.Neurovec.Framework.oracle i
+               in
+               ( code_vector fw.Neurovec.Framework.agent train_set.(i),
+                 Rl.Spaces.flat_of act )))
   in
-  let ys =
-    Array.init n_labeled (fun i ->
-        let act, _ = Neurovec.Reward.brute_force fw.Neurovec.Framework.oracle i in
-        Rl.Spaces.flat_of act)
-  in
+  let xs = Array.of_list (List.map fst labeled) in
+  let ys = Array.of_list (List.map snd labeled) in
   {
     agent = fw.Neurovec.Framework.agent;
     oracle = fw.Neurovec.Framework.oracle;

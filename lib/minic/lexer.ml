@@ -82,7 +82,10 @@ let lex_number st : Token.t =
       advance st
     done;
     let s = String.sub st.src start (st.off - start) in
-    Token.INT_LIT (Int64.of_string s))
+    if st.off - start = 2 then error st "hex literal with no digits";
+    match Int64.of_string_opt s with
+    | Some n -> Token.INT_LIT n
+    | None -> error st (Printf.sprintf "integer literal %s out of range" s))
   else begin
     let seen_dot = ref false and seen_exp = ref false in
     let continue () =
@@ -122,8 +125,13 @@ let lex_number st : Token.t =
     let body = String.sub st.src start (st.off - start) in
     suffixes ();
     if !seen_dot || !seen_exp || !is_float_suffix then
-      Token.FLOAT_LIT (float_of_string body)
-    else Token.INT_LIT (Int64.of_string body)
+      match float_of_string_opt body with
+      | Some f -> Token.FLOAT_LIT f
+      | None -> error st (Printf.sprintf "malformed float literal %s" body)
+    else
+      match Int64.of_string_opt body with
+      | Some n -> Token.INT_LIT n
+      | None -> error st (Printf.sprintf "integer literal %s out of range" body)
   end
 
 let lex_ident st : Token.t =

@@ -2,39 +2,134 @@
 
     The paper's deployment story (Section 4.2) is train-once /
     infer-forever: the trained policy ships with the compiler and makes a
-    single forward pass per loop. These helpers persist a trained agent —
-    embedding tables, trunk, heads, and action-space configuration — so the
-    CLI can train in one invocation and predict in another.
+    single forward pass per loop.  These helpers persist a trained agent —
+    embedding tables, trunk, heads, and action-space configuration — plus,
+    since format v2, optional resumable training state
+    ({!Train_state.t}), so a killed run can continue from its last
+    periodic checkpoint.
 
-    Format: a magic string + version, then the agent record marshalled
-    (the model is plain data — float arrays and configuration records — so
-    OCaml's Marshal is safe here; the file is tied to the OCaml version
-    like any Marshal artifact). *)
+    {b Format v2} (current): a marshalled [(magic, version)] header, the
+    marshalled payload bytes, then a CRC32 integrity footer over those
+    bytes.  Files are written atomically (temp file in the same directory
+    + rename), so a crash mid-write can never leave a truncated file under
+    the checkpoint's name.  v1 files (header + bare agent, no footer) are
+    still loadable.  The model is plain data — float arrays and
+    configuration records — so OCaml's Marshal is safe here; the file is
+    tied to the OCaml version like any Marshal artifact.
+
+    Every load failure — wrong magic, unsupported version, truncated
+    header {e or body}, CRC mismatch, unmarshalable payload — surfaces as
+    {!Bad_checkpoint}; no raw [Failure]/[End_of_file] escapes. *)
 
 let magic = "neurovec-agent"
 
-let version = 1
+let version = 2
 
 exception Bad_checkpoint of string
 
-let save (agent : Agent.t) (path : string) : unit =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_value oc (magic, version);
-      output_value oc agent)
+type payload = {
+  p_agent : Agent.t;
+  p_state : Train_state.t option;  (** resumable training state, if any *)
+}
 
-let load (path : string) : Agent.t =
+(* ------------------------------------------------------------------ *)
+(* CRC32 (IEEE 802.3, the zlib polynomial)                              *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 (s : string) : int32 =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      c :=
+        Int32.logxor
+          table.(Int32.to_int
+                   (Int32.logand
+                      (Int32.logxor !c (Int32.of_int (Char.code ch)))
+                      0xFFl))
+          (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ------------------------------------------------------------------ *)
+(* Save / load                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Write [agent] (and optionally resumable training [state]) to [path],
+    atomically: the bytes land in a temp file first and are renamed over
+    [path] only once complete, so an interrupted save leaves the previous
+    checkpoint intact. *)
+let save ?state (agent : Agent.t) (path : string) : unit =
+  let body = Marshal.to_string { p_agent = agent; p_state = state } [] in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_value oc (magic, version);
+     output_value oc body;
+     output_value oc (crc32 body);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+(** Load an agent and whatever training state the file carries.  Accepts
+    v1 (agent only) and v2; raises {!Bad_checkpoint} on any corruption. *)
+let load_full (path : string) : Agent.t * Train_state.t option =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      (match (input_value ic : string * int) with
-      | m, v when m = magic && v = version -> ()
-      | m, v ->
+      let m, v =
+        try (input_value ic : string * int)
+        with _ -> raise (Bad_checkpoint "not an agent checkpoint")
+      in
+      if m <> magic then
+        raise
+          (Bad_checkpoint
+             (Printf.sprintf "expected %s, found %s" magic m));
+      match v with
+      | 1 ->
+          (* v1: the agent record follows the header directly *)
+          let agent =
+            try (input_value ic : Agent.t)
+            with _ -> raise (Bad_checkpoint "truncated or corrupt v1 body")
+          in
+          (agent, None)
+      | 2 ->
+          let body =
+            try (input_value ic : string)
+            with _ -> raise (Bad_checkpoint "truncated or corrupt body")
+          in
+          let stored =
+            try (input_value ic : int32)
+            with _ -> raise (Bad_checkpoint "missing integrity footer")
+          in
+          if crc32 body <> stored then
+            raise
+              (Bad_checkpoint "integrity check failed (CRC32 mismatch)");
+          let payload =
+            try (Marshal.from_string body 0 : payload)
+            with _ -> raise (Bad_checkpoint "corrupt payload")
+          in
+          (payload.p_agent, payload.p_state)
+      | v ->
           raise
             (Bad_checkpoint
-               (Printf.sprintf "expected %s v%d, found %s v%d" magic version m v))
-      | exception _ -> raise (Bad_checkpoint "not an agent checkpoint"));
-      (input_value ic : Agent.t))
+               (Printf.sprintf "unsupported %s version %d (latest is %d)"
+                  magic v version)))
+
+let load (path : string) : Agent.t = fst (load_full path)

@@ -32,8 +32,9 @@ let paper_hyper = { default_hyper with lr = 5e-5; batch_size = 4000 }
 (** One environment sample: a loop, pre-encoded to vocabulary ids. *)
 type sample = { s_id : int; s_ids : Embedding.Code2vec.ids array }
 
-(** Per-update statistics, one record per policy update. *)
-type stats = {
+(** Per-update statistics, one record per policy update (the persisted
+    form lives in {!Train_state} so checkpoints can carry the history). *)
+type stats = Train_state.stats = {
   update : int;
   steps : int;  (** cumulative environment steps *)
   reward_mean : float;
@@ -52,16 +53,46 @@ type transition = {
 
     [reward sample_id action] is the environment: it compiles the program
     with the chosen pragma and returns the normalized improvement (or the
-    -9 timeout penalty). Returns the per-update statistics history. *)
+    -9 timeout penalty). Returns the per-update statistics history.
+
+    [checkpoint_path] enables crash-safe training: a resumable checkpoint
+    (agent + {!Train_state.t}) is written there after every
+    [checkpoint_every] environment steps (0 = only at completion), and
+    always once the step budget is reached.  [resume] continues a previous
+    run: counters, statistics history and the optimizer (Adam moments) are
+    restored, and [total_steps] is interpreted cumulatively — resuming a
+    checkpoint taken at an update boundary reproduces the uninterrupted
+    run exactly, because the agent's RNG state rides in the checkpoint.
+    On resume the restored optimizer is used as-is ([hyper.lr] does not
+    re-apply). *)
 let train ?(hyper = default_hyper) ?(progress = fun (_ : stats) -> ())
-    (agent : Agent.t) ~(samples : sample array)
-    ~(reward : int -> Spaces.action -> float) ~(total_steps : int) :
-    stats list =
+    ?checkpoint_path ?(checkpoint_every = 0)
+    ?(resume : Train_state.t option) (agent : Agent.t)
+    ~(samples : sample array) ~(reward : int -> Spaces.action -> float)
+    ~(total_steps : int) : stats list =
   let rng = agent.Agent.rng in
-  let history = ref [] in
-  let steps_done = ref 0 in
-  let update = ref 0 in
-  let opt = Nn.Optim.adam ~lr:hyper.lr () in
+  let opt, steps0, update0, history0 =
+    match resume with
+    | Some st ->
+        (st.Train_state.ts_optim, st.Train_state.ts_steps,
+         st.Train_state.ts_update, List.rev st.Train_state.ts_history)
+    | None -> (Nn.Optim.adam ~lr:hyper.lr (), 0, 0, [])
+  in
+  let history = ref history0 in
+  let steps_done = ref steps0 in
+  let update = ref update0 in
+  let last_checkpoint = ref steps0 in
+  let save_checkpoint () =
+    match checkpoint_path with
+    | None -> ()
+    | Some path ->
+        last_checkpoint := !steps_done;
+        Checkpoint.save
+          ~state:
+            { Train_state.ts_steps = !steps_done; ts_update = !update;
+              ts_history = List.rev !history; ts_optim = opt }
+          agent path
+  in
   while !steps_done < total_steps do
     (* ---- collect a batch under the current (frozen) policy ---- *)
     let n = min hyper.batch_size (total_steps - !steps_done) in
@@ -133,8 +164,14 @@ let train ?(hyper = default_hyper) ?(progress = fun (_ : stats) -> ())
         entropy_mean = !ent_acc /. float_of_int (max 1 !loss_count) }
     in
     progress st;
-    history := st :: !history
+    history := st :: !history;
+    if
+      checkpoint_every > 0
+      && !steps_done - !last_checkpoint >= checkpoint_every
+      && !steps_done < total_steps
+    then save_checkpoint ()
   done;
+  save_checkpoint ();
   List.rev !history
 
 (** Greedy evaluation: mean reward of the deterministic policy over

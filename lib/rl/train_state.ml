@@ -1,0 +1,29 @@
+(** Resumable training state.
+
+    Long training runs (hours of measured rewards, paper Section 4) must
+    survive interruption: a checkpoint that only holds the policy weights
+    restarts the optimizer and the statistics from scratch, so a resumed
+    run diverges from an uninterrupted one.  This record carries
+    everything {!Ppo.train} needs to continue exactly where it stopped —
+    cumulative step and update counters, the per-update statistics
+    history, and the optimizer (Adam moments included).  The agent itself
+    (weights and its RNG state) is checkpointed alongside by
+    {!Checkpoint}, so kill-and-resume at an update boundary reproduces
+    the uninterrupted trajectory bit for bit. *)
+
+(** Per-update statistics, one record per policy update (re-exported as
+    [Ppo.stats]). *)
+type stats = {
+  update : int;
+  steps : int;  (** cumulative environment steps *)
+  reward_mean : float;
+  loss : float;
+  entropy_mean : float;
+}
+
+type t = {
+  ts_steps : int;  (** environment steps completed *)
+  ts_update : int;  (** policy updates completed *)
+  ts_history : stats list;  (** chronological, oldest first *)
+  ts_optim : Nn.Optim.t;  (** optimizer with accumulated moments *)
+}

@@ -160,6 +160,23 @@ let test_lex_error () =
     (Lexer.Error ("unexpected character '@'", { Token.line = 1; col = 1 }))
     (fun () -> ignore (Lexer.tokenize "@"))
 
+(* regression: malformed numeric literals must raise Lexer.Error, not leak
+   Failure from Int64.of_string / float_of_string *)
+let test_lex_bad_literals () =
+  List.iter
+    (fun src ->
+      match Lexer.tokenize src with
+      | exception Lexer.Error _ -> ()
+      | _ -> Alcotest.failf "expected Lexer.Error on %S" src)
+    [ "0x"; "0X"; "99999999999999999999"; "0xFFFFFFFFFFFFFFFFF" ];
+  (* well-formed neighbours still lex *)
+  List.iter
+    (fun (src, expect) ->
+      match (List.hd (Lexer.tokenize src)).Token.tok with
+      | Token.INT_LIT n -> Alcotest.(check int64) src expect n
+      | _ -> Alcotest.failf "expected int literal for %S" src)
+    [ ("0x10", 16L); ("0", 0L) ]
+
 (* ------------------------------------------------------------------ *)
 (* Parser tests                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -471,6 +488,8 @@ let suite =
         Alcotest.test_case "pragma token" `Quick test_lex_pragma;
         Alcotest.test_case "source positions" `Quick test_lex_positions;
         Alcotest.test_case "lex error" `Quick test_lex_error;
+        Alcotest.test_case "malformed literals (regression)" `Quick
+          test_lex_bad_literals;
       ] );
     ( "minic.parser",
       [

@@ -205,6 +205,189 @@ let test_checkpoint_rejects_garbage () =
       | exception Rl.Checkpoint.Bad_checkpoint _ -> ()
       | _ -> Alcotest.fail "expected Bad_checkpoint")
 
+(* ---- corruption matrix ---- *)
+
+let with_temp f =
+  let path = Filename.temp_file "neurovec" ".agent" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let expect_bad ~msg path =
+  match Rl.Checkpoint.load path with
+  | exception Rl.Checkpoint.Bad_checkpoint m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message %S mentions %S" m msg)
+        true (contains ~sub:msg m)
+  | _ -> Alcotest.fail "expected Bad_checkpoint"
+
+let test_checkpoint_state_roundtrip () =
+  let agent = mk_agent 20 in
+  let st =
+    { Rl.Train_state.ts_steps = 250; ts_update = 5;
+      ts_history =
+        [ { Rl.Train_state.update = 5; steps = 250; reward_mean = 0.25;
+            loss = 0.5; entropy_mean = 1.2 } ];
+      ts_optim = Nn.Optim.adam ~lr:1e-3 () }
+  in
+  with_temp (fun path ->
+      Rl.Checkpoint.save ~state:st agent path;
+      Alcotest.(check bool) "no temp file left" false
+        (Sys.file_exists (path ^ ".tmp"));
+      match Rl.Checkpoint.load_full path with
+      | _, None -> Alcotest.fail "state lost"
+      | _, Some st' ->
+          Alcotest.(check int) "steps" 250 st'.Rl.Train_state.ts_steps;
+          Alcotest.(check int) "update" 5 st'.Rl.Train_state.ts_update;
+          Alcotest.(check int) "history" 1
+            (List.length st'.Rl.Train_state.ts_history))
+
+let test_checkpoint_v1_compat () =
+  let agent = mk_agent 21 in
+  let ids = some_ids agent in
+  let before = Rl.Agent.predict agent ids in
+  with_temp (fun path ->
+      (* a v1 file: header + bare agent, no CRC footer *)
+      let oc = open_out_bin path in
+      output_value oc ("neurovec-agent", 1);
+      output_value oc agent;
+      close_out oc;
+      let loaded, state = Rl.Checkpoint.load_full path in
+      Alcotest.(check bool) "no state in v1" true (state = None);
+      Alcotest.(check bool) "same prediction" true
+        (Rl.Agent.predict loaded ids = before))
+
+let test_checkpoint_truncated_header () =
+  with_temp (fun path ->
+      write_file path "neu";
+      expect_bad ~msg:"not an agent checkpoint" path)
+
+let test_checkpoint_truncated_body () =
+  with_temp (fun path ->
+      (* valid header, then nothing *)
+      let oc = open_out_bin path in
+      output_value oc ("neurovec-agent", 2);
+      close_out oc;
+      expect_bad ~msg:"truncated or corrupt body" path;
+      (* v1 header with no agent behind it *)
+      let oc = open_out_bin path in
+      output_value oc ("neurovec-agent", 1);
+      close_out oc;
+      expect_bad ~msg:"truncated or corrupt v1 body" path;
+      (* a real checkpoint chopped mid-body *)
+      Rl.Checkpoint.save (mk_agent 22) path;
+      let bytes = read_file path in
+      write_file path (String.sub bytes 0 (String.length bytes / 2));
+      match Rl.Checkpoint.load path with
+      | exception Rl.Checkpoint.Bad_checkpoint _ -> ()
+      | _ -> Alcotest.fail "expected Bad_checkpoint")
+
+let test_checkpoint_flipped_byte () =
+  with_temp (fun path ->
+      Rl.Checkpoint.save (mk_agent 23) path;
+      let bytes = Bytes.of_string (read_file path) in
+      (* flip one bit deep inside the payload: the marshal framing stays
+         intact, so only the CRC can catch it *)
+      let i = Bytes.length bytes / 2 in
+      Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor 0x40));
+      write_file path (Bytes.to_string bytes);
+      expect_bad ~msg:"CRC32" path)
+
+let test_checkpoint_unsupported_version () =
+  with_temp (fun path ->
+      let oc = open_out_bin path in
+      output_value oc ("neurovec-agent", 99);
+      close_out oc;
+      expect_bad ~msg:"unsupported" path)
+
+(* ---- kill-and-resume ---- *)
+
+(* training 300 steps straight and training 100 steps, checkpointing,
+   then resuming to 300 in a fresh process state must produce the same
+   policy and the same statistics history *)
+let test_ppo_resume_equivalence () =
+  let hyper = { Rl.Ppo.default_hyper with batch_size = 50; lr = 3e-3 } in
+  let reward _ (a : Rl.Spaces.action) =
+    if a.Rl.Spaces.vf_idx = 3 then 1.0 else 0.1 *. float_of_int a.Rl.Spaces.if_idx
+  in
+  (* straight run *)
+  let agent_a = mk_agent 24 in
+  let ids_a = some_ids agent_a in
+  let samples_a = [| { Rl.Ppo.s_id = 0; s_ids = ids_a } |] in
+  let hist_a =
+    Rl.Ppo.train ~hyper agent_a ~samples:samples_a ~reward ~total_steps:300
+  in
+  (* interrupted run: stop at 100, checkpoint, reload, continue to 300 *)
+  with_temp (fun path ->
+      let agent_b = mk_agent 24 in
+      let samples_b = [| { Rl.Ppo.s_id = 0; s_ids = some_ids agent_b } |] in
+      ignore
+        (Rl.Ppo.train ~hyper ~checkpoint_path:path agent_b ~samples:samples_b
+           ~reward ~total_steps:100);
+      let agent_c, state = Rl.Checkpoint.load_full path in
+      let st =
+        match state with
+        | Some st -> st
+        | None -> Alcotest.fail "checkpoint carries no training state"
+      in
+      Alcotest.(check int) "checkpointed at 100 steps" 100
+        st.Rl.Train_state.ts_steps;
+      let samples_c = [| { Rl.Ppo.s_id = 0; s_ids = some_ids agent_c } |] in
+      let hist_c =
+        Rl.Ppo.train ~hyper ~resume:st agent_c ~samples:samples_c ~reward
+          ~total_steps:300
+      in
+      Alcotest.(check int) "same number of updates" (List.length hist_a)
+        (List.length hist_c);
+      List.iter2
+        (fun (a : Rl.Ppo.stats) (c : Rl.Ppo.stats) ->
+          Alcotest.(check int) "update" a.Rl.Ppo.update c.Rl.Ppo.update;
+          Alcotest.(check int) "steps" a.Rl.Ppo.steps c.Rl.Ppo.steps;
+          Alcotest.(check (float 0.0)) "reward mean" a.Rl.Ppo.reward_mean
+            c.Rl.Ppo.reward_mean;
+          Alcotest.(check (float 0.0)) "loss" a.Rl.Ppo.loss c.Rl.Ppo.loss)
+        hist_a hist_c;
+      Alcotest.(check bool) "same final greedy policy" true
+        (Rl.Agent.predict agent_a ids_a
+        = Rl.Agent.predict agent_c samples_c.(0).Rl.Ppo.s_ids))
+
+(* periodic checkpoints actually appear during training, not only at the
+   end *)
+let test_ppo_periodic_checkpoints () =
+  with_temp (fun path ->
+      let agent = mk_agent 25 in
+      let samples = [| { Rl.Ppo.s_id = 0; s_ids = some_ids agent } |] in
+      let seen = ref 0 in
+      ignore
+        (Rl.Ppo.train
+           ~hyper:{ Rl.Ppo.default_hyper with batch_size = 50 }
+           ~progress:(fun st ->
+             if st.Rl.Ppo.steps < 300 && Sys.file_exists path then incr seen)
+           ~checkpoint_path:path ~checkpoint_every:50 agent ~samples
+           ~reward:(fun _ _ -> 0.5)
+           ~total_steps:300);
+      Alcotest.(check bool)
+        (Printf.sprintf "mid-run checkpoints observed (%d)" !seen)
+        true (!seen >= 1);
+      Alcotest.(check bool) "final checkpoint loads" true
+        (match Rl.Checkpoint.load_full path with
+        | _, Some st -> st.Rl.Train_state.ts_steps = 300
+        | _ -> false))
+
 let suite =
   [
     ( "rl.spaces",
@@ -230,6 +413,17 @@ let suite =
         Alcotest.test_case "round trip" `Quick test_checkpoint_roundtrip;
         Alcotest.test_case "rejects garbage" `Quick
           test_checkpoint_rejects_garbage;
+        Alcotest.test_case "state round trip" `Quick
+          test_checkpoint_state_roundtrip;
+        Alcotest.test_case "loads v1 files" `Quick test_checkpoint_v1_compat;
+        Alcotest.test_case "truncated header" `Quick
+          test_checkpoint_truncated_header;
+        Alcotest.test_case "truncated body" `Quick
+          test_checkpoint_truncated_body;
+        Alcotest.test_case "flipped byte fails CRC" `Quick
+          test_checkpoint_flipped_byte;
+        Alcotest.test_case "unsupported version" `Quick
+          test_checkpoint_unsupported_version;
       ] );
     ( "rl.ppo",
       [
@@ -239,5 +433,9 @@ let suite =
           test_ppo_distinguishes_contexts;
         Alcotest.test_case "reward improves" `Quick test_ppo_reward_improves;
         Alcotest.test_case "stats bookkeeping" `Quick test_ppo_stats_shape;
+        Alcotest.test_case "kill-and-resume equivalence" `Quick
+          test_ppo_resume_equivalence;
+        Alcotest.test_case "periodic checkpoints" `Quick
+          test_ppo_periodic_checkpoints;
       ] );
   ]
