@@ -5,6 +5,7 @@
 
      dune exec bench/main.exe               # everything
      dune exec bench/main.exe -- fig1 fig7  # selected experiments
+     dune exec bench/main.exe -- --jobs 4 par  # parallel-engine check
      NEUROVEC_SCALE=0.2 dune exec ...       # faster smoke run
 
    Results and paper-vs-measured commentary are recorded in
@@ -20,6 +21,8 @@ let experiments : (string * string * (unit -> unit)) list =
     ("fig8", "PolyBench transfer", Experiments.Fig8.print);
     ("fig9", "MiBench transfer", Experiments.Fig9.print);
     ("ablations", "design-choice ablations", Experiments.Ablations.print);
+    ("par", "parallel engine: serial vs pool bit-identity + speedup",
+     Experiments.Parbench.print);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -102,15 +105,33 @@ let micro () =
     (fun (name, est) -> Printf.printf "%-48s %14.0f ns\n" name est)
     (List.sort compare !rows)
 
+(* consume [--jobs N] / [--jobs=N] and return the remaining arguments *)
+let rec parse_jobs = function
+  | [] -> []
+  | "--jobs" :: n :: rest | "-j" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n -> Neurovec.Parpool.set_jobs n
+      | None -> Printf.eprintf "bench: ignoring --jobs %s (not a number)\n%!" n);
+      parse_jobs rest
+  | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+      (match
+         int_of_string_opt (String.sub arg 7 (String.length arg - 7))
+       with
+      | Some n -> Neurovec.Parpool.set_jobs n
+      | None -> Printf.eprintf "bench: ignoring %s (not a number)\n%!" arg);
+      parse_jobs rest
+  | arg :: rest -> arg :: parse_jobs rest
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let args = parse_jobs (Array.to_list Sys.argv |> List.tl) in
   let selected =
     match args with
     | [] -> List.map (fun (id, _, _) -> id) experiments @ [ "micro" ]
     | _ -> args
   in
-  Printf.printf "NeuroVectorizer benchmark harness (scale %.2f)\n"
-    Experiments.Common.scale;
+  Printf.printf "NeuroVectorizer benchmark harness (scale %.2f, jobs %d)\n"
+    Experiments.Common.scale
+    (Neurovec.Parpool.jobs ());
   List.iter
     (fun id ->
       if id = "micro" then micro ()

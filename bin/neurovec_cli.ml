@@ -25,6 +25,19 @@ let program_of_file ?(kernel = "kernel") path =
   Dataset.Program.make ~kernel ~family:"cli" (Filename.basename path)
     (read_file path)
 
+(** [--jobs N]: evaluation-pool size for the parallel measurement fan-out;
+    overrides [NEUROVEC_JOBS].  1 forces the exact serial path. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Parallel evaluation domains (overrides NEUROVEC_JOBS; 1 = \
+           serial). Results are bit-identical at any value.")
+
+let apply_jobs = Option.iter Neurovec.Parpool.set_jobs
+
 (** Report malformed input, corrupt checkpoints and quarantined programs
     as a one-line error (exit 1) instead of cmdliner's uncaught-exception
     banner. *)
@@ -89,28 +102,43 @@ let sweep_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let kernel = Arg.(value & opt string "kernel" & info [ "kernel" ]) in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print pipeline phase timings and cache stats.") in
-  let run file kernel stats =
+  let run file kernel stats jobs =
     or_compile_error @@ fun () ->
+    apply_jobs jobs;
     let p = program_of_file ~kernel file in
     let base = Neurovec.Pipeline.run_baseline p in
     let t_base = base.Neurovec.Pipeline.exec_seconds in
+    (* evaluate the whole grid on the pool, then print in row order *)
+    let grid =
+      Array.concat
+        (Array.to_list
+           (Array.map
+              (fun vf -> Array.map (fun if_ -> (vf, if_)) Rl.Spaces.if_values)
+              Rl.Spaces.vf_values))
+    in
+    let cells =
+      Neurovec.Parpool.map
+        (fun (vf, if_) ->
+          let r = Neurovec.Pipeline.run_with_pragma p ~vf ~if_ in
+          t_base /. r.Neurovec.Pipeline.exec_seconds)
+        grid
+    in
     Printf.printf "speedup over the baseline cost model:\n%6s" "VF\\IF";
     Array.iter (fun i -> Printf.printf "%8d" i) Rl.Spaces.if_values;
     print_newline ();
-    Array.iter
-      (fun vf ->
+    let n_if = Array.length Rl.Spaces.if_values in
+    Array.iteri
+      (fun row vf ->
         Printf.printf "%6d" vf;
-        Array.iter
-          (fun if_ ->
-            let r = Neurovec.Pipeline.run_with_pragma p ~vf ~if_ in
-            Printf.printf "%8.2f" (t_base /. r.Neurovec.Pipeline.exec_seconds))
+        Array.iteri
+          (fun col _ -> Printf.printf "%8.2f" cells.((row * n_if) + col))
           Rl.Spaces.if_values;
         print_newline ())
       Rl.Spaces.vf_values;
     if stats then print_string (Neurovec.Stats.report ())
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Brute-force the (VF, IF) grid for a file.")
-    Term.(const run $ file $ kernel $ stats)
+    Term.(const run $ file $ kernel $ stats $ jobs_arg)
 
 (* ---- dataset ------------------------------------------------------ *)
 
@@ -153,8 +181,9 @@ let train_cmd =
   let ckpt_every = Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~doc:"Also checkpoint to the --save path every N environment steps (crash-safe atomic writes; 0 disables periodic checkpoints).") in
   let resume = Arg.(value & opt (some file) None & info [ "resume" ] ~doc:"Resume training from a checkpoint written by --save, restoring step count, statistics history and optimizer state.") in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print pipeline phase timings, cache and fault statistics.") in
-  let run programs steps seed batch lr save ckpt_every resume stats =
+  let run programs steps seed batch lr save ckpt_every resume stats jobs =
     or_compile_error @@ fun () ->
+    apply_jobs jobs;
     let corpus = Dataset.Loopgen.generate ~seed programs in
     (* fault injection / timing noise, if requested via NEUROVEC_FAULTS *)
     let options =
@@ -205,7 +234,7 @@ let train_cmd =
   in
   Cmd.v (Cmd.info "train" ~doc:"Train the PPO vectorization agent.")
     Term.(const run $ programs $ steps $ seed $ batch $ lr $ save $ ckpt_every
-          $ resume $ stats)
+          $ resume $ stats $ jobs_arg)
 
 (* ---- predict ------------------------------------------------------ *)
 

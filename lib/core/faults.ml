@@ -18,10 +18,14 @@
       order, so a fault is a persistent property of a measurement point —
       exactly like a program that deterministically fails to compile under
       a specific pragma — and cached rewards never disagree with a re-run.
-    - {b Timing noise} is drawn from a mutable RNG seeded from the spec, so
+    - {b Timing noise} is keyed by [hash(seed, key, sample)], where
+      [sample] numbers the median-of-k resamples of one measurement point:
       repeated measurements of the same point differ (that is the point:
-      the oracle must median them away) while a full run at a fixed seed is
-      still reproducible end to end.
+      the oracle must median them away) while each individual sample is a
+      pure function of the spec — so a run at a fixed seed is reproducible
+      end to end {e independent of evaluation order}, which is what lets
+      {!Parpool} fan measurements across domains without changing a single
+      cached reward bit.
 
     Off by default ([none]); enable via [Pipeline.options] or the
     [NEUROVEC_FAULTS] environment variable, e.g.
@@ -38,7 +42,6 @@ type spec = {
       (** probability compile time spikes far past the 10x budget *)
   noise : float;  (** sigma of multiplicative lognormal timing noise *)
   p_tail : float;  (** per-sample probability of a heavy-tailed spike *)
-  rng : Nn.Rng.t;  (** consumed per timing sample; see module comment *)
 }
 
 (** Stands in for an interpreter/testbed resource limit; converted to the
@@ -48,8 +51,7 @@ exception Fuel_exhausted of string
 let create ?(seed = 0) ?(compile = 0.0) ?(trap = 0.0) ?(fuel = 0.0)
     ?(timeout = 0.0) ?(noise = 0.0) ?(tail = 0.0) () : spec =
   { f_seed = seed; p_compile = compile; p_trap = trap; p_fuel = fuel;
-    p_timeout = timeout; noise; p_tail = tail;
-    rng = Nn.Rng.create (seed + 0x5eed) }
+    p_timeout = timeout; noise; p_tail = tail }
 
 let none = create ()
 
@@ -99,15 +101,27 @@ let timeout_multiplier (s : spec) ~(key : string) : float =
   else 1.0
 
 (** Multiplier on one timing sample: lognormal noise, plus a Pareto-ish
-    spike (up to ~80x) with probability [p_tail]. *)
-let noise_factor (s : spec) : float =
+    spike (up to ~80x) with probability [p_tail].  Pure in
+    (seed, key, sample): the [sample] index distinguishes the median-of-k
+    resamples of one measurement point, so samples differ from each other
+    but never depend on what other domains measured in between. *)
+let noise_factor (s : spec) ~(key : string) ~(sample : int) : float =
   if not (noisy s) then 1.0
   else begin
-    let f =
-      if s.noise > 0.0 then exp (s.noise *. Nn.Rng.normal s.rng) else 1.0
+    let d =
+      Digest.string
+        (Printf.sprintf "%d\x00%s\x00noise\x00%d" s.f_seed key sample)
     in
-    if s.p_tail > 0.0 && Nn.Rng.float s.rng < s.p_tail then
-      f *. (1.0 +. (4.0 /. max 0.05 (Nn.Rng.float s.rng)))
+    let seed = ref 0 in
+    for i = 0 to 6 do
+      seed := (!seed lsl 8) lor Char.code d.[i]
+    done;
+    let rng = Nn.Rng.create !seed in
+    let f =
+      if s.noise > 0.0 then exp (s.noise *. Nn.Rng.normal rng) else 1.0
+    in
+    if s.p_tail > 0.0 && Nn.Rng.float rng < s.p_tail then
+      f *. (1.0 +. (4.0 /. max 0.05 (Nn.Rng.float rng)))
     else f
   end
 
@@ -172,8 +186,7 @@ let of_string (text : string) : spec * string list =
       none
       (String.split_on_char ',' text)
   in
-  (* re-seed the noise rng from the parsed seed *)
-  ({ spec with rng = Nn.Rng.create (spec.f_seed + 0x5eed) }, List.rev !warnings)
+  (spec, List.rev !warnings)
 
 (** The spec selected by [NEUROVEC_FAULTS] ({!none} when unset); parse
     warnings go to stderr rather than being silently swallowed. *)

@@ -44,19 +44,30 @@ let encode_site (agent : Rl.Agent.t) (site : Extractor.loop_site) :
     first: a program whose baseline cannot be measured (front-end failure,
     trap, fuel exhaustion, zero-cost loop) is quarantined by the oracle
     and dropped here instead of crashing the training loop hundreds of
-    steps later.  Returns the surviving samples (with [s_id] indexing into
-    [programs]) and the dropped (name, reason) pairs. *)
+    steps later.  Probes fan across the {!Parpool} domains (the baseline
+    measurement and the embedding are both pure functions of the program);
+    the fold back into samples/skipped runs in program order, so the
+    result is identical at any pool size.  Returns the surviving samples
+    (with [s_id] indexing into [programs]) and the dropped (name, reason)
+    pairs. *)
 let probe_samples ?(encode = encode) (agent : Rl.Agent.t) (oracle : Reward.t)
     (programs : Dataset.Program.t array) :
     Rl.Ppo.sample array * (string * string) list =
+  let probed =
+    Parpool.map
+      (fun i ->
+        try
+          ignore (Reward.baseline oracle i);
+          Ok { Rl.Ppo.s_id = i; s_ids = encode agent programs.(i) }
+        with Reward.Quarantined (name, why) -> Error (name, why))
+      (Array.init (Array.length programs) Fun.id)
+  in
   let samples = ref [] and skipped = ref [] in
-  Array.iteri
-    (fun i p ->
-      try
-        ignore (Reward.baseline oracle i);
-        samples := { Rl.Ppo.s_id = i; s_ids = encode agent p } :: !samples
-      with Reward.Quarantined (name, why) -> skipped := (name, why) :: !skipped)
-    programs;
+  Array.iter
+    (function
+      | Ok s -> samples := s :: !samples
+      | Error nw -> skipped := nw :: !skipped)
+    probed;
   (Array.of_list (List.rev !samples), List.rev !skipped)
 
 let create ?agent ?(space = Rl.Spaces.Discrete) ?(hidden = [ 64; 64 ])

@@ -10,7 +10,14 @@
 
     The cache is process-global and content-addressed: two [Program.t]
     values with identical source and bindings (regardless of name, kernel
-    or family) share one artifact.  Traffic is recorded in {!Stats}. *)
+    or family) share one artifact.  Traffic is recorded in {!Stats}.
+
+    {b Domain safety.}  Evaluations fan across domains ({!Parpool}), so
+    the table is sharded by content hash with one mutex per shard: lookups
+    on different programs never contend, and a miss parses {e outside} the
+    lock — two domains racing on the same cold program may both parse it,
+    but parsing is deterministic, so whichever artifact lands last is
+    bit-identical to the other and results cannot depend on the race. *)
 
 (** Raised for any malformed program: parse errors, semantic errors, and
     (via {!Pipeline}) lowering failures.  [Pipeline.Compile_error] is a
@@ -34,10 +41,27 @@ let hash_program (p : Dataset.Program.t) : string =
                (fun (k, v) -> [ k; string_of_int v ])
                p.Dataset.Program.p_bindings)))
 
-let cache : (string, artifact) Hashtbl.t = Hashtbl.create 256
+let n_shards = 16
 
-let clear () = Hashtbl.reset cache
-let size () = Hashtbl.length cache
+type shard = { lock : Mutex.t; tbl : (string, artifact) Hashtbl.t }
+
+let shards =
+  Array.init n_shards (fun _ ->
+      { lock = Mutex.create (); tbl = Hashtbl.create 32 })
+
+let shard_of (h : string) : shard =
+  (* the content hash is a hex digest: its first byte is already uniform *)
+  shards.(Char.code h.[0] mod n_shards)
+
+let clear () =
+  Array.iter
+    (fun s -> Mutex.protect s.lock (fun () -> Hashtbl.reset s.tbl))
+    shards
+
+let size () =
+  Array.fold_left
+    (fun acc s -> acc + Mutex.protect s.lock (fun () -> Hashtbl.length s.tbl))
+    0 shards
 
 (** Parse and sema-check [p], wrapping front-end failures in
     {!Compile_error} (timed under [Stats.Parse] / [Stats.Sema]). *)
@@ -66,16 +90,22 @@ let parse_checked (p : Dataset.Program.t) : Minic.Ast.program =
     attempt re-raises {!Compile_error}. *)
 let checked (p : Dataset.Program.t) : artifact =
   let h = hash_program p in
-  match Hashtbl.find_opt cache h with
+  let s = shard_of h in
+  match Mutex.protect s.lock (fun () -> Hashtbl.find_opt s.tbl h) with
   | Some a ->
       Stats.frontend_hit ();
       a
   | None ->
       Stats.frontend_miss ();
+      (* parse outside the lock: slow, deterministic, idempotent *)
       let ast = parse_checked p in
       let a =
         { a_hash = h; a_ast = ast;
           a_loops = List.length (Extractor.extract ast) }
       in
-      Hashtbl.replace cache h a;
-      a
+      Mutex.protect s.lock (fun () ->
+          match Hashtbl.find_opt s.tbl h with
+          | Some winner -> winner  (* a racing domain parsed it first *)
+          | None ->
+              Hashtbl.replace s.tbl h a;
+              a)

@@ -53,8 +53,12 @@ let find_kernel (m : Ir.modul) (name : string) : Ir.func =
     [fault_key] identifies the (program, decision) point for deterministic
     fault injection; entry points derive it from the content hash and the
     pragma decision so the same measurement point always faults the same
-    way (defaults to [name] for direct callers). *)
-let run_ast ?(options = default_options) ?fault_key ~(name : string)
+    way (defaults to [name] for direct callers).  [sample] numbers the
+    median-of-k timing resamples of one point: noise is a pure function of
+    (fault seed, fault_key, sample), so results never depend on what other
+    evaluations — or other domains — measured in between. *)
+let run_ast ?(options = default_options) ?fault_key ?(sample = 0)
+    ~(name : string)
     ~(kernel : string) ~(bindings : (string * int) list)
     (prog : Minic.Ast.program) : result =
   let fkey = Option.value fault_key ~default:name in
@@ -95,7 +99,7 @@ let run_ast ?(options = default_options) ?fault_key ~(name : string)
   let exec_cycles =
     Stats.time Stats.Timing (fun () ->
         Machine.Timing.cycles options.target m kernel_fn)
-    *. Faults.noise_factor options.faults
+    *. Faults.noise_factor options.faults ~key:fkey ~sample
   in
   let exec_seconds =
     exec_cycles /. (options.target.Machine.Target.ghz *. 1e9)
@@ -103,38 +107,40 @@ let run_ast ?(options = default_options) ?fault_key ~(name : string)
   Stats.pipeline_run ();
   { modul = m; decisions; compile_seconds; exec_seconds; exec_cycles }
 
-let run_artifact ?(options = default_options) ?fault_key
+let run_artifact ?(options = default_options) ?fault_key ?sample
     (p : Dataset.Program.t) (prog : Minic.Ast.program) : result =
-  run_ast ~options ?fault_key ~name:p.Dataset.Program.p_name
+  run_ast ~options ?fault_key ?sample ~name:p.Dataset.Program.p_name
     ~kernel:p.Dataset.Program.p_kernel ~bindings:p.Dataset.Program.p_bindings
     prog
 
 (** Compile and simulate one program, honouring pragmas in its source. *)
-let run ?(options = default_options) (p : Dataset.Program.t) : result =
+let run ?(options = default_options) ?sample (p : Dataset.Program.t) : result =
   let a = Frontend.checked p in
-  run_artifact ~options ~fault_key:(a.Frontend.a_hash ^ "|asis") p
+  run_artifact ~options ?sample ~fault_key:(a.Frontend.a_hash ^ "|asis") p
     a.Frontend.a_ast
 
 (** Compile with a specific (vf, if) pragma on every innermost loop. *)
-let run_with_pragma ?(options = default_options) (p : Dataset.Program.t) ~vf
-    ~if_ : result =
+let run_with_pragma ?(options = default_options) ?sample
+    (p : Dataset.Program.t) ~vf ~if_ : result =
   let a = Frontend.checked p in
   let decisions =
     List.init a.Frontend.a_loops (fun i -> (i, Injector.pragma_of ~vf ~if_))
   in
-  run_artifact ~options
+  run_artifact ~options ?sample
     ~fault_key:(Printf.sprintf "%s|vf=%d,if=%d" a.Frontend.a_hash vf if_)
     p
     (Injector.inject_ast ~clear_others:true a.Frontend.a_ast ~decisions)
 
 (** Compile with the baseline cost model only (existing pragmas removed). *)
-let run_baseline ?(options = default_options) (p : Dataset.Program.t) : result =
+let run_baseline ?(options = default_options) ?sample (p : Dataset.Program.t)
+    : result =
   let a = Frontend.checked p in
-  run_artifact ~options ~fault_key:(a.Frontend.a_hash ^ "|baseline") p
+  run_artifact ~options ?sample ~fault_key:(a.Frontend.a_hash ^ "|baseline") p
     (Injector.inject_ast ~clear_others:true a.Frontend.a_ast ~decisions:[])
 
 (** Compile with per-loop pragma decisions. *)
-let run_with_decisions ?(options = default_options) (p : Dataset.Program.t)
+let run_with_decisions ?(options = default_options) ?sample
+    (p : Dataset.Program.t)
     ~(decisions : (int * Minic.Ast.loop_pragma) list) : result =
   let a = Frontend.checked p in
   let fault_key =
@@ -147,5 +153,5 @@ let run_with_decisions ?(options = default_options) (p : Dataset.Program.t)
                (Option.value pr.Minic.Ast.interleave_count ~default:0))
            decisions)
   in
-  run_artifact ~options ~fault_key p
+  run_artifact ~options ?sample ~fault_key p
     (Injector.inject_ast ~clear_others:true a.Frontend.a_ast ~decisions)

@@ -29,7 +29,22 @@
       dividing by it would send NaN rewards into the PPO advantages.
     - Under nonzero timing noise ({!Faults.noisy}), every measurement is
       the median of [noise_samples] runs with MAD outlier rejection, so
-      one heavy-tailed spike cannot poison a cached reward. *)
+      one heavy-tailed spike cannot poison a cached reward.
+
+    {b Domain safety and determinism.}  The oracle is shared across the
+    {!Parpool} domains, so its tables live behind a per-oracle mutex; the
+    expensive compile-and-measure work always runs {e outside} the lock.
+    Every measurement point is a pure function of its content key — faults
+    and timing noise are keyed by (seed, key, sample index), never by a
+    shared RNG — so two domains racing on a cold key compute bit-identical
+    entries and a [--jobs N] sweep caches exactly the bits a [--jobs 1]
+    sweep caches.  Only the [evaluations]/[hits] convenience counters can
+    drift under parallelism (a racing duplicate evaluation counts as a
+    miss where a serial run would have hit); rewards, penalty flags,
+    failure kinds, quarantine sets and {!quarantine_report} order are
+    schedule-independent.  {!brute_force} fans its 35 actions across the
+    pool when called from the main domain, and stays serial when the
+    corpus-level fan-out already owns the domains. *)
 
 (** Why an evaluation failed. *)
 type failure = Compile_failed | Trap | Fuel_exhausted | Timed_out
@@ -60,13 +75,14 @@ type t = {
       (** timing samples per measurement when the fault spec is noisy *)
   keys : string array;
       (** per-program content key: source hash + options, precomputed *)
+  lock : Mutex.t;  (** guards every mutable field below *)
   baselines : (string, float * float) Hashtbl.t;
       (** content key -> (exec seconds, compile seconds) *)
   cache : (string, entry) Hashtbl.t;
       (** content key + decision -> reward entry *)
   quarantined : (string, string) Hashtbl.t;  (** content key -> reason *)
-  mutable quarantine_log : (string * string) list;
-      (** (program name, reason), newest first *)
+  quarantine_idx : (int, unit) Hashtbl.t;
+      (** program indices that hit quarantine, for ordered reporting *)
   mutable evaluations : int;  (** non-memoized compile+run count *)
   mutable hits : int;  (** memoized reward lookups served from cache *)
 }
@@ -80,14 +96,36 @@ let create ?(options = Pipeline.default_options) ?(timeout_factor = 10.0)
       Array.map
         (fun p -> Frontend.hash_program p ^ "|" ^ opt_key)
         programs;
+    lock = Mutex.create ();
     baselines = Hashtbl.create (Array.length programs);
     cache = Hashtbl.create (4 * Array.length programs);
-    quarantined = Hashtbl.create 8; quarantine_log = [];
+    quarantined = Hashtbl.create 8; quarantine_idx = Hashtbl.create 8;
     evaluations = 0; hits = 0 }
 
-(** Programs dropped so far, oldest first. *)
+let locked (t : t) (f : unit -> 'a) : 'a = Mutex.protect t.lock f
+
+(** Programs dropped so far, as (name, reason): program order, one entry
+    per distinct content key (the lowest index that hit it reports) — an
+    order that depends only on which programs were evaluated, never on
+    the schedule that evaluated them. *)
 let quarantine_report (t : t) : (string * string) list =
-  List.rev t.quarantine_log
+  locked t (fun () ->
+      let idxs =
+        List.sort compare
+          (Hashtbl.fold (fun i () acc -> i :: acc) t.quarantine_idx [])
+      in
+      let seen = Hashtbl.create 8 in
+      List.filter_map
+        (fun i ->
+          let key = t.keys.(i) in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.replace seen key ();
+            Option.map
+              (fun why -> (t.programs.(i).Dataset.Program.p_name, why))
+              (Hashtbl.find_opt t.quarantined key)
+          end)
+        idxs)
 
 (* ------------------------------------------------------------------ *)
 (* Robust measurement                                                   *)
@@ -121,16 +159,18 @@ let robust_estimate (xs : float list) : float =
 
 (** (exec, compile) seconds of one measurement point: a single run when
     timing is deterministic, median-of-k with MAD rejection when the fault
-    spec injects noise.  Re-raises whatever [f] raises. *)
-let measure (t : t) (f : unit -> Pipeline.result) : float * float =
-  let r0 = f () in
+    spec injects noise.  [f] receives the resample index, which keys the
+    injected noise, so the estimate is the same whatever else ran in
+    between.  Re-raises whatever [f] raises. *)
+let measure (t : t) (f : sample:int -> Pipeline.result) : float * float =
+  let r0 = f ~sample:0 in
   if (not (Faults.noisy t.options.Pipeline.faults)) || t.noise_samples <= 1
   then (r0.Pipeline.exec_seconds, r0.Pipeline.compile_seconds)
   else begin
     let rest =
-      List.init (t.noise_samples - 1) (fun _ ->
+      List.init (t.noise_samples - 1) (fun k ->
           Stats.record_timing_retry ();
-          f ())
+          f ~sample:(k + 1))
     in
     let all = r0 :: rest in
     ( robust_estimate (List.map (fun r -> r.Pipeline.exec_seconds) all),
@@ -141,47 +181,64 @@ let measure (t : t) (f : unit -> Pipeline.result) : float * float =
 (* Baseline                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* record idx's quarantine (idempotent per key) and raise; lock NOT held *)
 let quarantine (t : t) (idx : int) (why : string) : 'a =
   let name = t.programs.(idx).Dataset.Program.p_name in
-  if not (Hashtbl.mem t.quarantined t.keys.(idx)) then begin
-    Hashtbl.replace t.quarantined t.keys.(idx) why;
-    t.quarantine_log <- (name, why) :: t.quarantine_log;
-    Stats.record_quarantine ()
-  end;
+  let fresh =
+    locked t (fun () ->
+        Hashtbl.replace t.quarantine_idx idx ();
+        if Hashtbl.mem t.quarantined t.keys.(idx) then false
+        else begin
+          Hashtbl.replace t.quarantined t.keys.(idx) why;
+          true
+        end)
+  in
+  if fresh then Stats.record_quarantine ();
   raise (Quarantined (name, why))
 
 let baseline (t : t) (idx : int) : float * float =
   let key = t.keys.(idx) in
-  match Hashtbl.find_opt t.quarantined key with
-  | Some why ->
+  let cached =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.quarantined key with
+        | Some why -> Some (Error why)
+        | None -> Option.map Result.ok (Hashtbl.find_opt t.baselines key))
+  in
+  match cached with
+  | Some (Error why) ->
+      locked t (fun () -> Hashtbl.replace t.quarantine_idx idx ());
       raise (Quarantined (t.programs.(idx).Dataset.Program.p_name, why))
+  | Some (Ok b) -> b
   | None -> (
-      match Hashtbl.find_opt t.baselines key with
-      | Some b -> b
-      | None -> (
-          match
-            measure t (fun () ->
-                Pipeline.run_baseline ~options:t.options t.programs.(idx))
-          with
-          | exception e -> (
-              match classify_exn e with
-              | Some (kind, msg) ->
-                  Stats.record_failure (failure_name kind);
-                  quarantine t idx
-                    (Printf.sprintf "baseline %s: %s" (failure_name kind) msg)
-              | None -> raise e)
-          | t_exec, t_compile ->
-              t.evaluations <- t.evaluations + 1;
-              if (not (Float.is_finite t_exec)) || t_exec <= 0.0 then
-                quarantine t idx
-                  (Printf.sprintf
-                     "baseline execution time %g cannot normalize rewards"
-                     t_exec)
-              else begin
-                let b = (t_exec, t_compile) in
-                Hashtbl.replace t.baselines key b;
-                b
-              end))
+      match
+        measure t (fun ~sample ->
+            Pipeline.run_baseline ~options:t.options ~sample t.programs.(idx))
+      with
+      | exception e -> (
+          match classify_exn e with
+          | Some (kind, msg) ->
+              Stats.record_failure (failure_name kind);
+              quarantine t idx
+                (Printf.sprintf "baseline %s: %s" (failure_name kind) msg)
+          | None -> raise e)
+      | t_exec, t_compile ->
+          locked t (fun () -> t.evaluations <- t.evaluations + 1);
+          if (not (Float.is_finite t_exec)) || t_exec <= 0.0 then
+            quarantine t idx
+              (Printf.sprintf
+                 "baseline execution time %g cannot normalize rewards"
+                 t_exec)
+          else begin
+            let b = (t_exec, t_compile) in
+            locked t (fun () ->
+                (* keep the first commit: both racers measured the same
+                   deterministic point, so either value is the same *)
+                match Hashtbl.find_opt t.baselines key with
+                | Some winner -> winner
+                | None ->
+                    Hashtbl.replace t.baselines key b;
+                    b)
+          end)
 
 (* ------------------------------------------------------------------ *)
 (* Action evaluation                                                    *)
@@ -195,17 +252,27 @@ let entry (t : t) (idx : int) (action : Rl.Spaces.action) : entry =
     Printf.sprintf "%s|vf=%d,if=%d" t.keys.(idx)
       (Rl.Spaces.vf_of action) (Rl.Spaces.if_of action)
   in
-  match Hashtbl.find_opt t.cache key with
+  match
+    locked t (fun () ->
+        match Hashtbl.find_opt t.cache key with
+        | Some e ->
+            t.hits <- t.hits + 1;
+            Some e
+        | None -> None)
+  with
   | Some e ->
-      t.hits <- t.hits + 1;
       Stats.reward_hit ();
       e
   | None -> (
       Stats.reward_miss ();
       let t_base, c_base = baseline t idx in
       let finish e =
-        Hashtbl.replace t.cache key e;
-        e
+        locked t (fun () ->
+            match Hashtbl.find_opt t.cache key with
+            | Some winner -> winner  (* racing duplicate: identical bits *)
+            | None ->
+                Hashtbl.replace t.cache key e;
+                e)
       in
       let penalize kind =
         Stats.record_failure (failure_name kind);
@@ -213,18 +280,19 @@ let entry (t : t) (idx : int) (action : Rl.Spaces.action) : entry =
           { e_reward = t.penalty; e_penalized = true; e_failure = Some kind }
       in
       match
-        measure t (fun () ->
-            Pipeline.run_with_pragma ~options:t.options t.programs.(idx)
-              ~vf:(Rl.Spaces.vf_of action) ~if_:(Rl.Spaces.if_of action))
+        measure t (fun ~sample ->
+            Pipeline.run_with_pragma ~options:t.options ~sample
+              t.programs.(idx) ~vf:(Rl.Spaces.vf_of action)
+              ~if_:(Rl.Spaces.if_of action))
       with
       | exception e -> (
           match classify_exn e with
           | Some (kind, _msg) ->
-              t.evaluations <- t.evaluations + 1;
+              locked t (fun () -> t.evaluations <- t.evaluations + 1);
               penalize kind
           | None -> raise e)
       | t_exec, c_act ->
-          t.evaluations <- t.evaluations + 1;
+          locked t (fun () -> t.evaluations <- t.evaluations + 1);
           if c_act > t.timeout_factor *. c_base then penalize Timed_out
           else if (not (Float.is_finite t_exec)) || t_exec < 0.0 then
             (* defensive: a non-finite sample must never reach the PPO
@@ -247,12 +315,27 @@ let exec_seconds (t : t) (idx : int) (action : Rl.Spaces.action) : float =
   if e.e_penalized then t.timeout_factor *. t_base
   else t_base *. (1.0 -. e.e_reward)
 
-(** Best action and reward by exhaustive search (35 compilations, memoized). *)
+(** Best action and reward by exhaustive search (35 compilations, memoized;
+    actions fan across the {!Parpool} domains).  The argmax reduce runs in
+    fixed action order, so ties break identically at any pool size. *)
 let brute_force (t : t) (idx : int) : Rl.Spaces.action * float =
-  List.fold_left
-    (fun (best_a, best_r) a ->
-      let r = reward t idx a in
-      if r > best_r then (a, r) else (best_a, best_r))
-    ({ Rl.Spaces.vf_idx = 0; if_idx = 0 },
-     reward t idx { Rl.Spaces.vf_idx = 0; if_idx = 0 })
-    Rl.Spaces.all_actions
+  (* measure (or re-raise) the baseline once before fanning out *)
+  ignore (baseline t idx);
+  let actions = Array.of_list Rl.Spaces.all_actions in
+  let rewards = Parpool.map (fun a -> reward t idx a) actions in
+  let best = ref 0 in
+  Array.iteri (fun i r -> if r > rewards.(!best) then best := i) rewards;
+  (actions.(!best), rewards.(!best))
+
+(** Evaluate every (program, action) point of the corpus, fanning programs
+    across the {!Parpool} domains (each worker sweeps its program's 35
+    actions serially).  Quarantined programs yield [None].  Returns each
+    program's (best action, best reward) in program order — the whole-corpus
+    brute-force sweep of Figure 2, parallelized. *)
+let sweep_all (t : t) : (Rl.Spaces.action * float) option array =
+  Parpool.map
+    (fun idx ->
+      match brute_force t idx with
+      | best -> Some best
+      | exception Quarantined _ -> None)
+    (Array.init (Array.length t.programs) Fun.id)

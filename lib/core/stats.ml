@@ -8,7 +8,21 @@
     timings, {!Frontend} and {!Reward} record cache traffic, and
     [bench/main.ml], the experiment drivers and the CLI render {!report}.
 
-    Counters are process-global; call {!reset} to scope a measurement. *)
+    {b Domain safety.}  Evaluations fan out across domains ({!Parpool}),
+    so a single set of global counters would be racy (lost increments) and
+    schedule-dependent.  Instead every domain accumulates into its own
+    private record (domain-local storage — increments are plain stores, no
+    locks on the hot path), and {!snapshot} merges the records under a
+    registry lock with a deterministic reduce: integer counters and the
+    failure taxonomy sum exactly (addition is commutative), so counts are
+    schedule-independent; only wall-time sums depend on the merge order in
+    their last ulp, which is inherent to measuring time.  A worker domain
+    folds its record into a retirement accumulator when it exits, so
+    nothing is lost when {!Parpool} tears a pool down and the registry
+    does not grow with the number of pool launches.
+
+    Counters are process-global; call {!reset} to scope a measurement
+    (only between parallel regions — a reset races with live workers). *)
 
 type phase =
   | Parse
@@ -30,7 +44,7 @@ let phase_name = function
   | Vectorize -> "vectorize"
   | Timing -> "timing"
 
-type acc = { mutable seconds : float; mutable calls : int }
+let n_phases = 7
 
 let phase_index = function
   | Parse -> 0
@@ -41,64 +55,154 @@ let phase_index = function
   | Vectorize -> 5
   | Timing -> 6
 
-let accs = Array.init 7 (fun _ -> { seconds = 0.0; calls = 0 })
+(* ------------------------------------------------------------------ *)
+(* Per-domain records                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type record = {
+  phase_secs : float array;  (** indexed by [phase_index] *)
+  phase_cnts : int array;
+  mutable r_frontend_hits : int;
+  mutable r_frontend_misses : int;
+  mutable r_reward_hits : int;
+  mutable r_reward_misses : int;
+  mutable r_pipeline_runs : int;
+  r_failures : (string, int) Hashtbl.t;
+      (** taxonomy kind -> failed evaluations *)
+  mutable r_quarantines : int;
+  mutable r_timing_retries : int;
+}
+
+let fresh_record () : record =
+  { phase_secs = Array.make n_phases 0.0; phase_cnts = Array.make n_phases 0;
+    r_frontend_hits = 0; r_frontend_misses = 0; r_reward_hits = 0;
+    r_reward_misses = 0; r_pipeline_runs = 0; r_failures = Hashtbl.create 8;
+    r_quarantines = 0; r_timing_retries = 0 }
+
+let zero_record (r : record) : unit =
+  Array.fill r.phase_secs 0 n_phases 0.0;
+  Array.fill r.phase_cnts 0 n_phases 0;
+  r.r_frontend_hits <- 0;
+  r.r_frontend_misses <- 0;
+  r.r_reward_hits <- 0;
+  r.r_reward_misses <- 0;
+  r.r_pipeline_runs <- 0;
+  Hashtbl.reset r.r_failures;
+  r.r_quarantines <- 0;
+  r.r_timing_retries <- 0
+
+(* merge [src] into [dst] (registry lock held) *)
+let merge_into (dst : record) (src : record) : unit =
+  for i = 0 to n_phases - 1 do
+    dst.phase_secs.(i) <- dst.phase_secs.(i) +. src.phase_secs.(i);
+    dst.phase_cnts.(i) <- dst.phase_cnts.(i) + src.phase_cnts.(i)
+  done;
+  dst.r_frontend_hits <- dst.r_frontend_hits + src.r_frontend_hits;
+  dst.r_frontend_misses <- dst.r_frontend_misses + src.r_frontend_misses;
+  dst.r_reward_hits <- dst.r_reward_hits + src.r_reward_hits;
+  dst.r_reward_misses <- dst.r_reward_misses + src.r_reward_misses;
+  dst.r_pipeline_runs <- dst.r_pipeline_runs + src.r_pipeline_runs;
+  Hashtbl.iter
+    (fun k n ->
+      Hashtbl.replace dst.r_failures k
+        (n + Option.value ~default:0 (Hashtbl.find_opt dst.r_failures k)))
+    src.r_failures;
+  dst.r_quarantines <- dst.r_quarantines + src.r_quarantines;
+  dst.r_timing_retries <- dst.r_timing_retries + src.r_timing_retries
+
+(* registry of live per-domain records + the fold of exited domains *)
+let registry_lock = Mutex.create ()
+let live : record list ref = ref []
+let retired : record = fresh_record ()
+
+let local : record Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let r = fresh_record () in
+      Mutex.protect registry_lock (fun () -> live := r :: !live);
+      (* when this domain dies, keep its numbers and drop it from the
+         registry so pool teardown loses nothing and leaks nothing *)
+      Domain.at_exit (fun () ->
+          Mutex.protect registry_lock (fun () ->
+              merge_into retired r;
+              live := List.filter (fun r' -> r' != r) !live));
+      r)
+
+let current () : record = Domain.DLS.get local
+
+(* fold retirement + live records into a fresh merged view *)
+let merged () : record =
+  Mutex.protect registry_lock (fun () ->
+      let m = fresh_record () in
+      merge_into m retired;
+      List.iter (merge_into m) (List.rev !live);
+      m)
+
+(* ------------------------------------------------------------------ *)
+(* Recording (hot path: domain-local, no locks)                         *)
+(* ------------------------------------------------------------------ *)
 
 (** Run [f], charging its wall time to [phase] (accumulated even when [f]
     raises, so failed compiles still show up in the profile). *)
 let time (phase : phase) (f : unit -> 'a) : 'a =
-  let a = accs.(phase_index phase) in
+  let r = current () in
+  let i = phase_index phase in
   let t0 = Unix.gettimeofday () in
   Fun.protect
     ~finally:(fun () ->
-      a.seconds <- a.seconds +. (Unix.gettimeofday () -. t0);
-      a.calls <- a.calls + 1)
+      r.phase_secs.(i) <- r.phase_secs.(i) +. (Unix.gettimeofday () -. t0);
+      r.phase_cnts.(i) <- r.phase_cnts.(i) + 1)
     f
 
-let phase_seconds (p : phase) : float = accs.(phase_index p).seconds
-let phase_calls (p : phase) : int = accs.(phase_index p).calls
+let frontend_hit () =
+  let r = current () in
+  r.r_frontend_hits <- r.r_frontend_hits + 1
 
-(* ------------------------------------------------------------------ *)
-(* Cache and evaluation counters                                        *)
-(* ------------------------------------------------------------------ *)
+let frontend_miss () =
+  let r = current () in
+  r.r_frontend_misses <- r.r_frontend_misses + 1
 
-let frontend_hits = ref 0
-let frontend_misses = ref 0
-let reward_hits = ref 0
-let reward_misses = ref 0
-let pipeline_runs = ref 0
+let reward_hit () =
+  let r = current () in
+  r.r_reward_hits <- r.r_reward_hits + 1
 
-let frontend_hit () = incr frontend_hits
-let frontend_miss () = incr frontend_misses
-let reward_hit () = incr reward_hits
-let reward_miss () = incr reward_misses
-let pipeline_run () = incr pipeline_runs
+let reward_miss () =
+  let r = current () in
+  r.r_reward_misses <- r.r_reward_misses + 1
 
-(* ------------------------------------------------------------------ *)
-(* Robustness counters                                                  *)
-(* ------------------------------------------------------------------ *)
+let pipeline_run () =
+  let r = current () in
+  r.r_pipeline_runs <- r.r_pipeline_runs + 1
 
 (** Failed evaluations by taxonomy kind ("compile", "trap", "fuel",
     "timeout", ...), recorded by {!Reward} when an action evaluation is
     converted to the penalty reward or a baseline is quarantined. *)
-let failures : (string, int) Hashtbl.t = Hashtbl.create 8
-
 let record_failure (kind : string) : unit =
-  Hashtbl.replace failures kind
-    (1 + Option.value ~default:0 (Hashtbl.find_opt failures kind))
-
-let failure_count (kind : string) : int =
-  Option.value ~default:0 (Hashtbl.find_opt failures kind)
-
-let quarantines = ref 0
+  let r = current () in
+  Hashtbl.replace r.r_failures kind
+    (1 + Option.value ~default:0 (Hashtbl.find_opt r.r_failures kind))
 
 (** A program whose baseline measurement failed was dropped from further
     evaluation. *)
-let record_quarantine () = incr quarantines
-
-let timing_retries = ref 0
+let record_quarantine () =
+  let r = current () in
+  r.r_quarantines <- r.r_quarantines + 1
 
 (** One extra timing sample taken for the median-of-k noise defence. *)
-let record_timing_retry () = incr timing_retries
+let record_timing_retry () =
+  let r = current () in
+  r.r_timing_retries <- r.r_timing_retries + 1
+
+(* ------------------------------------------------------------------ *)
+(* Merged reads                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let phase_seconds (p : phase) : float =
+  (merged ()).phase_secs.(phase_index p)
+
+let phase_calls (p : phase) : int = (merged ()).phase_cnts.(phase_index p)
+
+let failure_count (kind : string) : int =
+  Option.value ~default:0 (Hashtbl.find_opt (merged ()).r_failures kind)
 
 let hit_rate ~(hits : int) ~(misses : int) : float =
   let total = hits + misses in
@@ -121,37 +225,30 @@ type snapshot = {
 }
 
 let snapshot () : snapshot =
+  let m = merged () in
   {
     phases =
       List.map
-        (fun p -> (phase_name p, phase_seconds p, phase_calls p))
+        (fun p ->
+          (phase_name p, m.phase_secs.(phase_index p),
+           m.phase_cnts.(phase_index p)))
         all_phases;
-    frontend_hits = !frontend_hits;
-    frontend_misses = !frontend_misses;
-    reward_hits = !reward_hits;
-    reward_misses = !reward_misses;
-    pipeline_runs = !pipeline_runs;
+    frontend_hits = m.r_frontend_hits;
+    frontend_misses = m.r_frontend_misses;
+    reward_hits = m.r_reward_hits;
+    reward_misses = m.r_reward_misses;
+    pipeline_runs = m.r_pipeline_runs;
     failures =
       List.sort compare
-        (Hashtbl.fold (fun k n acc -> (k, n) :: acc) failures []);
-    quarantines = !quarantines;
-    timing_retries = !timing_retries;
+        (Hashtbl.fold (fun k n acc -> (k, n) :: acc) m.r_failures []);
+    quarantines = m.r_quarantines;
+    timing_retries = m.r_timing_retries;
   }
 
 let reset () =
-  Array.iter
-    (fun a ->
-      a.seconds <- 0.0;
-      a.calls <- 0)
-    accs;
-  frontend_hits := 0;
-  frontend_misses := 0;
-  reward_hits := 0;
-  reward_misses := 0;
-  pipeline_runs := 0;
-  Hashtbl.reset failures;
-  quarantines := 0;
-  timing_retries := 0
+  Mutex.protect registry_lock (fun () ->
+      zero_record retired;
+      List.iter zero_record !live)
 
 (** Human-readable scoreboard: per-phase wall time and cache hit rates. *)
 let report () : string =

@@ -54,11 +54,15 @@ let bar (label : string) (v : float) =
 (* Per-program fault tolerance                                          *)
 (* ------------------------------------------------------------------ *)
 
-(** Programs dropped by {!guard} in this process: (name, reason). *)
+(** Programs dropped by {!guard} in this process: (name, reason).
+    Guarded by [skip_lock]: {!guarded_map} folds its skips serially in
+    item order, but {!guard} itself may run inside a pool worker. *)
 let skipped : (string * string) list ref = ref []
 
+let skip_lock = Mutex.create ()
+
 let note_skip (name : string) (reason : string) : unit =
-  skipped := (name, reason) :: !skipped
+  Mutex.protect skip_lock (fun () -> skipped := (name, reason) :: !skipped)
 
 (** Run one program's worth of work, converting any evaluation failure
     (quarantined baseline, compile error, trap, fuel exhaustion) into a
@@ -81,9 +85,31 @@ let guard ~(name : string) (f : unit -> 'a) : 'a option =
       note_skip name ("fuel exhausted: " ^ msg);
       None
 
+(** {!guard} fanned across the {!Neurovec.Parpool} domains: evaluate [f]
+    on every item, convert per-item evaluation failures to skips, and fold
+    the survivors {e and} the skip records back in item order — so the
+    results and {!skipped_report} are identical at any pool size. *)
+let guarded_map ~(name : 'a -> string) (f : 'a -> 'b) (items : 'a array) :
+    'b list =
+  Neurovec.Parpool.map
+    (fun x ->
+      try Ok (f x) with
+      | Neurovec.Reward.Quarantined (n, why) -> Error (n, why)
+      | Neurovec.Pipeline.Compile_error msg -> Error (name x, msg)
+      | Ir_interp.Trap msg -> Error (name x, "trap: " ^ msg)
+      | Neurovec.Faults.Fuel_exhausted msg ->
+          Error (name x, "fuel exhausted: " ^ msg))
+    items
+  |> Array.to_list
+  |> List.filter_map (function
+       | Ok y -> Some y
+       | Error (n, why) ->
+           note_skip n why;
+           None)
+
 (** One line per skipped program (nothing when no program was skipped). *)
 let skipped_report () : unit =
-  match List.rev !skipped with
+  match List.rev (Mutex.protect skip_lock (fun () -> !skipped)) with
   | [] -> ()
   | dropped ->
       Printf.printf "\nskipped %d program(s):\n" (List.length dropped);

@@ -10,19 +10,20 @@ type row = { name : string; best_speedup : float; best_vf : int; best_if : int }
 let run () : row list =
   let programs = Dataset.Llvm_suite.programs in
   let oracle = Neurovec.Reward.create programs in
-  Array.to_list programs
-  |> List.mapi (fun i p -> (i, p))
-  |> List.filter_map (fun (i, p) ->
-         (* a program whose baseline cannot be measured is skipped and
-            reported, not allowed to abort the sweep *)
-         Common.guard ~name:p.Dataset.Program.p_name (fun () ->
-             let act, _ = Neurovec.Reward.brute_force oracle i in
-             let t_base, _ = Neurovec.Reward.baseline oracle i in
-             let t_best = Neurovec.Reward.exec_seconds oracle i act in
-             { name = p.Dataset.Program.p_name;
-               best_speedup = t_base /. t_best;
-               best_vf = Rl.Spaces.vf_of act;
-               best_if = Rl.Spaces.if_of act }))
+  (* programs fan across the evaluation pool (each worker sweeps its 35
+     actions serially); a program whose baseline cannot be measured is
+     skipped and reported, not allowed to abort the sweep *)
+  Common.guarded_map
+    ~name:(fun i -> programs.(i).Dataset.Program.p_name)
+    (fun i ->
+      let act, _ = Neurovec.Reward.brute_force oracle i in
+      let t_base, _ = Neurovec.Reward.baseline oracle i in
+      let t_best = Neurovec.Reward.exec_seconds oracle i act in
+      { name = programs.(i).Dataset.Program.p_name;
+        best_speedup = t_base /. t_best;
+        best_vf = Rl.Spaces.vf_of act;
+        best_if = Rl.Spaces.if_of act })
+    (Array.init (Array.length programs) Fun.id)
 
 let print () =
   Common.header

@@ -8,16 +8,19 @@
 
 let methods = [ Trained.PollyM; Trained.RlM; Trained.PollyRl ]
 
-let run () =
-  let t = Trained.get () in
+(** [?t] defaults to the shared full-scale instance; the golden snapshot
+    tests pass a tiny one. *)
+let run ?t () =
+  let t = match t with Some t -> t | None -> Trained.get () in
   let rows =
-    Array.to_list Dataset.Polybench.programs
-    |> List.filter_map (fun p ->
-           Common.guard ~name:p.Dataset.Program.p_name (fun () ->
-               let base = Trained.seconds t Trained.Baseline p in
-               ( p.Dataset.Program.p_name,
-                 List.map (fun m -> (m, base /. Trained.seconds t m p))
-                   methods )))
+    (* kernels fan across the evaluation pool *)
+    Common.guarded_map
+      ~name:(fun p -> p.Dataset.Program.p_name)
+      (fun p ->
+        let base = Trained.seconds t Trained.Baseline p in
+        ( p.Dataset.Program.p_name,
+          List.map (fun m -> (m, base /. Trained.seconds t m p)) methods ))
+      Dataset.Polybench.programs
   in
   let avg m =
     Common.geomean (List.map (fun (_, ss) -> List.assoc m ss) rows)

@@ -1,0 +1,89 @@
+(** Parallel evaluation engine benchmark (and safety check): run the same
+    whole-corpus brute-force sweep serially ([--jobs 1]) and on the pool
+    ([--jobs N]), verify the results are bit-identical — best actions,
+    reward bits, quarantine report — and report the wall-clock speedup.
+
+    This is the acceptance check for the engine's determinism contract:
+    the pool may only change {e where} an evaluation runs, never what it
+    computes.  A mismatch raises, so the CI smoke job fails loudly. *)
+
+let wall () = Unix.gettimeofday ()
+
+(* a corpus with some fault-injected failures exercises the quarantine
+   path too; keyed faults make the failures identical in both runs *)
+let corpus_seed = 23
+
+let sweep ~(jobs : int) (programs : Dataset.Program.t array) :
+    (Rl.Spaces.action * float) option array * (string * string) list * float =
+  (* fresh caches per run so the parallel run cannot coast on the serial
+     run's memoized rewards (and vice versa) *)
+  Neurovec.Frontend.clear ();
+  let oracle =
+    Neurovec.Reward.create
+      ~options:
+        { Neurovec.Pipeline.default_options with
+          faults = Neurovec.Faults.of_env () }
+      programs
+  in
+  let t0 = wall () in
+  let results = Neurovec.Parpool.with_jobs jobs (fun () -> Neurovec.Reward.sweep_all oracle) in
+  let dt = wall () -. t0 in
+  (results, Neurovec.Reward.quarantine_report oracle, dt)
+
+let mismatches (serial : (Rl.Spaces.action * float) option array)
+    (parallel : (Rl.Spaces.action * float) option array) : string list =
+  let bad = ref [] in
+  Array.iteri
+    (fun i s ->
+      let p = parallel.(i) in
+      match (s, p) with
+      | None, None -> ()
+      | Some (sa, sr), Some (pa, pr)
+        when sa = pa && Int64.bits_of_float sr = Int64.bits_of_float pr ->
+          ()
+      | _ ->
+          let show = function
+            | None -> "quarantined"
+            | Some (a, r) ->
+                Printf.sprintf "(VF=%d,IF=%d) r=%h" (Rl.Spaces.vf_of a)
+                  (Rl.Spaces.if_of a) r
+          in
+          bad :=
+            Printf.sprintf "program %d: serial %s vs parallel %s" i (show s)
+              (show p)
+            :: !bad)
+    serial;
+  List.rev !bad
+
+let print () =
+  Common.header "Parallel evaluation engine: serial vs pool, same bits";
+  let jobs = max 2 (Neurovec.Parpool.jobs ()) in
+  let programs = Dataset.Loopgen.generate ~seed:corpus_seed (Common.scaled 24) in
+  Printf.printf "corpus: %d programs x %d actions, pool size %d\n%!"
+    (Array.length programs)
+    (List.length Rl.Spaces.all_actions)
+    jobs;
+  let serial, s_quar, s_time = sweep ~jobs:1 programs in
+  let parallel, p_quar, p_time = sweep ~jobs programs in
+  Printf.printf "serial   (--jobs 1): %6.2f s wall\n" s_time;
+  Printf.printf "parallel (--jobs %d): %6.2f s wall\n" jobs p_time;
+  Printf.printf "speedup: %.2fx with %d domains (%d hardware threads)\n"
+    (s_time /. p_time) jobs
+    (Domain.recommended_domain_count ());
+  let bad = mismatches serial parallel in
+  if s_quar <> p_quar then
+    failwith
+      (Printf.sprintf
+         "parallel sweep changed the quarantine report (%d vs %d entries)"
+         (List.length s_quar) (List.length p_quar));
+  (match bad with
+  | [] ->
+      Printf.printf
+        "bit-identical: yes (best actions, reward bits, %d quarantined)\n"
+        (List.length s_quar)
+  | ms ->
+      List.iter prerr_endline ms;
+      failwith
+        (Printf.sprintf "parallel sweep diverged on %d/%d programs"
+           (List.length ms) (Array.length serial)));
+  Printf.printf "%!"

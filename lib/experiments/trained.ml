@@ -18,27 +18,33 @@ let code_vector (agent : Rl.Agent.t) (p : Dataset.Program.t) : float array =
      (Neurovec.Framework.encode agent p))
     .Embedding.Code2vec.code
 
-let build () : t =
-  let corpus = Dataset.Loopgen.generate ~seed:5 (Common.scaled 800) in
+(** Train the shared model.  The size knobs default to the full-scale run
+    of the figures (still scaled by [NEUROVEC_SCALE]); the golden snapshot
+    tests pass tiny values to build a fast deterministic instance. *)
+let build ?(seed = 5) ?(corpus_size = Common.scaled 800)
+    ?(train_steps = Common.scaled 8000) ?(n_labeled = Common.scaled 250) () :
+    t =
+  let corpus = Dataset.Loopgen.generate ~seed corpus_size in
   let train_set, test_set = Dataset.Loopgen.train_test_split corpus in
   let fw = Neurovec.Framework.create ~seed:9 train_set in
   ignore
     (Neurovec.Framework.train fw
        ~hyper:{ Rl.Ppo.default_hyper with batch_size = 500 }
-       ~total_steps:(Common.scaled 8000));
-  (* brute-force labels on a labeled portion of the training split; a
-     program the oracle quarantined contributes no label instead of
-     aborting the build *)
-  let n_labeled = min (Array.length train_set) (Common.scaled 250) in
+       ~total_steps:train_steps);
+  (* brute-force labels on a labeled portion of the training split, fanned
+     across the evaluation pool; a program the oracle quarantined
+     contributes no label instead of aborting the build *)
+  let n_labeled = min (Array.length train_set) n_labeled in
   let labeled =
-    List.init n_labeled Fun.id
-    |> List.filter_map (fun i ->
-           Common.guard ~name:train_set.(i).Dataset.Program.p_name (fun () ->
-               let act, _ =
-                 Neurovec.Reward.brute_force fw.Neurovec.Framework.oracle i
-               in
-               ( code_vector fw.Neurovec.Framework.agent train_set.(i),
-                 Rl.Spaces.flat_of act )))
+    Common.guarded_map
+      ~name:(fun i -> train_set.(i).Dataset.Program.p_name)
+      (fun i ->
+        let act, _ =
+          Neurovec.Reward.brute_force fw.Neurovec.Framework.oracle i
+        in
+        ( code_vector fw.Neurovec.Framework.agent train_set.(i),
+          Rl.Spaces.flat_of act ))
+      (Array.init n_labeled Fun.id)
   in
   let xs = Array.of_list (List.map fst labeled) in
   let ys = Array.of_list (List.map snd labeled) in

@@ -54,6 +54,9 @@ type ctx = {
   bindings : (string * int) list;
   locals : (string, local) Hashtbl.t;
   loop_counter : int ref;
+  gensym_counter : int ref;
+      (** per-module, so concurrent lowerings on different domains produce
+          identical (and un-torn) names for identical programs *)
   default_param_dim : int;
 }
 
@@ -505,11 +508,9 @@ let match_cond (var : string) (e : Minic.Ast.expr) :
 (* Statement lowering                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let gensym_counter = ref 0
-
-let gensym base =
-  incr gensym_counter;
-  Printf.sprintf "%s.%d" base !gensym_counter
+let gensym ctx base =
+  incr ctx.gensym_counter;
+  Printf.sprintf "%s.%d" base !(ctx.gensym_counter)
 
 let rec lower_stmt ctx (s : Minic.Ast.stmt) : Ir.node list =
   let open Ir in
@@ -519,7 +520,7 @@ let rec lower_stmt ctx (s : Minic.Ast.stmt) : Ir.node list =
         (* local array: promote to a module-level array with a unique name *)
         let env = Minic.Sema.make_env ~bindings:ctx.bindings () in
         let dims = Minic.Sema.concrete_dims env ty in
-        let uname = gensym (ctx.fn.fn_name ^ "." ^ name) in
+        let uname = gensym ctx (ctx.fn.fn_name ^ "." ^ name) in
         ctx.m.m_arrays <-
           ctx.m.m_arrays
           @ [ { arr_name = uname; arr_elem = scalar_of_base ty.Minic.Ast.base;
@@ -679,6 +680,7 @@ let lower_program ?(bindings = []) ?(default_param_dim = 1024)
     (prog : Minic.Ast.program) : Ir.modul =
   let m = { Ir.m_arrays = []; m_funcs = [] } in
   let loop_counter = ref 0 in
+  let gensym_counter = ref 0 in
   let globals = Hashtbl.create 16 in
   (* First pass: global arrays and scalars. Global scalars become
      single-element arrays so functions can share them. *)
@@ -754,7 +756,8 @@ let lower_program ?(bindings = []) ?(default_param_dim = 1024)
               Hashtbl.replace locals p.Minic.Ast.p_name (LArray (uname, dims)))
             array_params;
           let ctx =
-            { m; fn; bindings; locals; loop_counter; default_param_dim }
+            { m; fn; bindings; locals; loop_counter; gensym_counter;
+              default_param_dim }
           in
           (* Global scalar loads: accessing them as scalars means load/store
              through their 1-element array; rewrite via locals happens lazily

@@ -1,0 +1,154 @@
+(* Golden snapshots of the figure summaries on small, seeded corpora.
+
+   Each test renders a canonical summary string — names, chosen (VF, IF)
+   pairs, and speedups printed as %h hex floats so equality is bit-exact —
+   and compares it against a committed golden.  Because every value in the
+   pipeline is a pure function of program content (caches are
+   content-addressed, fault injection is off for these corpora, timing is
+   a deterministic cost model), these snapshots hold at any --jobs /
+   NEUROVEC_JOBS setting: CI runs them with a 4-domain pool, so a
+   schedule-dependent result anywhere in the reward path shows up as a
+   golden mismatch.
+
+   On an intentional change to the cost model, RNG streams, or planner,
+   regenerate by running the suite: the failure message prints the new
+   canonical string ready to paste. *)
+
+let check_golden ~what (expected : string) (actual : string) : unit =
+  if actual <> expected then
+    Alcotest.failf
+      "%s summary changed.\nExpected:\n%s\nActual (paste into test_golden.ml \
+       if intended):\n%s"
+      what expected actual
+
+(* ---- Figure 2: brute force on the LLVM suite ---------------------- *)
+
+let fig2_golden =
+  "sum_i32 vf=32 if=1 speedup=0x1.00487ede0487fp+1\n\
+   dot_i32 vf=32 if=1 speedup=0x1.f97dd49c34115p+0\n\
+   dot_f32 vf=32 if=1 speedup=0x1.f911c27d9e1afp+0\n\
+   copy_widen_short vf=32 if=16 speedup=0x1.2c54ba66e2586p+1\n\
+   saxpy_f32 vf=32 if=16 speedup=0x1.8853606f2b3eep+0\n\
+   predicated_store vf=32 if=1 speedup=0x1.ef06b172f6337p+0\n\
+   select_minmax vf=32 if=1 speedup=0x1.e376e5eca5f73p+0\n\
+   stride2_pack vf=16 if=1 speedup=0x1.81331aa1b59fap+0\n\
+   gather_stride4 vf=16 if=1 speedup=0x1.96df733e75e21p+1\n\
+   reverse_copy vf=32 if=8 speedup=0x1.0884210842108p+1\n\
+   unknown_bound vf=16 if=1 speedup=0x1.a0590b21642c9p+0\n\
+   misaligned_offset vf=32 if=2 speedup=0x1.42d82d82d82d7p+1\n\
+   multidim_rowsum vf=16 if=1 speedup=0x1.5a8667bcbfc97p+0\n\
+   mixed_types vf=32 if=1 speedup=0x1.28418045de286p+1\n\
+   xor_reduction vf=32 if=1 speedup=0x1.17c61660150f3p+1\n\
+   shift_mask vf=32 if=4 speedup=0x1.112c1668bd042p+1\n\
+   step2_pairs vf=4 if=1 speedup=0x1.5d65df359b6afp+0\n\
+   geomean=0x1.f25ce41258ed8p+0"
+
+let canon_fig2 () : string =
+  let rows = Experiments.Fig2.run () in
+  String.concat "\n"
+    (List.map
+       (fun r ->
+         Printf.sprintf "%s vf=%d if=%d speedup=%h" r.Experiments.Fig2.name
+           r.Experiments.Fig2.best_vf r.Experiments.Fig2.best_if
+           r.Experiments.Fig2.best_speedup)
+       rows
+    @ [ Printf.sprintf "geomean=%h"
+          (Experiments.Common.geomean
+             (List.map (fun r -> r.Experiments.Fig2.best_speedup) rows)) ])
+
+let test_fig2_golden () =
+  check_golden ~what:"fig2" fig2_golden (canon_fig2 ())
+
+(* ---- Figures 7 and 8: a tiny shared trained instance --------------- *)
+
+(* explicit sizes: independent of NEUROVEC_SCALE, small enough for CI *)
+let tiny =
+  lazy
+    (Experiments.Trained.build ~seed:5 ~corpus_size:24 ~train_steps:192
+       ~n_labeled:6 ())
+
+let fig7_golden =
+  "gather_00023 random=0x1.f57c954a1e7d1p-1 polly=0x1p+0 \
+   NNS=0x1.f57c954a1e7d1p-1 decision-tree=0x1.f9a3c6c1fcd1ep-1 \
+   RL=0x1.58f2fba938682p+1 brute-force=0x1.58f2fba938681p+1\n\
+   offset_00016 random=0x1.8da6dae529c5ap-2 polly=0x1p+0 \
+   NNS=0x1.470126c3bdfc3p+0 decision-tree=0x1.3ba59a7d38aedp+0 \
+   RL=0x1.87955f2363bbfp+0 brute-force=0x1.c75940ab05e11p+0\n\
+   widening_00005 random=0x1.f207657ef903bp-1 polly=0x1p+0 \
+   NNS=0x1.00d901b20364p+0 decision-tree=0x1.230fd99373c0ap+0 \
+   RL=0x1.21f94d0a0c70fp+0 brute-force=0x1.230fd99373c0ap+0\n\
+   gather_00001 random=0x1.ddfe1c56e8624p-1 polly=0x1p+0 \
+   NNS=0x1.3a68636adfb08p+1 decision-tree=0x1.da7da7da7da7ep+0 \
+   RL=0x1.346b46b46b46bp+1 brute-force=0x1.471c71c71c71dp+1\n\
+   avg random=0x1.8882db71176d6p-1\n\
+   avg polly=0x1p+0\n\
+   avg NNS=0x1.533b216d90547p+0\n\
+   avg decision-tree=0x1.4402310f3a71dp+0\n\
+   avg RL=0x1.d4d9dc0ab06d1p+0\n\
+   avg brute-force=0x1.ee8cb99fc9c5cp+0"
+
+let canon_fig7 () : string =
+  let rows, averages = Experiments.Fig7.run ~t:(Lazy.force tiny) () in
+  String.concat "\n"
+    (List.map
+       (fun r ->
+         Printf.sprintf "%s %s" r.Experiments.Fig7.bench
+           (String.concat " "
+              (List.map
+                 (fun (m, s) ->
+                   Printf.sprintf "%s=%h" (Experiments.Trained.method_name m) s)
+                 r.Experiments.Fig7.speedups)))
+       rows
+    @ List.map
+        (fun (m, s) ->
+          Printf.sprintf "avg %s=%h" (Experiments.Trained.method_name m) s)
+        averages)
+
+let test_fig7_golden () =
+  check_golden ~what:"fig7" fig7_golden (canon_fig7 ())
+
+let fig8_golden =
+  "gemm polly=0x1.7a222bb4d2c22p+1 RL=0x1p+0 polly+RL=0x1.7a222bb4d2c22p+1\n\
+   gesummv polly=0x1p+0 RL=0x1.89d15e817a263p+0 polly+RL=0x1.89d15e817a263p+0\n\
+   atax polly=0x1.4a33cc4dc95d8p+1 RL=0x1.046606d4e93d1p+0 \
+   polly+RL=0x1.5a28b05efa2d1p+1\n\
+   bicg polly=0x1p+0 RL=0x1.8acf89cb44a8fp+0 polly+RL=0x1.8acf89cb44a8fp+0\n\
+   mvt polly=0x1.4a33b05776288p+1 RL=0x1.0466069783092p+0 \
+   polly+RL=0x1.5a2890be8bc99p+1\n\
+   syrk polly=0x1p+0 RL=0x1.7b24777da57a7p+0 polly+RL=0x1.7b24777da57a7p+0\n\
+   avg polly=0x1.a4914cc8b59b1p+0\n\
+   avg RL=0x1.3d71b23ac6b94p+0\n\
+   avg polly+RL=0x1.0763c0f731528p+1"
+
+let canon_fig8 () : string =
+  let rows, averages = Experiments.Fig8.run ~t:(Lazy.force tiny) () in
+  String.concat "\n"
+    (List.map
+       (fun (name, ss) ->
+         Printf.sprintf "%s %s" name
+           (String.concat " "
+              (List.map
+                 (fun (m, s) ->
+                   Printf.sprintf "%s=%h" (Experiments.Trained.method_name m) s)
+                 ss)))
+       rows
+    @ List.map
+        (fun (m, s) ->
+          Printf.sprintf "avg %s=%h" (Experiments.Trained.method_name m) s)
+        averages)
+
+let test_fig8_golden () =
+  check_golden ~what:"fig8" fig8_golden (canon_fig8 ())
+
+let suite =
+  [
+    ( "golden.summaries",
+      [
+        Alcotest.test_case "fig2 (LLVM suite brute force)" `Quick
+          test_fig2_golden;
+        Alcotest.test_case "fig7 (tiny trained instance)" `Slow
+          test_fig7_golden;
+        Alcotest.test_case "fig8 (tiny trained instance)" `Slow
+          test_fig8_golden;
+      ] );
+  ]

@@ -4,4 +4,5 @@ let () =
     (Test_minic.suite @ Test_ir.suite @ Test_analysis.suite
    @ Test_vectorizer.suite @ Test_polly.suite @ Test_machine.suite
    @ Test_nn.suite @ Test_embedding.suite @ Test_rl.suite @ Test_agents.suite
-   @ Test_dataset.suite @ Test_core.suite @ Test_faults.suite)
+   @ Test_dataset.suite @ Test_core.suite @ Test_faults.suite
+   @ Test_differential.suite @ Test_parallel.suite @ Test_golden.suite)
