@@ -23,6 +23,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ("ablations", "design-choice ablations", Experiments.Ablations.print);
     ("par", "parallel engine: serial vs pool bit-identity + speedup",
      Experiments.Parbench.print);
+    ("sweepbench",
+     "shared-artifact sweep: legacy vs fast bit-identity + BENCH_sweep.json",
+     Experiments.Sweepbench.print);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -72,14 +72,14 @@ let probe_samples ?(encode = encode) (agent : Rl.Agent.t) (oracle : Reward.t)
 
 let create ?agent ?(space = Rl.Spaces.Discrete) ?(hidden = [ 64; 64 ])
     ?(c2v_cfg = Embedding.Code2vec.default_config)
-    ?(options = Pipeline.default_options) ~(seed : int)
-    (train_programs : Dataset.Program.t array) : t =
+    ?(options = Pipeline.default_options) ?(legacy_pipeline = false)
+    ~(seed : int) (train_programs : Dataset.Program.t array) : t =
   let agent =
     match agent with
     | Some a -> a  (* e.g. restored from a checkpoint for resumed training *)
     | None -> Rl.Agent.create ~hidden ~c2v_cfg ~space (Nn.Rng.create seed)
   in
-  let oracle = Reward.create ~options train_programs in
+  let oracle = Reward.create ~options ~legacy_pipeline train_programs in
   let samples, skipped = probe_samples agent oracle train_programs in
   { agent; oracle; train_programs; samples; skipped }
 

@@ -41,6 +41,18 @@ let hash_program (p : Dataset.Program.t) : string =
                (fun (k, v) -> [ k; string_of_int v ])
                p.Dataset.Program.p_bindings)))
 
+(** A program's shared pre-vectorization artifact: the pragma-free module
+    after lower + LICM/CSE/LICM (everything an action sweep does before the
+    planner), plus the per-loop analyses the planner needs.  [pv_modul] and
+    [pv_preps] are {e never mutated}: every consumer takes an
+    [Ir.copy_modul] and transforms the copy, so one artifact serves all 35
+    actions of a sweep — and all sweeps that ever see the same content. *)
+type prevec = {
+  pv_hash : string;  (** content hash + polly flag *)
+  pv_modul : Ir.modul;  (** pristine; consumers must copy before mutating *)
+  pv_preps : Vectorizer.Planner.prep list;
+}
+
 let n_shards = 16
 
 type shard = { lock : Mutex.t; tbl : (string, artifact) Hashtbl.t }
@@ -49,14 +61,36 @@ let shards =
   Array.init n_shards (fun _ ->
       { lock = Mutex.create (); tbl = Hashtbl.create 32 })
 
+type pv_shard = { pv_lock : Mutex.t; pv_tbl : (string, prevec) Hashtbl.t }
+
+let pv_shards =
+  Array.init n_shards (fun _ ->
+      { pv_lock = Mutex.create (); pv_tbl = Hashtbl.create 32 })
+
 let shard_of (h : string) : shard =
   (* the content hash is a hex digest: its first byte is already uniform *)
   shards.(Char.code h.[0] mod n_shards)
 
+let pv_shard_of (h : string) : pv_shard =
+  pv_shards.(Char.code h.[0] mod n_shards)
+
+(* caches downstream of the front end (e.g. the pipeline's evaluation-point
+   memo) register here so [clear] empties every content-addressed table in
+   the process; registration happens at module initialization, so hooks
+   exist before any cache can be populated *)
+let clear_hooks : (unit -> unit) list ref = ref []
+
+let on_clear (f : unit -> unit) : unit = clear_hooks := f :: !clear_hooks
+
 let clear () =
   Array.iter
     (fun s -> Mutex.protect s.lock (fun () -> Hashtbl.reset s.tbl))
-    shards
+    shards;
+  Array.iter
+    (fun s -> Mutex.protect s.pv_lock (fun () -> Hashtbl.reset s.pv_tbl))
+    pv_shards;
+  Machine.Timing.memo_clear ();
+  List.iter (fun f -> f ()) !clear_hooks
 
 let size () =
   Array.fold_left
@@ -109,3 +143,61 @@ let checked (p : Dataset.Program.t) : artifact =
           | None ->
               Hashtbl.replace s.tbl h a;
               a)
+
+(** The shared pre-vectorization artifact for [p]: pragma-free lowering +
+    Polly (when [polly]) + LICM/CSE/LICM + per-loop planner analyses,
+    computed at most once per distinct (source, bindings, polly) content.
+    Lowering failures are not cached (each attempt re-raises
+    {!Compile_error} with the asking program's name, matching the
+    per-action pipeline's error text).
+
+    Domain safety mirrors {!checked}: the mid-end runs {e outside} the
+    shard lock — it is deterministic, so racing domains build bit-identical
+    artifacts and first-commit-wins cannot be observed. *)
+let prevec_of ?(polly = false) (p : Dataset.Program.t) (a : artifact) :
+    prevec =
+  let h = Printf.sprintf "%s|polly=%b" a.a_hash polly in
+  let s = pv_shard_of h in
+  match Mutex.protect s.pv_lock (fun () -> Hashtbl.find_opt s.pv_tbl h) with
+  | Some pv ->
+      Stats.prevec_hit ();
+      pv
+  | None ->
+      Stats.prevec_miss ();
+      (* strip source pragmas: the sweep supplies its plan explicitly, and
+         the baseline is defined as "existing pragmas removed" *)
+      let ast =
+        Injector.inject_ast ~clear_others:true a.a_ast ~decisions:[]
+      in
+      let m =
+        Stats.time Stats.Lower (fun () ->
+            try
+              Ir_lower.lower_program ~bindings:p.Dataset.Program.p_bindings
+                ast
+            with Ir_lower.Error msg ->
+              raise
+                (Compile_error
+                   (Printf.sprintf "%s: %s" p.Dataset.Program.p_name msg)))
+      in
+      if polly then
+        Stats.time Stats.Polly (fun () -> ignore (Polly.Driver.optimize m));
+      Stats.time Stats.Scalar_opt (fun () ->
+          ignore (Vectorizer.Licm.run_modul m);
+          ignore (Vectorizer.Cse.run_modul m);
+          ignore (Vectorizer.Licm.run_modul m));
+      let preps =
+        Stats.time Stats.Vectorize (fun () ->
+            Vectorizer.Planner.prepare_modul m)
+      in
+      let pv = { pv_hash = h; pv_modul = m; pv_preps = preps } in
+      Mutex.protect s.pv_lock (fun () ->
+          match Hashtbl.find_opt s.pv_tbl h with
+          | Some winner -> winner  (* a racing domain lowered it first *)
+          | None ->
+              Hashtbl.replace s.pv_tbl h pv;
+              pv)
+
+(** As {!prevec_of}, checking the front end first (exactly one front-end
+    lookup, like the per-action entry points). *)
+let prevec ?polly (p : Dataset.Program.t) : prevec =
+  prevec_of ?polly p (checked p)

@@ -69,6 +69,12 @@ type entry = {
 type t = {
   programs : Dataset.Program.t array;
   options : Pipeline.options;
+  legacy_pipeline : bool;
+      (** evaluate through the legacy per-action pipeline (re-lower +
+          re-optimize per action) instead of the shared-artifact fast path;
+          both compute bit-identical entries — the flag exists so the
+          equivalence gate and benches can run the two engines side by
+          side *)
   timeout_factor : float;
   penalty : float;
   noise_samples : int;
@@ -87,11 +93,13 @@ type t = {
   mutable hits : int;  (** memoized reward lookups served from cache *)
 }
 
-let create ?(options = Pipeline.default_options) ?(timeout_factor = 10.0)
+let create ?(options = Pipeline.default_options) ?(legacy_pipeline = false)
+    ?(timeout_factor = 10.0)
     ?(penalty = -9.0) ?(noise_samples = 5) (programs : Dataset.Program.t array)
     : t =
   let opt_key = Pipeline.options_key options in
-  { programs; options; timeout_factor; penalty; noise_samples;
+  { programs; options; legacy_pipeline; timeout_factor; penalty;
+    noise_samples;
     keys =
       Array.map
         (fun p -> Frontend.hash_program p ^ "|" ^ opt_key)
@@ -162,19 +170,19 @@ let robust_estimate (xs : float list) : float =
     spec injects noise.  [f] receives the resample index, which keys the
     injected noise, so the estimate is the same whatever else ran in
     between.  Re-raises whatever [f] raises. *)
-let measure (t : t) (f : sample:int -> Pipeline.result) : float * float =
-  let r0 = f ~sample:0 in
+let measure (t : t) (f : sample:int -> float * float) : float * float =
+  let e0, c0 = f ~sample:0 in
   if (not (Faults.noisy t.options.Pipeline.faults)) || t.noise_samples <= 1
-  then (r0.Pipeline.exec_seconds, r0.Pipeline.compile_seconds)
+  then (e0, c0)
   else begin
     let rest =
       List.init (t.noise_samples - 1) (fun k ->
           Stats.record_timing_retry ();
           f ~sample:(k + 1))
     in
-    let all = r0 :: rest in
-    ( robust_estimate (List.map (fun r -> r.Pipeline.exec_seconds) all),
-      robust_estimate (List.map (fun r -> r.Pipeline.compile_seconds) all) )
+    let all = (e0, c0) :: rest in
+    ( robust_estimate (List.map fst all),
+      robust_estimate (List.map snd all) )
   end
 
 (* ------------------------------------------------------------------ *)
@@ -212,7 +220,15 @@ let baseline (t : t) (idx : int) : float * float =
   | None -> (
       match
         measure t (fun ~sample ->
-            Pipeline.run_baseline ~options:t.options ~sample t.programs.(idx))
+            if t.legacy_pipeline then
+              let r =
+                Pipeline.run_baseline ~options:t.options ~sample
+                  ~timing_memo:false t.programs.(idx)
+              in
+              (r.Pipeline.exec_seconds, r.Pipeline.compile_seconds)
+            else
+              Pipeline.eval_planned ~options:t.options ~sample
+                t.programs.(idx) ~plan:None)
       with
       | exception e -> (
           match classify_exn e with
@@ -281,9 +297,18 @@ let entry (t : t) (idx : int) (action : Rl.Spaces.action) : entry =
       in
       match
         measure t (fun ~sample ->
-            Pipeline.run_with_pragma ~options:t.options ~sample
-              t.programs.(idx) ~vf:(Rl.Spaces.vf_of action)
-              ~if_:(Rl.Spaces.if_of action))
+            if t.legacy_pipeline then
+              let r =
+                Pipeline.run_with_pragma ~options:t.options ~sample
+                  ~timing_memo:false t.programs.(idx)
+                  ~vf:(Rl.Spaces.vf_of action)
+                  ~if_:(Rl.Spaces.if_of action)
+              in
+              (r.Pipeline.exec_seconds, r.Pipeline.compile_seconds)
+            else
+              Pipeline.eval_planned ~options:t.options ~sample
+                t.programs.(idx)
+                ~plan:(Some (Rl.Spaces.vf_of action, Rl.Spaces.if_of action)))
       with
       | exception e -> (
           match classify_exn e with

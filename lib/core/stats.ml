@@ -64,6 +64,10 @@ type record = {
   phase_cnts : int array;
   mutable r_frontend_hits : int;
   mutable r_frontend_misses : int;
+  mutable r_prevec_hits : int;
+  mutable r_prevec_misses : int;
+  mutable r_point_hits : int;
+  mutable r_point_misses : int;
   mutable r_reward_hits : int;
   mutable r_reward_misses : int;
   mutable r_pipeline_runs : int;
@@ -75,7 +79,9 @@ type record = {
 
 let fresh_record () : record =
   { phase_secs = Array.make n_phases 0.0; phase_cnts = Array.make n_phases 0;
-    r_frontend_hits = 0; r_frontend_misses = 0; r_reward_hits = 0;
+    r_frontend_hits = 0; r_frontend_misses = 0; r_prevec_hits = 0;
+    r_prevec_misses = 0; r_point_hits = 0; r_point_misses = 0;
+    r_reward_hits = 0;
     r_reward_misses = 0; r_pipeline_runs = 0; r_failures = Hashtbl.create 8;
     r_quarantines = 0; r_timing_retries = 0 }
 
@@ -84,6 +90,10 @@ let zero_record (r : record) : unit =
   Array.fill r.phase_cnts 0 n_phases 0;
   r.r_frontend_hits <- 0;
   r.r_frontend_misses <- 0;
+  r.r_prevec_hits <- 0;
+  r.r_prevec_misses <- 0;
+  r.r_point_hits <- 0;
+  r.r_point_misses <- 0;
   r.r_reward_hits <- 0;
   r.r_reward_misses <- 0;
   r.r_pipeline_runs <- 0;
@@ -99,6 +109,10 @@ let merge_into (dst : record) (src : record) : unit =
   done;
   dst.r_frontend_hits <- dst.r_frontend_hits + src.r_frontend_hits;
   dst.r_frontend_misses <- dst.r_frontend_misses + src.r_frontend_misses;
+  dst.r_prevec_hits <- dst.r_prevec_hits + src.r_prevec_hits;
+  dst.r_prevec_misses <- dst.r_prevec_misses + src.r_prevec_misses;
+  dst.r_point_hits <- dst.r_point_hits + src.r_point_hits;
+  dst.r_point_misses <- dst.r_point_misses + src.r_point_misses;
   dst.r_reward_hits <- dst.r_reward_hits + src.r_reward_hits;
   dst.r_reward_misses <- dst.r_reward_misses + src.r_reward_misses;
   dst.r_pipeline_runs <- dst.r_pipeline_runs + src.r_pipeline_runs;
@@ -161,6 +175,22 @@ let frontend_miss () =
   let r = current () in
   r.r_frontend_misses <- r.r_frontend_misses + 1
 
+let prevec_hit () =
+  let r = current () in
+  r.r_prevec_hits <- r.r_prevec_hits + 1
+
+let prevec_miss () =
+  let r = current () in
+  r.r_prevec_misses <- r.r_prevec_misses + 1
+
+let point_hit () =
+  let r = current () in
+  r.r_point_hits <- r.r_point_hits + 1
+
+let point_miss () =
+  let r = current () in
+  r.r_point_misses <- r.r_point_misses + 1
+
 let reward_hit () =
   let r = current () in
   r.r_reward_hits <- r.r_reward_hits + 1
@@ -216,6 +246,15 @@ type snapshot = {
   phases : (string * float * int) list;  (** name, total seconds, calls *)
   frontend_hits : int;
   frontend_misses : int;
+  prevec_hits : int;
+      (** shared pre-vectorization artifact cache ({!Frontend.prevec}) *)
+  prevec_misses : int;
+  point_hits : int;
+      (** evaluation-point memo ({!Pipeline.eval_planned}): actions that
+          clamp to an already-measured applied plan *)
+  point_misses : int;
+  timing_memo_hits : int;  (** per-loop cycle memo ({!Machine.Timing}) *)
+  timing_memo_misses : int;
   reward_hits : int;
   reward_misses : int;
   pipeline_runs : int;
@@ -226,6 +265,7 @@ type snapshot = {
 
 let snapshot () : snapshot =
   let m = merged () in
+  let tm_hits, tm_misses = Machine.Timing.memo_stats () in
   {
     phases =
       List.map
@@ -235,6 +275,12 @@ let snapshot () : snapshot =
         all_phases;
     frontend_hits = m.r_frontend_hits;
     frontend_misses = m.r_frontend_misses;
+    prevec_hits = m.r_prevec_hits;
+    prevec_misses = m.r_prevec_misses;
+    point_hits = m.r_point_hits;
+    point_misses = m.r_point_misses;
+    timing_memo_hits = tm_hits;
+    timing_memo_misses = tm_misses;
     reward_hits = m.r_reward_hits;
     reward_misses = m.r_reward_misses;
     pipeline_runs = m.r_pipeline_runs;
@@ -246,6 +292,7 @@ let snapshot () : snapshot =
   }
 
 let reset () =
+  Machine.Timing.memo_stats_reset ();
   Mutex.protect registry_lock (fun () ->
       zero_record retired;
       List.iter zero_record !live)
@@ -270,6 +317,19 @@ let report () : string =
     (Printf.sprintf "front-end cache: %d hits / %d misses (%.1f%% hit rate)\n"
        s.frontend_hits s.frontend_misses
        (100.0 *. hit_rate ~hits:s.frontend_hits ~misses:s.frontend_misses));
+  Buffer.add_string b
+    (Printf.sprintf "prevec cache:    %d hits / %d misses (%.1f%% hit rate)\n"
+       s.prevec_hits s.prevec_misses
+       (100.0 *. hit_rate ~hits:s.prevec_hits ~misses:s.prevec_misses));
+  Buffer.add_string b
+    (Printf.sprintf "point memo:      %d hits / %d misses (%.1f%% hit rate)\n"
+       s.point_hits s.point_misses
+       (100.0 *. hit_rate ~hits:s.point_hits ~misses:s.point_misses));
+  Buffer.add_string b
+    (Printf.sprintf "timing memo:     %d hits / %d misses (%.1f%% hit rate)\n"
+       s.timing_memo_hits s.timing_memo_misses
+       (100.0
+       *. hit_rate ~hits:s.timing_memo_hits ~misses:s.timing_memo_misses));
   Buffer.add_string b
     (Printf.sprintf "reward cache:    %d hits / %d misses (%.1f%% hit rate)\n"
        s.reward_hits s.reward_misses

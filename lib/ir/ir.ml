@@ -178,6 +178,29 @@ let fresh_reg (fn : func) (ty : ty) : reg =
 
 let reg_ty (fn : func) (r : reg) : ty = fn.fn_regty.(r)
 
+(* ------------------------------------------------------------------ *)
+(* Copying                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Deep copy of a function with respect to every mutable cell: a fresh
+    record, a fresh register-type array.  The node tree is shared — nodes
+    are immutable, and every pass in this repo (LICM, CSE, the vectorizer)
+    rewrites by rebuilding nodes and assigning [fn_body], never by mutating
+    a node in place — so transforming the copy cannot be observed through
+    the original. *)
+let copy_func (fn : func) : func =
+  { fn with fn_regty = Array.copy fn.fn_regty }
+
+(** Deep structural copy of a module's mutable state.  This is what makes
+    shared-artifact action sweeps possible: lower + LICM/CSE a program once
+    into a pristine pre-vectorization module, then give each of the 35
+    (VF, IF) actions its own [copy_modul] to transform, instead of
+    re-running the whole front-to-mid-end per action.  Register numbering,
+    loop ids and gensym'd names are preserved exactly, so a pipeline run on
+    a copy is bit-identical to a run on a fresh lowering. *)
+let copy_modul (m : modul) : modul =
+  { m_arrays = m.m_arrays; m_funcs = List.map copy_func m.m_funcs }
+
 let set_reg_ty (fn : func) (r : reg) (ty : ty) = fn.fn_regty.(r) <- ty
 
 (** Type of a value in the context of a function. Integer constants default
@@ -250,6 +273,28 @@ let rec all_instrs (nodes : node list) : instr list =
       | Return (Some (ci, _)) -> ci
       | Return None | BreakN | ContinueN -> [])
     nodes
+
+(** Fold over the same instructions as {!all_instrs}, in the same order,
+    without materializing the list — for whole-module summaries (e.g. the
+    compile-time model) that run once per evaluated action. *)
+let rec fold_instrs (f : 'a -> instr -> 'a) (acc : 'a) (nodes : node list) :
+    'a =
+  List.fold_left
+    (fun acc n ->
+      match n with
+      | Block is -> List.fold_left f acc is
+      | If { cond = ci, _; then_; else_ } ->
+          fold_instrs f (fold_instrs f (List.fold_left f acc ci) then_) else_
+      | Loop l ->
+          let ii, _ = l.l_init and bi, _ = l.l_bound in
+          fold_instrs f
+            (List.fold_left f (List.fold_left f acc ii) bi)
+            l.l_body
+      | WhileLoop { w_cond = ci, _; w_body } ->
+          fold_instrs f (List.fold_left f acc ci) w_body
+      | Return (Some (ci, _)) -> List.fold_left f acc ci
+      | Return None | BreakN | ContinueN -> acc)
+    acc nodes
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                             *)

@@ -42,9 +42,7 @@ let instr_weight (i : Ir.instr) : int =
 let instr_count (m : Ir.modul) : int =
   List.fold_left
     (fun acc fn ->
-      acc
-      + List.fold_left (fun a i -> a + instr_weight i) 0
-          (Ir.all_instrs fn.Ir.fn_body))
+      Ir.fold_instrs (fun a i -> a + instr_weight i) acc fn.Ir.fn_body)
     0 m.Ir.m_funcs
 
 (** Simulated compile time (seconds) for a module after planning. *)

@@ -63,6 +63,80 @@ let run_func ?(table = Costmodel.default_table) (fn : Ir.func) : report =
 let run_modul ?table (m : Ir.modul) : report =
   List.concat_map (fun fn -> run_func ?table fn) m.Ir.m_funcs
 
+(* ------------------------------------------------------------------ *)
+(* Shared-artifact planning: analyze once, apply per action             *)
+(* ------------------------------------------------------------------ *)
+
+(** One innermost loop's worth of per-module analysis, reusable across
+    every [Ir.copy_modul] copy of the module it was computed on: the loop
+    info (accesses, reductions, dependences) and its legality verdict.
+    [Transform.vectorize_in_func] locates the loop in the target copy by
+    id and substitutes the copy's own node, so a [prep] computed on the
+    pristine module drives the transform on any structurally-identical
+    copy. *)
+type prep = {
+  pr_fn_name : string;
+  pr_info : Analysis.Loopinfo.t;
+  pr_leg : Legality.t;
+}
+
+(** Analyze every innermost loop of a module once, in [run_modul] order
+    (function order, then loop order within the function). *)
+let prepare_modul (m : Ir.modul) : prep list =
+  List.concat_map
+    (fun fn ->
+      List.map
+        (fun info ->
+          { pr_fn_name = fn.Ir.fn_name; pr_info = info;
+            pr_leg = Legality.of_info info })
+        (Analysis.Loopinfo.innermost_infos fn))
+    m.Ir.m_funcs
+
+(** Decide and transform every innermost loop of [m] (a structural copy of
+    the module [preps] was computed on) from an explicit plan instead of
+    pragmas: [Some p] plays the role of a pragma requesting [p] on every
+    loop (clamped by legality exactly as a pragma would be), [None] falls
+    back to the baseline cost model's choice.  Produces the same report —
+    and the same transformed module, register for register — as lowering a
+    pragma-annotated AST and calling [run_modul] on it. *)
+let run_prepared ?(table = Costmodel.default_table)
+    ~(plan : Transform.plan option) (m : Ir.modul) (preps : prep list) :
+    report =
+  List.map
+    (fun pr ->
+      let fn =
+        match
+          List.find_opt (fun f -> f.Ir.fn_name = pr.pr_fn_name) m.Ir.m_funcs
+        with
+        | Some fn -> fn
+        | None -> invalid_arg "run_prepared: module does not match preps"
+      in
+      let leg = pr.pr_leg in
+      let l = pr.pr_info.Analysis.Loopinfo.li_loop in
+      let applied =
+        match plan with
+        | Some p ->
+            let vf, if_ =
+              Legality.clamp leg ~vf:p.Transform.vf ~if_:p.Transform.if_
+            in
+            { Transform.vf; if_ }
+        | None ->
+            let p = Costmodel.choose ~table leg in
+            let vf, if_ =
+              Legality.clamp leg ~vf:p.Transform.vf ~if_:p.Transform.if_
+            in
+            { Transform.vf; if_ }
+      in
+      ignore (Transform.vectorize_in_func fn pr.pr_info applied);
+      {
+        d_loop_id = l.Ir.l_id;
+        d_requested = plan;
+        d_applied = applied;
+        d_legal = leg.Legality.can_vectorize;
+        d_reasons = pr.pr_info.Analysis.Loopinfo.li_reasons;
+      })
+    preps
+
 (** Count of instructions in a module after planning — the compile-time
     model's input. *)
 let modul_size (m : Ir.modul) : int =

@@ -1,12 +1,16 @@
 (* The parallel evaluation engine and its determinism contract.
 
-   Three layers:
+   Four layers:
    - Parpool itself: ordering, exception choice, nesting, jobs=1 serial
      path, with_jobs restoration.
    - Equivalence: a --jobs 4 run must be bit-identical to --jobs 1 —
      reward tables, quarantine reports, probe results, and the bytes of a
      checkpoint written after training — including under an active fault
      spec (compile failures, traps, fuel, timeout spikes, timing noise).
+   - Engines: the shared-artifact fast path (lower once, vectorize per
+     action, memoized timing) must be bit-identical to the legacy
+     per-action pipeline — serially, on the pool, with and without
+     faults, down to trained checkpoint bytes.
    - Stress: four domains hammering one oracle's caches keep the merged
      statistics coherent and the cached values equal to a serial rerun. *)
 
@@ -78,25 +82,28 @@ let test_with_jobs_restores () =
 (* Serial vs parallel equivalence                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* a fresh sweep of the same corpus at a given pool size; fresh caches so
-   the second run cannot coast on the first run's memoization *)
-let sweep ~jobs (programs : Dataset.Program.t array) =
+(* a fresh sweep of the same corpus at a given pool size and through a
+   chosen engine (legacy per-action pipeline vs shared-artifact fast
+   path); fresh caches so the second run cannot coast on the first run's
+   memoization *)
+let sweep ?(legacy = false) ?(options = fault_options) ~jobs
+    (programs : Dataset.Program.t array) =
   Neurovec.Frontend.clear ();
-  let oracle = Neurovec.Reward.create ~options:fault_options programs in
+  let oracle =
+    Neurovec.Reward.create ~legacy_pipeline:legacy ~options programs
+  in
   let results =
     Neurovec.Parpool.with_jobs jobs (fun () ->
         Neurovec.Reward.sweep_all oracle)
   in
   (results, Neurovec.Reward.quarantine_report oracle)
 
-let test_sweep_bit_identical () =
-  let programs = Dataset.Loopgen.generate ~seed:33 10 in
-  let serial, s_quar = sweep ~jobs:1 programs in
-  let parallel, p_quar = sweep ~jobs:4 programs in
-  Alcotest.(check int) "lengths" (Array.length serial) (Array.length parallel);
+let check_sweeps_equal (a_results, a_quar) (b_results, b_quar) =
+  Alcotest.(check int) "lengths" (Array.length a_results)
+    (Array.length b_results);
   Array.iteri
     (fun i s ->
-      match (s, parallel.(i)) with
+      match (s, b_results.(i)) with
       | None, None -> ()
       | Some (sa, sr), Some (pa, pr) ->
           Alcotest.(check bool)
@@ -106,9 +113,13 @@ let test_sweep_bit_identical () =
             (Printf.sprintf "program %d reward bits" i)
             (bits sr) (bits pr)
       | _ -> Alcotest.failf "program %d: quarantine state diverged" i)
-    serial;
-  Alcotest.(check (list (pair string string)))
-    "quarantine report" s_quar p_quar
+    a_results;
+  Alcotest.(check (list (pair string string))) "quarantine report" a_quar
+    b_quar
+
+let test_sweep_bit_identical () =
+  let programs = Dataset.Loopgen.generate ~seed:33 10 in
+  check_sweeps_equal (sweep ~jobs:1 programs) (sweep ~jobs:4 programs)
 
 let test_probe_samples_identical () =
   let programs = Dataset.Loopgen.generate ~seed:44 12 in
@@ -135,38 +146,86 @@ let test_probe_samples_identical () =
         (s.Rl.Ppo.s_ids = p_samples.(i).Rl.Ppo.s_ids))
     s_samples
 
-(* training end to end: same corpus, same seed, same faults, different
-   pool sizes -> byte-identical checkpoints *)
-let test_training_checkpoint_bytes_identical () =
-  let read path =
-    let ic = open_in_bin path in
-    let s = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    s
-  in
-  let train ~jobs path =
-    Neurovec.Frontend.clear ();
-    Neurovec.Parpool.with_jobs jobs (fun () ->
-        let corpus = Dataset.Loopgen.generate ~seed:55 16 in
-        let fw =
-          Neurovec.Framework.create ~options:fault_options ~seed:3 corpus
-        in
-        ignore
-          (Neurovec.Framework.train fw
-             ~hyper:{ Rl.Ppo.default_hyper with batch_size = 64 }
-             ~total_steps:192);
-        Rl.Checkpoint.save fw.Neurovec.Framework.agent path)
-  in
-  let p1 = Filename.temp_file "neurovec_jobs1" ".agent" in
-  let p4 = Filename.temp_file "neurovec_jobs4" ".agent" in
+(* training end to end: same corpus, same seed, same faults -> the bytes
+   of the saved checkpoint must not depend on the pool size or on which
+   evaluation engine measured the rewards *)
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let train_checkpoint ?(legacy = false) ~jobs path =
+  Neurovec.Frontend.clear ();
+  Neurovec.Parpool.with_jobs jobs (fun () ->
+      let corpus = Dataset.Loopgen.generate ~seed:55 16 in
+      let fw =
+        Neurovec.Framework.create ~options:fault_options
+          ~legacy_pipeline:legacy ~seed:3 corpus
+      in
+      ignore
+        (Neurovec.Framework.train fw
+           ~hyper:{ Rl.Ppo.default_hyper with batch_size = 64 }
+           ~total_steps:192);
+      Rl.Checkpoint.save fw.Neurovec.Framework.agent path)
+
+let with_two_checkpoints f =
+  let p1 = Filename.temp_file "neurovec_ckpt_a" ".agent" in
+  let p2 = Filename.temp_file "neurovec_ckpt_b" ".agent" in
   Fun.protect
-    ~finally:(fun () -> Sys.remove p1; Sys.remove p4)
-    (fun () ->
-      train ~jobs:1 p1;
-      train ~jobs:4 p4;
+    ~finally:(fun () -> Sys.remove p1; Sys.remove p2)
+    (fun () -> f p1 p2)
+
+let test_training_checkpoint_bytes_identical () =
+  with_two_checkpoints (fun p1 p4 ->
+      train_checkpoint ~jobs:1 p1;
+      train_checkpoint ~jobs:4 p4;
       Alcotest.(check bool)
         "checkpoint bytes identical" true
-        (read p1 = read p4))
+        (read_file p1 = read_file p4))
+
+(* ------------------------------------------------------------------ *)
+(* Legacy per-action pipeline vs shared-artifact fast path              *)
+(* ------------------------------------------------------------------ *)
+
+(* the shared-artifact engine (lower once, vectorize per action, memoized
+   timing) must be indistinguishable from the legacy pipeline it
+   replaced: same rewards to the bit, same quarantine reports, same
+   checkpoint bytes — serially, on the pool, with and without an active
+   fault spec *)
+
+let engine_corpus () =
+  Array.append
+    (Array.sub Dataset.Llvm_suite.programs 0 4)
+    (Dataset.Loopgen.generate ~seed:77 8)
+
+let test_engines_identical_plain () =
+  let programs = engine_corpus () in
+  let options = Neurovec.Pipeline.default_options in
+  check_sweeps_equal
+    (sweep ~legacy:true ~options ~jobs:1 programs)
+    (sweep ~legacy:false ~options ~jobs:1 programs)
+
+let test_engines_identical_faults () =
+  let programs = engine_corpus () in
+  check_sweeps_equal
+    (sweep ~legacy:true ~jobs:1 programs)
+    (sweep ~legacy:false ~jobs:1 programs)
+
+let test_engines_identical_pool () =
+  (* legacy serial vs fast path fanned across 4 domains, faults active *)
+  let programs = engine_corpus () in
+  check_sweeps_equal
+    (sweep ~legacy:true ~jobs:1 programs)
+    (sweep ~legacy:false ~jobs:4 programs)
+
+let test_engines_checkpoint_bytes_identical () =
+  with_two_checkpoints (fun pl pf ->
+      train_checkpoint ~legacy:true ~jobs:1 pl;
+      train_checkpoint ~legacy:false ~jobs:1 pf;
+      Alcotest.(check bool)
+        "legacy and fast-path training produce identical checkpoints" true
+        (read_file pl = read_file pf))
 
 (* ------------------------------------------------------------------ *)
 (* Cache stress                                                         *)
@@ -227,6 +286,17 @@ let suite =
           test_probe_samples_identical;
         Alcotest.test_case "training checkpoints byte-identical" `Slow
           test_training_checkpoint_bytes_identical;
+      ] );
+    ( "parallel.engines",
+      [
+        Alcotest.test_case "legacy vs shared-artifact, no faults" `Slow
+          test_engines_identical_plain;
+        Alcotest.test_case "legacy vs shared-artifact under faults" `Slow
+          test_engines_identical_faults;
+        Alcotest.test_case "legacy serial vs shared-artifact pool" `Slow
+          test_engines_identical_pool;
+        Alcotest.test_case "legacy vs shared-artifact checkpoints" `Slow
+          test_engines_checkpoint_bytes_identical;
       ] );
     ( "parallel.stress",
       [
