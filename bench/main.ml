@@ -108,7 +108,8 @@ let micro () =
     (fun (name, est) -> Printf.printf "%-48s %14.0f ns\n" name est)
     (List.sort compare !rows)
 
-(* consume [--jobs N] / [--jobs=N] and return the remaining arguments *)
+(* consume [--jobs N] / [--jobs=N] / [--deadline S] and return the
+   remaining arguments *)
 let rec parse_jobs = function
   | [] -> []
   | "--jobs" :: n :: rest | "-j" :: n :: rest ->
@@ -122,6 +123,12 @@ let rec parse_jobs = function
        with
       | Some n -> Neurovec.Parpool.set_jobs n
       | None -> Printf.eprintf "bench: ignoring %s (not a number)\n%!" arg);
+      parse_jobs rest
+  | "--deadline" :: s :: rest ->
+      (match float_of_string_opt s with
+      | Some s -> Neurovec.Supervisor.set_deadline s
+      | None ->
+          Printf.eprintf "bench: ignoring --deadline %s (not a number)\n%!" s);
       parse_jobs rest
   | arg :: rest -> arg :: parse_jobs rest
 

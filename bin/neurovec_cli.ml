@@ -38,6 +38,34 @@ let jobs_arg =
 
 let apply_jobs = Option.iter Neurovec.Parpool.set_jobs
 
+(** [--deadline S]: per-evaluation watchdog budget (overrides
+    NEUROVEC_DEADLINE). *)
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ]
+        ~doc:
+          "Watchdog deadline in seconds per evaluation (overrides \
+           NEUROVEC_DEADLINE). Stalled evaluations past the deadline are \
+           cancelled and penalized as hung.")
+
+(** [--max-retries N]: retry budget for transient faults (overrides
+    NEUROVEC_MAX_RETRIES). *)
+let max_retries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-retries" ]
+        ~doc:
+          "Retry budget for transient evaluation faults (overrides \
+           NEUROVEC_MAX_RETRIES). Retries are deterministic: attempt k of \
+           a given measurement fails or succeeds identically at any --jobs.")
+
+let apply_supervision deadline max_retries =
+  Option.iter Neurovec.Supervisor.set_deadline deadline;
+  Option.iter Neurovec.Supervisor.set_max_retries max_retries
+
 (** Report malformed input, corrupt checkpoints and quarantined programs
     as a one-line error (exit 1) instead of cmdliner's uncaught-exception
     banner. *)
@@ -51,6 +79,15 @@ let or_compile_error (f : unit -> unit) : unit =
       exit 1
   | Neurovec.Reward.Quarantined (name, why) ->
       Printf.eprintf "neurovec: %s quarantined: %s\n" name why;
+      exit 1
+  | Neurovec.Supervisor.Hung msg ->
+      Printf.eprintf "neurovec: evaluation hung: %s\n" msg;
+      exit 1
+  | Neurovec.Faults.Transient msg ->
+      Printf.eprintf "neurovec: transient failure persisted: %s\n" msg;
+      exit 1
+  | Sys_error msg ->
+      Printf.eprintf "neurovec: %s\n" msg;
       exit 1
 
 (* ---- compile ----------------------------------------------------- *)
@@ -102,9 +139,10 @@ let sweep_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let kernel = Arg.(value & opt string "kernel" & info [ "kernel" ]) in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print pipeline phase timings and cache stats.") in
-  let run file kernel stats jobs =
+  let run file kernel stats jobs deadline max_retries =
     or_compile_error @@ fun () ->
     apply_jobs jobs;
+    apply_supervision deadline max_retries;
     let p = program_of_file ~kernel file in
     let base = Neurovec.Pipeline.run_baseline p in
     let t_base = base.Neurovec.Pipeline.exec_seconds in
@@ -138,7 +176,8 @@ let sweep_cmd =
     if stats then print_string (Neurovec.Stats.report ())
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Brute-force the (VF, IF) grid for a file.")
-    Term.(const run $ file $ kernel $ stats $ jobs_arg)
+    Term.(const run $ file $ kernel $ stats $ jobs_arg $ deadline_arg
+          $ max_retries_arg)
 
 (* ---- dataset ------------------------------------------------------ *)
 
@@ -147,6 +186,7 @@ let dataset_cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
   let out = Arg.(value & opt (some string) None & info [ "out" ] ~doc:"Directory to write .c files into.") in
   let run count seed out =
+    or_compile_error @@ fun () ->
     let corpus = Dataset.Loopgen.generate ~seed count in
     match out with
     | None ->
@@ -156,7 +196,7 @@ let dataset_cmd =
               p.Dataset.Program.p_family p.Dataset.Program.p_source)
           corpus
     | Some dir ->
-        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        Neurovec.Supervisor.mkdir_p dir;
         Array.iter
           (fun p ->
             let path = Filename.concat dir (p.Dataset.Program.p_name ^ ".c") in
@@ -181,9 +221,12 @@ let train_cmd =
   let ckpt_every = Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~doc:"Also checkpoint to the --save path every N environment steps (crash-safe atomic writes; 0 disables periodic checkpoints).") in
   let resume = Arg.(value & opt (some file) None & info [ "resume" ] ~doc:"Resume training from a checkpoint written by --save, restoring step count, statistics history and optimizer state.") in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print pipeline phase timings, cache and fault statistics.") in
-  let run programs steps seed batch lr save ckpt_every resume stats jobs =
+  let run programs steps seed batch lr save ckpt_every resume stats jobs
+      deadline max_retries =
     or_compile_error @@ fun () ->
     apply_jobs jobs;
+    apply_supervision deadline max_retries;
+    Neurovec.Supervisor.install_signal_handlers ();
     let corpus = Dataset.Loopgen.generate ~seed programs in
     (* fault injection / timing noise, if requested via NEUROVEC_FAULTS *)
     let options =
@@ -191,11 +234,21 @@ let train_cmd =
         faults = Neurovec.Faults.of_env () }
     in
     let resumed = Option.map Rl.Checkpoint.load_full resume in
+    (* the write-ahead reward journal rides next to the checkpoint: a
+       killed run's journal is replayed before the probes, so already
+       measured episodes are never re-evaluated on resume *)
+    let journal = Option.map (fun p -> p ^ ".journal") save in
     let fw =
       Neurovec.Framework.create
         ?agent:(Option.map fst resumed)
-        ~options ~seed corpus
+        ?journal ~options ~seed corpus
     in
+    let replayed =
+      (Neurovec.Stats.snapshot ()).Neurovec.Stats.journal_replayed
+    in
+    if replayed > 0 then
+      Printf.printf "replayed %d journal records from %s\n%!" replayed
+        (Option.get journal);
     List.iter
       (fun (name, why) ->
         Printf.eprintf "neurovec: quarantined %s: %s\n%!" name why)
@@ -211,30 +264,46 @@ let train_cmd =
     ignore
       (Neurovec.Framework.train fw ~hyper ~total_steps:steps
          ?checkpoint_path:save ~checkpoint_every:ckpt_every
+         ~stop:Neurovec.Supervisor.shutdown_requested
          ?resume:(Option.bind resumed snd)
          ~progress:(fun st ->
            Printf.printf "update %3d  steps %6d  reward_mean %+0.3f  loss %8.3f\n%!"
              st.Rl.Ppo.update st.Rl.Ppo.steps st.Rl.Ppo.reward_mean
              st.Rl.Ppo.loss));
-    let greedy =
-      Rl.Ppo.evaluate fw.Neurovec.Framework.agent
-        ~samples:fw.Neurovec.Framework.samples
-        ~reward:(fun i a -> Neurovec.Reward.reward fw.Neurovec.Framework.oracle i a)
-    in
-    Printf.printf "greedy mean reward over the corpus: %+0.3f\n" greedy;
-    (match fw.Neurovec.Framework.skipped with
-    | [] -> ()
-    | skipped ->
-        Printf.printf "quarantined programs: %d (excluded from training)\n"
-          (List.length skipped));
-    (match save with
-    | Some path -> Printf.printf "agent saved to %s\n" path
-    | None -> ());
-    if stats then print_string (Neurovec.Stats.report ())
+    if Neurovec.Supervisor.shutdown_requested () then begin
+      (match save with
+      | Some path ->
+          Printf.printf
+            "interrupted: checkpoint flushed to %s; rerun with --resume %s \
+             to continue\n"
+            path path
+      | None ->
+          Printf.printf
+            "interrupted: no --save path, training state discarded\n");
+      if stats then print_string (Neurovec.Stats.report ())
+    end
+    else begin
+      let greedy =
+        Rl.Ppo.evaluate fw.Neurovec.Framework.agent
+          ~samples:fw.Neurovec.Framework.samples
+          ~reward:(fun i a ->
+            Neurovec.Reward.reward fw.Neurovec.Framework.oracle i a)
+      in
+      Printf.printf "greedy mean reward over the corpus: %+0.3f\n" greedy;
+      (match fw.Neurovec.Framework.skipped with
+      | [] -> ()
+      | skipped ->
+          Printf.printf "quarantined programs: %d (excluded from training)\n"
+            (List.length skipped));
+      (match save with
+      | Some path -> Printf.printf "agent saved to %s\n" path
+      | None -> ());
+      if stats then print_string (Neurovec.Stats.report ())
+    end
   in
   Cmd.v (Cmd.info "train" ~doc:"Train the PPO vectorization agent.")
     Term.(const run $ programs $ steps $ seed $ batch $ lr $ save $ ckpt_every
-          $ resume $ stats $ jobs_arg)
+          $ resume $ stats $ jobs_arg $ deadline_arg $ max_retries_arg)
 
 (* ---- predict ------------------------------------------------------ *)
 

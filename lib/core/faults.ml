@@ -26,10 +26,22 @@
       end to end {e independent of evaluation order}, which is what lets
       {!Parpool} fan measurements across domains without changing a single
       cached reward bit.
+    - {b Transient faults} are keyed by [hash(seed, key, attempt)]: the
+      same measurement point can fail on its first attempt and succeed on
+      a retry (a flaky testbed node, an NFS hiccup), and whether it does
+      is a pure function of the spec — so the supervisor's
+      retry-with-backoff loop converges to the same outcome at any pool
+      size.  Contrast with the discrete faults above, which are persistent
+      properties of the point: retrying them is pointless and the
+      supervisor sends them straight to the penalty path.
+    - {b Stalls} ([hash(seed, key, "stall")]) mark evaluations that would
+      hang past any deadline (a wedged testbed); {!Pipeline} turns them
+      into a cooperative wait at [Supervisor.stall_point] that only the
+      watchdog can end, surfacing the [Hung] reward failure.
 
     Off by default ([none]); enable via [Pipeline.options] or the
     [NEUROVEC_FAULTS] environment variable, e.g.
-    [NEUROVEC_FAULTS="seed=7,compile=0.05,trap=0.03,fuel=0.02,timeout=0.02,noise=0.1,tail=0.02"]. *)
+    [NEUROVEC_FAULTS="seed=7,compile=0.05,trap=0.03,fuel=0.02,timeout=0.02,stall=0.02,transient=0.1,noise=0.1,tail=0.02"]. *)
 
 type fault = Compile_fault | Trap_fault | Fuel_fault
 
@@ -42,16 +54,29 @@ type spec = {
       (** probability compile time spikes far past the 10x budget *)
   noise : float;  (** sigma of multiplicative lognormal timing noise *)
   p_tail : float;  (** per-sample probability of a heavy-tailed spike *)
+  p_stall : float;
+      (** probability an evaluation hangs until the watchdog cancels it *)
+  p_transient : float;
+      (** per-attempt probability of a retryable transient failure *)
 }
 
 (** Stands in for an interpreter/testbed resource limit; converted to the
     [Fuel_exhausted] reward failure by {!Reward}. *)
 exception Fuel_exhausted of string
 
+(** A retryable testbed failure: re-running the same evaluation may
+    succeed ({!transient_hit} is keyed by the attempt index).  Raised by
+    {!Pipeline} before any work happens; caught by the supervisor's retry
+    loop, and converted to the [Transient] reward failure once the retry
+    budget is exhausted. *)
+exception Transient of string
+
 let create ?(seed = 0) ?(compile = 0.0) ?(trap = 0.0) ?(fuel = 0.0)
-    ?(timeout = 0.0) ?(noise = 0.0) ?(tail = 0.0) () : spec =
+    ?(timeout = 0.0) ?(noise = 0.0) ?(tail = 0.0) ?(stall = 0.0)
+    ?(transient = 0.0) () : spec =
   { f_seed = seed; p_compile = compile; p_trap = trap; p_fuel = fuel;
-    p_timeout = timeout; noise; p_tail = tail }
+    p_timeout = timeout; noise; p_tail = tail; p_stall = stall;
+    p_transient = transient }
 
 let none = create ()
 
@@ -59,16 +84,21 @@ let noisy (s : spec) : bool = s.noise > 0.0 || s.p_tail > 0.0
 
 let discrete (s : spec) : bool =
   s.p_compile > 0.0 || s.p_trap > 0.0 || s.p_fuel > 0.0 || s.p_timeout > 0.0
+  || s.p_stall > 0.0 || s.p_transient > 0.0
 
 let active (s : spec) : bool = discrete s || noisy s
 
 (** Cache-key fragment; empty for an inactive spec so fault-free runs keep
-    their original reward-cache keys. *)
+    their original reward-cache keys.  The stall/transient rates only
+    appear when nonzero, so specs that predate them keep their keys. *)
 let descriptor (s : spec) : string =
   if not (active s) then ""
   else
-    Printf.sprintf "|faults=%d:%g,%g,%g,%g,%g,%g" s.f_seed s.p_compile
+    Printf.sprintf "|faults=%d:%g,%g,%g,%g,%g,%g%s" s.f_seed s.p_compile
       s.p_trap s.p_fuel s.p_timeout s.noise s.p_tail
+      (if s.p_stall > 0.0 || s.p_transient > 0.0 then
+         Printf.sprintf ",st=%g,tr=%g" s.p_stall s.p_transient
+       else "")
 
 (** Uniform in [0, 1) as a pure function of (seed, key, salt). *)
 let hash01 (s : spec) ~(key : string) ~(salt : string) : float =
@@ -91,6 +121,21 @@ let pick (s : spec) ~(key : string) : fault option =
   else if s.p_fuel > 0.0 && hash01 s ~key ~salt:"fuel" < s.p_fuel then
     Some Fuel_fault
   else None
+
+(** Whether the evaluation identified by [key] suffers a transient fault
+    on its [attempt]-th try (0-based).  Pure in (seed, key, attempt):
+    unlike {!pick}'s persistent faults, the same point can fail at
+    attempt 0 and succeed at attempt 1, so a deterministic retry loop can
+    recover — and recovers identically at any pool size. *)
+let transient_hit (s : spec) ~(key : string) ~(attempt : int) : bool =
+  s.p_transient > 0.0
+  && hash01 s ~key ~salt:(Printf.sprintf "transient\x00%d" attempt)
+     < s.p_transient
+
+(** Whether the evaluation identified by [key] stalls (would hang past any
+    deadline); deterministic per (seed, key), like {!pick}'s faults. *)
+let stall_hit (s : spec) ~(key : string) : bool =
+  s.p_stall > 0.0 && hash01 s ~key ~salt:"stall" < s.p_stall
 
 (** Multiplier on simulated compile time; 25x (deterministically per key)
     with probability [p_timeout], which sails past the oracle's 10x budget
@@ -130,8 +175,8 @@ let noise_factor (s : spec) ~(key : string) ~(sample : int) : float =
 (* ------------------------------------------------------------------ *)
 
 (** Parse a ["k=v,k=v"] spec string (keys: seed, compile, trap, fuel,
-    timeout, noise, tail).  Unknown keys and unparseable values are
-    reported in the warnings list and otherwise ignored. *)
+    timeout, noise, tail, stall, transient).  Unknown keys and unparseable
+    values are reported in the warnings list and otherwise ignored. *)
 let of_string (text : string) : spec * string list =
   let warnings = ref [] in
   let warn fmt = Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt in
@@ -180,6 +225,14 @@ let of_string (text : string) : spec * string list =
                   match fl () with Some f -> { s with noise = f } | None -> s)
               | "tail" -> (
                   match fl () with Some f -> { s with p_tail = f } | None -> s)
+              | "stall" -> (
+                  match fl () with
+                  | Some f -> { s with p_stall = f }
+                  | None -> s)
+              | "transient" -> (
+                  match fl () with
+                  | Some f -> { s with p_transient = f }
+                  | None -> s)
               | _ ->
                   warn "ignoring unknown key %S" k;
                   s))
@@ -189,13 +242,19 @@ let of_string (text : string) : spec * string list =
   (spec, List.rev !warnings)
 
 (** The spec selected by [NEUROVEC_FAULTS] ({!none} when unset); parse
-    warnings go to stderr rather than being silently swallowed. *)
-let of_env () : spec =
-  match Sys.getenv_opt "NEUROVEC_FAULTS" with
-  | None | Some "" -> none
-  | Some text ->
-      let spec, warnings = of_string text in
-      List.iter
-        (fun w -> Printf.eprintf "neurovec: NEUROVEC_FAULTS: %s\n%!" w)
-        warnings;
-      spec
+    warnings — unknown keys, unparseable values — go to stderr rather than
+    being silently swallowed, and are printed once per process (matching
+    the [NEUROVEC_SCALE] behaviour) even when every sweep re-reads the
+    spec.  The environment is read on first use and memoized. *)
+let env_spec : spec Lazy.t =
+  lazy
+    (match Sys.getenv_opt "NEUROVEC_FAULTS" with
+    | None | Some "" -> none
+    | Some text ->
+        let spec, warnings = of_string text in
+        List.iter
+          (fun w -> Printf.eprintf "neurovec: NEUROVEC_FAULTS: %s\n%!" w)
+          warnings;
+        spec)
+
+let of_env () : spec = Lazy.force env_spec

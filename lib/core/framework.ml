@@ -70,26 +70,39 @@ let probe_samples ?(encode = encode) (agent : Rl.Agent.t) (oracle : Reward.t)
     probed;
   (Array.of_list (List.rev !samples), List.rev !skipped)
 
+(** [journal] attaches a write-ahead reward journal at that path {e before}
+    the baseline probes run: an existing journal (e.g. from a killed run)
+    is replayed first, so already-measured episodes are served from the
+    restored tables, and every new commit is appended for the next
+    resume.  The replayed-record count surfaces in {!Stats.report}. *)
 let create ?agent ?(space = Rl.Spaces.Discrete) ?(hidden = [ 64; 64 ])
     ?(c2v_cfg = Embedding.Code2vec.default_config)
     ?(options = Pipeline.default_options) ?(legacy_pipeline = false)
-    ~(seed : int) (train_programs : Dataset.Program.t array) : t =
+    ?journal ~(seed : int) (train_programs : Dataset.Program.t array) : t =
   let agent =
     match agent with
     | Some a -> a  (* e.g. restored from a checkpoint for resumed training *)
     | None -> Rl.Agent.create ~hidden ~c2v_cfg ~space (Nn.Rng.create seed)
   in
   let oracle = Reward.create ~options ~legacy_pipeline train_programs in
+  Option.iter
+    (fun path ->
+      ignore (Reward.replay_journal oracle path);
+      Reward.set_journal oracle path)
+    journal;
   let samples, skipped = probe_samples agent oracle train_programs in
   { agent; oracle; train_programs; samples; skipped }
 
 (** Train the agent; returns per-update statistics.  [checkpoint_path],
-    [checkpoint_every] and [resume] behave as in {!Rl.Ppo.train}. *)
+    [checkpoint_every], [resume] and [stop] behave as in {!Rl.Ppo.train}
+    ([stop] is the graceful-shutdown hook — pass
+    [Supervisor.shutdown_requested] to finish the in-flight update and
+    flush the checkpoint + journal on SIGINT/SIGTERM). *)
 let train ?(hyper = Rl.Ppo.default_hyper) ?progress ?checkpoint_path
-    ?(checkpoint_every = 0) ?resume (t : t) ~(total_steps : int) :
+    ?(checkpoint_every = 0) ?stop ?resume (t : t) ~(total_steps : int) :
     Rl.Ppo.stats list =
-  Rl.Ppo.train ~hyper ?progress ?checkpoint_path ~checkpoint_every ?resume
-    t.agent ~samples:t.samples
+  Rl.Ppo.train ~hyper ?progress ?checkpoint_path ~checkpoint_every ?stop
+    ?resume t.agent ~samples:t.samples
     ~reward:(fun idx act -> Reward.reward t.oracle idx act)
     ~total_steps
 

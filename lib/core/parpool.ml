@@ -28,9 +28,17 @@
     in that worker: the corpus-level fan-out already owns the domains, and
     nested spawning would oversubscribe the machine.
 
-    {b Exceptions.}  If items raise, the lowest-indexed exception is
-    re-raised (with its backtrace) after all items finish — the same
-    exception a serial left-to-right run would have surfaced first.
+    {b Exceptions and cancellation.}  If an item raises, a cooperative
+    cancel flag stops the pool from {e claiming} further items: queued
+    work that would only be executed-then-discarded is skipped (the
+    supervision layer retries {e inside} an item, so an exception that
+    reaches the pool is final).  Items already in flight on other workers
+    run to completion — cancellation never preempts work mid-measurement.
+    After all workers drain, the lowest-indexed exception that was
+    actually raised is re-raised (with its backtrace): items are claimed
+    in index order, so every skipped item has a higher index than some
+    failing item, and the re-raised exception is the same one a serial
+    left-to-right run would have surfaced first.
 
     Pool size: [set_jobs]/[with_jobs] (the CLI's [--jobs]) wins, then the
     [NEUROVEC_JOBS] environment variable, then
@@ -81,6 +89,11 @@ let with_jobs (n : int) (f : unit -> 'a) : 'a =
    already owns *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+(** True while the calling domain is executing pool work.  The supervisor
+    checks this before spawning its monitor thread: a thread created
+    inside a worker domain would keep that domain from ever joining. *)
+let in_pool_worker () : bool = Domain.DLS.get in_worker
+
 (** [map f xs]: apply [f] to every element, fanning across the pool;
     results are in input order.  Serial (and allocation-free beyond
     [Array.map]) when the pool size is 1, the input has fewer than two
@@ -94,16 +107,24 @@ let map ?jobs:j (f : 'a -> 'b) (xs : 'a array) : 'b array =
       Array.make n None
     in
     let next = Atomic.make 0 in
+    (* set on the first failure: workers stop claiming new items, so
+       queued work behind a fatal error is skipped instead of executed
+       and then discarded *)
+    let cancelled = Atomic.make false in
     let run () =
       let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <-
-            Some
-              (match f xs.(i) with
-              | y -> Ok y
-              | exception e -> Error (e, Printexc.get_raw_backtrace ()));
-          loop ()
+        if not (Atomic.get cancelled) then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            results.(i) <-
+              Some
+                (match f xs.(i) with
+                | y -> Ok y
+                | exception e ->
+                    Atomic.set cancelled true;
+                    Error (e, Printexc.get_raw_backtrace ()));
+            loop ()
+          end
         end
       in
       loop ()
@@ -120,11 +141,19 @@ let map ?jobs:j (f : 'a -> 'b) (xs : 'a array) : 'b array =
     Domain.DLS.set in_worker true;
     Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker false) run;
     Array.iter Domain.join spawned;
+    (* re-raise the lowest-indexed exception that actually ran — claims
+       happen in index order, so any skipped (None) slot sits behind a
+       failure and serial execution would never have reached it *)
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      results;
     Array.map
       (function
         | Some (Ok y) -> y
-        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-        | None -> assert false (* every index was claimed *))
+        | None -> assert false (* no failure, so every index was claimed *)
+        | Some (Error _) -> assert false (* re-raised above *))
       results
   end
 

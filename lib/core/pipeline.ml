@@ -47,23 +47,17 @@ let find_kernel (m : Ir.modul) (name : string) : Ir.func =
   | Some f -> f
   | None -> raise (Compile_error (Printf.sprintf "kernel %s not found" name))
 
-(** Back end: lower a checked AST and simulate it.  [name], [kernel] and
-    [bindings] come from the program the AST was derived from.
-
-    [fault_key] identifies the (program, decision) point for deterministic
-    fault injection; entry points derive it from the content hash and the
-    pragma decision so the same measurement point always faults the same
-    way (defaults to [name] for direct callers).  [sample] numbers the
-    median-of-k timing resamples of one point: noise is a pure function of
-    (fault seed, fault_key, sample), so results never depend on what other
-    evaluations — or other domains — measured in between. *)
-let run_ast ?(options = default_options) ?fault_key ?(sample = 0)
-    ?(timing_memo = true)
-    ~(name : string)
-    ~(kernel : string) ~(bindings : (string * int) list)
-    (prog : Minic.Ast.program) : result =
-  let fkey = Option.value fault_key ~default:name in
-  (match Faults.pick options.faults ~key:fkey with
+(* The seeded fault preamble shared by every evaluation entry point, run
+   before any real work.  Order matters and is part of the determinism
+   contract: persistent discrete faults first (a point that cannot compile
+   can never be rescued by retrying), then the transient class (keyed by
+   the attempt index, so the supervisor's retry loop can converge), then
+   stalls (the cooperative wait only the watchdog ends — checked last so a
+   point that deterministically fails does so promptly instead of hanging
+   first). *)
+let inject_faults ~(faults : Faults.spec) ~(name : string) ~(fkey : string)
+    ~(attempt : int) : unit =
+  (match Faults.pick faults ~key:fkey with
   | Some Faults.Compile_fault ->
       raise (Compile_error (name ^ ": injected fault: compile failure"))
   | Some Faults.Trap_fault ->
@@ -73,6 +67,33 @@ let run_ast ?(options = default_options) ?fault_key ?(sample = 0)
         (Faults.Fuel_exhausted
            (name ^ ": injected fault: interpreter fuel exhausted"))
   | None -> ());
+  if Faults.transient_hit faults ~key:fkey ~attempt then
+    raise
+      (Faults.Transient
+         (Printf.sprintf "%s: injected fault: transient testbed failure \
+                          (attempt %d)" name attempt));
+  if Faults.stall_hit faults ~key:fkey then Supervisor.stall_point ~name
+
+(** Back end: lower a checked AST and simulate it.  [name], [kernel] and
+    [bindings] come from the program the AST was derived from.
+
+    [fault_key] identifies the (program, decision) point for deterministic
+    fault injection; entry points derive it from the content hash and the
+    pragma decision so the same measurement point always faults the same
+    way (defaults to [name] for direct callers).  [sample] numbers the
+    median-of-k timing resamples of one point: noise is a pure function of
+    (fault seed, fault_key, sample), so results never depend on what other
+    evaluations — or other domains — measured in between.  [attempt]
+    numbers the supervisor's retries of the whole point: transient faults
+    are a pure function of (fault seed, fault_key, attempt), so a retry
+    can succeed deterministically. *)
+let run_ast ?(options = default_options) ?fault_key ?(sample = 0)
+    ?(attempt = 0) ?(timing_memo = true)
+    ~(name : string)
+    ~(kernel : string) ~(bindings : (string * int) list)
+    (prog : Minic.Ast.program) : result =
+  let fkey = Option.value fault_key ~default:name in
+  inject_faults ~faults:options.faults ~name ~fkey ~attempt;
   let m =
     Stats.time Stats.Lower (fun () ->
         try Ir_lower.lower_program ~bindings prog
@@ -108,9 +129,9 @@ let run_ast ?(options = default_options) ?fault_key ?(sample = 0)
   Stats.pipeline_run ();
   { modul = m; decisions; compile_seconds; exec_seconds; exec_cycles }
 
-let run_artifact ?(options = default_options) ?fault_key ?sample ?timing_memo
-    (p : Dataset.Program.t) (prog : Minic.Ast.program) : result =
-  run_ast ~options ?fault_key ?sample ?timing_memo
+let run_artifact ?(options = default_options) ?fault_key ?sample ?attempt
+    ?timing_memo (p : Dataset.Program.t) (prog : Minic.Ast.program) : result =
+  run_ast ~options ?fault_key ?sample ?attempt ?timing_memo
     ~name:p.Dataset.Program.p_name
     ~kernel:p.Dataset.Program.p_kernel ~bindings:p.Dataset.Program.p_bindings
     prog
@@ -125,23 +146,23 @@ let run ?(options = default_options) ?sample (p : Dataset.Program.t) : result =
     [timing_memo:false] makes the run reproduce the pre-memo timing-model
     cost (same bits, more work) — the legacy reference for the sweep
     benchmark. *)
-let run_with_pragma ?(options = default_options) ?sample ?timing_memo
+let run_with_pragma ?(options = default_options) ?sample ?attempt ?timing_memo
     (p : Dataset.Program.t) ~vf ~if_ : result =
   let a = Frontend.checked p in
   let decisions =
     List.init a.Frontend.a_loops (fun i -> (i, Injector.pragma_of ~vf ~if_))
   in
-  run_artifact ~options ?sample ?timing_memo
+  run_artifact ~options ?sample ?attempt ?timing_memo
     ~fault_key:(Printf.sprintf "%s|vf=%d,if=%d" a.Frontend.a_hash vf if_)
     p
     (Injector.inject_ast ~clear_others:true a.Frontend.a_ast ~decisions)
 
 (** Compile with the baseline cost model only (existing pragmas removed). *)
-let run_baseline ?(options = default_options) ?sample ?timing_memo
+let run_baseline ?(options = default_options) ?sample ?attempt ?timing_memo
     (p : Dataset.Program.t)
     : result =
   let a = Frontend.checked p in
-  run_artifact ~options ?sample ?timing_memo
+  run_artifact ~options ?sample ?attempt ?timing_memo
     ~fault_key:(a.Frontend.a_hash ^ "|baseline") p
     (Injector.inject_ast ~clear_others:true a.Frontend.a_ast ~decisions:[])
 
@@ -164,7 +185,8 @@ let run_baseline ?(options = default_options) ?sample ?timing_memo
     and timing noise are unchanged.  What changes is only the work: 35
     actions cost one front-to-mid-end instead of 35. *)
 let run_planned ?(options = default_options) ?fault_key ?(sample = 0)
-    (p : Dataset.Program.t) ~(plan : (int * int) option) : result =
+    ?(attempt = 0) (p : Dataset.Program.t) ~(plan : (int * int) option) :
+    result =
   let a = Frontend.checked p in
   let fkey =
     match fault_key with
@@ -176,16 +198,7 @@ let run_planned ?(options = default_options) ?fault_key ?(sample = 0)
         | None -> a.Frontend.a_hash ^ "|baseline")
   in
   let name = p.Dataset.Program.p_name in
-  (match Faults.pick options.faults ~key:fkey with
-  | Some Faults.Compile_fault ->
-      raise (Compile_error (name ^ ": injected fault: compile failure"))
-  | Some Faults.Trap_fault ->
-      raise (Ir_interp.Trap (name ^ ": injected fault: runtime trap"))
-  | Some Faults.Fuel_fault ->
-      raise
-        (Faults.Fuel_exhausted
-           (name ^ ": injected fault: interpreter fuel exhausted"))
-  | None -> ());
+  inject_faults ~faults:options.faults ~name ~fkey ~attempt;
   let pv = Frontend.prevec_of ~polly:options.polly p a in
   let m = Ir.copy_modul pv.Frontend.pv_modul in
   let plan_t =
@@ -278,7 +291,8 @@ let applied_plans ~(plan : (int * int) option)
     injected failures) without materializing the transformed module, so
     the point memo can serve repeats of an applied plan from the table. *)
 let eval_planned ?(options = default_options) ?fault_key ?(sample = 0)
-    (p : Dataset.Program.t) ~(plan : (int * int) option) : float * float =
+    ?(attempt = 0) (p : Dataset.Program.t) ~(plan : (int * int) option) :
+    float * float =
   let a = Frontend.checked p in
   let fkey =
     match fault_key with
@@ -290,16 +304,7 @@ let eval_planned ?(options = default_options) ?fault_key ?(sample = 0)
         | None -> a.Frontend.a_hash ^ "|baseline")
   in
   let name = p.Dataset.Program.p_name in
-  (match Faults.pick options.faults ~key:fkey with
-  | Some Faults.Compile_fault ->
-      raise (Compile_error (name ^ ": injected fault: compile failure"))
-  | Some Faults.Trap_fault ->
-      raise (Ir_interp.Trap (name ^ ": injected fault: runtime trap"))
-  | Some Faults.Fuel_fault ->
-      raise
-        (Faults.Fuel_exhausted
-           (name ^ ": injected fault: interpreter fuel exhausted"))
-  | None -> ());
+  inject_faults ~faults:options.faults ~name ~fkey ~attempt;
   let pv = Frontend.prevec_of ~polly:options.polly p a in
   let plans = applied_plans ~plan pv.Frontend.pv_preps in
   let key =

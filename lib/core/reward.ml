@@ -46,14 +46,33 @@
     pool when called from the main domain, and stays serial when the
     corpus-level fan-out already owns the domains. *)
 
-(** Why an evaluation failed. *)
-type failure = Compile_failed | Trap | Fuel_exhausted | Timed_out
+(** Why an evaluation failed.  [Hung] is a stalled evaluation cancelled by
+    the supervisor's watchdog; [Transient] is a retryable fault that kept
+    failing past the retry budget. *)
+type failure =
+  | Compile_failed
+  | Trap
+  | Fuel_exhausted
+  | Timed_out
+  | Hung
+  | Transient
 
 let failure_name = function
   | Compile_failed -> "compile"
   | Trap -> "trap"
   | Fuel_exhausted -> "fuel"
   | Timed_out -> "timeout"
+  | Hung -> "hung"
+  | Transient -> "transient"
+
+let failure_of_name = function
+  | "compile" -> Some Compile_failed
+  | "trap" -> Some Trap
+  | "fuel" -> Some Fuel_exhausted
+  | "timeout" -> Some Timed_out
+  | "hung" -> Some Hung
+  | "transient" -> Some Transient
+  | _ -> None
 
 (** Raised when a program's baseline cannot be measured; carries the
     program name and a human-readable reason.  Once raised for a program,
@@ -91,7 +110,18 @@ type t = {
       (** program indices that hit quarantine, for ordered reporting *)
   mutable evaluations : int;  (** non-memoized compile+run count *)
   mutable hits : int;  (** memoized reward lookups served from cache *)
+  mutable journal : journal option;
+      (** write-ahead journal; committed entries are appended under the
+          oracle lock, so the file never claims a result the tables don't
+          hold *)
 }
+
+(** The write-ahead reward journal: one flushed line per committed
+    baseline, reward entry and quarantine.  On resume, {!replay_journal}
+    pre-populates the oracle's tables so completed episodes are never
+    re-measured; because every measurement is deterministic, records lost
+    to a torn final line are simply re-measured identically. *)
+and journal = { j_path : string; j_oc : out_channel }
 
 let create ?(options = Pipeline.default_options) ?(legacy_pipeline = false)
     ?(timeout_factor = 10.0)
@@ -108,9 +138,147 @@ let create ?(options = Pipeline.default_options) ?(legacy_pipeline = false)
     baselines = Hashtbl.create (Array.length programs);
     cache = Hashtbl.create (4 * Array.length programs);
     quarantined = Hashtbl.create 8; quarantine_idx = Hashtbl.create 8;
-    evaluations = 0; hits = 0 }
+    evaluations = 0; hits = 0; journal = None }
 
 let locked (t : t) (f : unit -> 'a) : 'a = Mutex.protect t.lock f
+
+(* ------------------------------------------------------------------ *)
+(* Write-ahead journal                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Format: a header line, then one tab-separated record per committed
+   result.  Floats are serialized as the hex of their IEEE bits, so replay
+   is bit-exact.  Every record ends with a "." terminator field: a line
+   torn by a crash mid-write loses it and is skipped by replay.
+
+     # neurovec-journal 1
+     B <key> <exec bits> <compile bits> .
+     E <key> <reward bits> <penalized 0|1> <failure name | -> .
+     Q <key> <escaped reason> .
+*)
+
+let journal_header = "# neurovec-journal 1"
+
+let bits (f : float) : string = Printf.sprintf "%Lx" (Int64.bits_of_float f)
+
+let float_of_bits_opt (s : string) : float option =
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some b -> Some (Int64.float_of_bits b)
+  | None -> None
+
+(* called with the oracle lock held, immediately after a fresh commit *)
+let journal_line (t : t) (fields : string list) : unit =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      output_string j.j_oc (String.concat "\t" (fields @ [ "." ]) ^ "\n");
+      flush j.j_oc;
+      Stats.record_journal_append ()
+
+let journal_baseline t key (e, c) =
+  journal_line t [ "B"; key; bits e; bits c ]
+
+let journal_entry t key (e : entry) =
+  journal_line t
+    [ "E"; key; bits e.e_reward;
+      (if e.e_penalized then "1" else "0");
+      (match e.e_failure with Some k -> failure_name k | None -> "-") ]
+
+let journal_quarantine t key why =
+  journal_line t [ "Q"; key; String.escaped why ]
+
+(** Attach a write-ahead journal at [path] (append mode; the header is
+    written when the file is new or empty).  Every subsequently committed
+    baseline, reward entry and quarantine is flushed there, so a killed
+    run can {!replay_journal} the completed episodes instead of
+    re-measuring them. *)
+let set_journal (t : t) (path : string) : unit =
+  locked t (fun () ->
+      (match t.journal with Some j -> close_out_noerr j.j_oc | None -> ());
+      let fresh =
+        (not (Sys.file_exists path))
+        || (let ic = open_in_bin path in
+            let n = in_channel_length ic in
+            close_in ic;
+            n = 0)
+      in
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+      in
+      if fresh then begin
+        output_string oc (journal_header ^ "\n");
+        flush oc
+      end;
+      t.journal <- Some { j_path = path; j_oc = oc })
+
+let journal_path (t : t) : string option =
+  locked t (fun () -> Option.map (fun j -> j.j_path) t.journal)
+
+let close_journal (t : t) : unit =
+  locked t (fun () ->
+      match t.journal with
+      | None -> ()
+      | Some j ->
+          close_out_noerr j.j_oc;
+          t.journal <- None)
+
+let unescape (s : string) : string =
+  try Scanf.sscanf ("\"" ^ s ^ "\"") "%S%!" Fun.id with _ -> s
+
+(** Replay a journal written by a previous (possibly killed) run into the
+    oracle's tables, first record wins; returns how many records loaded.
+    Malformed or torn lines — and records whose parse fails — are skipped:
+    the measurements they described are deterministic, so the resumed run
+    re-derives them bit-identically.  Call before evaluating (typically
+    right before {!set_journal} on the same path). *)
+let replay_journal (t : t) (path : string) : int =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let ic = open_in_bin path in
+    let loaded = ref 0 in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            match String.split_on_char '\t' line with
+            | [ "B"; key; e; c; "." ] -> (
+                match (float_of_bits_opt e, float_of_bits_opt c) with
+                | Some e, Some c ->
+                    locked t (fun () ->
+                        if not (Hashtbl.mem t.baselines key) then begin
+                          Hashtbl.replace t.baselines key (e, c);
+                          incr loaded
+                        end)
+                | _ -> ())
+            | [ "E"; key; r; p; f; "." ] -> (
+                match (float_of_bits_opt r, p, f) with
+                | Some r, ("0" | "1"), f
+                  when f = "-" || failure_of_name f <> None ->
+                    let e =
+                      { e_reward = r; e_penalized = (p = "1");
+                        e_failure =
+                          (if f = "-" then None else failure_of_name f) }
+                    in
+                    locked t (fun () ->
+                        if not (Hashtbl.mem t.cache key) then begin
+                          Hashtbl.replace t.cache key e;
+                          incr loaded
+                        end)
+                | _ -> ())
+            | [ "Q"; key; why; "." ] ->
+                locked t (fun () ->
+                    if not (Hashtbl.mem t.quarantined key) then begin
+                      Hashtbl.replace t.quarantined key (unescape why);
+                      incr loaded
+                    end)
+            | _ -> ()  (* header, torn line, or unknown record kind *)
+          done
+        with End_of_file -> ());
+    Stats.record_journal_replayed !loaded;
+    !loaded
+  end
 
 (** Programs dropped so far, as (name, reason): program order, one entry
     per distinct content key (the lowest index that hit it reports) — an
@@ -143,6 +311,8 @@ let classify_exn : exn -> (failure * string) option = function
   | Pipeline.Compile_error msg -> Some (Compile_failed, msg)
   | Ir_interp.Trap msg -> Some (Trap, msg)
   | Faults.Fuel_exhausted msg -> Some (Fuel_exhausted, msg)
+  | Supervisor.Hung msg -> Some (Hung, msg)
+  | Faults.Transient msg -> Some (Transient, msg)
   | _ -> None
 
 let median (xs : float list) : float =
@@ -189,8 +359,9 @@ let measure (t : t) (f : sample:int -> float * float) : float * float =
 (* Baseline                                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* record idx's quarantine (idempotent per key) and raise; lock NOT held *)
-let quarantine (t : t) (idx : int) (why : string) : 'a =
+(* record idx's quarantine (idempotent per key) and raise; lock NOT held.
+   [breaker] marks a circuit-breaker trip (counted separately in Stats) *)
+let quarantine ?(breaker = false) (t : t) (idx : int) (why : string) : 'a =
   let name = t.programs.(idx).Dataset.Program.p_name in
   let fresh =
     locked t (fun () ->
@@ -198,10 +369,14 @@ let quarantine (t : t) (idx : int) (why : string) : 'a =
         if Hashtbl.mem t.quarantined t.keys.(idx) then false
         else begin
           Hashtbl.replace t.quarantined t.keys.(idx) why;
+          journal_quarantine t t.keys.(idx) why;
           true
         end)
   in
-  if fresh then Stats.record_quarantine ();
+  if fresh then begin
+    Stats.record_quarantine ();
+    if breaker then Stats.record_breaker_trip ()
+  end;
   raise (Quarantined (name, why))
 
 let baseline (t : t) (idx : int) : float * float =
@@ -219,16 +394,23 @@ let baseline (t : t) (idx : int) : float * float =
   | Some (Ok b) -> b
   | None -> (
       match
-        measure t (fun ~sample ->
-            if t.legacy_pipeline then
-              let r =
-                Pipeline.run_baseline ~options:t.options ~sample
-                  ~timing_memo:false t.programs.(idx)
-              in
-              (r.Pipeline.exec_seconds, r.Pipeline.compile_seconds)
-            else
-              Pipeline.eval_planned ~options:t.options ~sample
-                t.programs.(idx) ~plan:None)
+        (* supervised: the watchdog can cancel a stalled attempt; the
+           retry loop re-runs attempts that failed transiently, with the
+           attempt index keying the injected transient faults so the
+           outcome is deterministic at any pool size *)
+        Supervisor.supervised ~name:t.programs.(idx).Dataset.Program.p_name
+          (fun () ->
+            Supervisor.with_retries (fun ~attempt ->
+                measure t (fun ~sample ->
+                    if t.legacy_pipeline then
+                      let r =
+                        Pipeline.run_baseline ~options:t.options ~sample
+                          ~attempt ~timing_memo:false t.programs.(idx)
+                      in
+                      (r.Pipeline.exec_seconds, r.Pipeline.compile_seconds)
+                    else
+                      Pipeline.eval_planned ~options:t.options ~sample
+                        ~attempt t.programs.(idx) ~plan:None)))
       with
       | exception e -> (
           match classify_exn e with
@@ -253,6 +435,7 @@ let baseline (t : t) (idx : int) : float * float =
                 | Some winner -> winner
                 | None ->
                     Hashtbl.replace t.baselines key b;
+                    journal_baseline t key b;
                     b)
           end)
 
@@ -288,6 +471,7 @@ let entry (t : t) (idx : int) (action : Rl.Spaces.action) : entry =
             | Some winner -> winner  (* racing duplicate: identical bits *)
             | None ->
                 Hashtbl.replace t.cache key e;
+                journal_entry t key e;
                 e)
       in
       let penalize kind =
@@ -296,19 +480,24 @@ let entry (t : t) (idx : int) (action : Rl.Spaces.action) : entry =
           { e_reward = t.penalty; e_penalized = true; e_failure = Some kind }
       in
       match
-        measure t (fun ~sample ->
-            if t.legacy_pipeline then
-              let r =
-                Pipeline.run_with_pragma ~options:t.options ~sample
-                  ~timing_memo:false t.programs.(idx)
-                  ~vf:(Rl.Spaces.vf_of action)
-                  ~if_:(Rl.Spaces.if_of action)
-              in
-              (r.Pipeline.exec_seconds, r.Pipeline.compile_seconds)
-            else
-              Pipeline.eval_planned ~options:t.options ~sample
-                t.programs.(idx)
-                ~plan:(Some (Rl.Spaces.vf_of action, Rl.Spaces.if_of action)))
+        Supervisor.supervised ~name:t.programs.(idx).Dataset.Program.p_name
+          (fun () ->
+            Supervisor.with_retries (fun ~attempt ->
+                measure t (fun ~sample ->
+                    if t.legacy_pipeline then
+                      let r =
+                        Pipeline.run_with_pragma ~options:t.options ~sample
+                          ~attempt ~timing_memo:false t.programs.(idx)
+                          ~vf:(Rl.Spaces.vf_of action)
+                          ~if_:(Rl.Spaces.if_of action)
+                      in
+                      (r.Pipeline.exec_seconds, r.Pipeline.compile_seconds)
+                    else
+                      Pipeline.eval_planned ~options:t.options ~sample
+                        ~attempt t.programs.(idx)
+                        ~plan:
+                          (Some
+                             (Rl.Spaces.vf_of action, Rl.Spaces.if_of action)))))
       with
       | exception e -> (
           match classify_exn e with
@@ -342,12 +531,57 @@ let exec_seconds (t : t) (idx : int) (action : Rl.Spaces.action) : float =
 
 (** Best action and reward by exhaustive search (35 compilations, memoized;
     actions fan across the {!Parpool} domains).  The argmax reduce runs in
-    fixed action order, so ties break identically at any pool size. *)
+    fixed action order, so ties break identically at any pool size.
+
+    {b Circuit breaker.}  When the fault spec is active, a fixed prefix of
+    [Supervisor.breaker_window] actions is probed first (in fixed action
+    order); if {e every} probe fails, the program is written off —
+    quarantined with a structured per-kind failure summary and counted as
+    a breaker trip — instead of burning the remaining evaluations on a
+    poisoned program.  Failures are pure functions of (seed, key), and the
+    probed prefix is the same at any pool size, so trip decisions are
+    deterministic across schedules and identical between [--jobs 1] and
+    [--jobs N].  Raises {!Quarantined} on a trip. *)
 let brute_force (t : t) (idx : int) : Rl.Spaces.action * float =
   (* measure (or re-raise) the baseline once before fanning out *)
   ignore (baseline t idx);
   let actions = Array.of_list Rl.Spaces.all_actions in
-  let rewards = Parpool.map (fun a -> reward t idx a) actions in
+  let w =
+    if Faults.active t.options.Pipeline.faults then
+      min (Supervisor.breaker_window ()) (Array.length actions)
+    else 0
+  in
+  let prefix = Parpool.map (fun a -> entry t idx a) (Array.sub actions 0 w) in
+  if w > 0 && Array.for_all (fun e -> e.e_failure <> None) prefix then begin
+    let counts = Hashtbl.create 4 in
+    Array.iter
+      (fun e ->
+        match e.e_failure with
+        | Some k ->
+            let n = failure_name k in
+            Hashtbl.replace counts n
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts n))
+        | None -> ())
+      prefix;
+    let summary =
+      String.concat ", "
+        (List.map
+           (fun (k, n) -> Printf.sprintf "%s=%d" k n)
+           (List.sort compare
+              (Hashtbl.fold (fun k n acc -> (k, n) :: acc) counts [])))
+    in
+    quarantine ~breaker:true t idx
+      (Printf.sprintf "circuit breaker: first %d actions all failed (%s)" w
+         summary)
+  end;
+  let rest =
+    Parpool.map
+      (fun a -> reward t idx a)
+      (Array.sub actions w (Array.length actions - w))
+  in
+  let rewards =
+    Array.append (Array.map (fun e -> e.e_reward) prefix) rest
+  in
   let best = ref 0 in
   Array.iteri (fun i r -> if r > rewards.(!best) then best := i) rewards;
   (actions.(!best), rewards.(!best))

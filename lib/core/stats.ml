@@ -75,6 +75,16 @@ type record = {
       (** taxonomy kind -> failed evaluations *)
   mutable r_quarantines : int;
   mutable r_timing_retries : int;
+  mutable r_transient_retries : int;
+      (** evaluation attempts re-run after a transient fault *)
+  mutable r_watchdog_cancels : int;
+      (** stalled evaluations cancelled by the supervisor's watchdog *)
+  mutable r_breaker_trips : int;
+      (** programs quarantined by the per-program circuit breaker *)
+  mutable r_journal_appends : int;
+      (** records flushed to the write-ahead reward journal *)
+  mutable r_journal_replayed : int;
+      (** records restored from a reward journal on resume *)
 }
 
 let fresh_record () : record =
@@ -83,7 +93,9 @@ let fresh_record () : record =
     r_prevec_misses = 0; r_point_hits = 0; r_point_misses = 0;
     r_reward_hits = 0;
     r_reward_misses = 0; r_pipeline_runs = 0; r_failures = Hashtbl.create 8;
-    r_quarantines = 0; r_timing_retries = 0 }
+    r_quarantines = 0; r_timing_retries = 0; r_transient_retries = 0;
+    r_watchdog_cancels = 0; r_breaker_trips = 0; r_journal_appends = 0;
+    r_journal_replayed = 0 }
 
 let zero_record (r : record) : unit =
   Array.fill r.phase_secs 0 n_phases 0.0;
@@ -99,7 +111,12 @@ let zero_record (r : record) : unit =
   r.r_pipeline_runs <- 0;
   Hashtbl.reset r.r_failures;
   r.r_quarantines <- 0;
-  r.r_timing_retries <- 0
+  r.r_timing_retries <- 0;
+  r.r_transient_retries <- 0;
+  r.r_watchdog_cancels <- 0;
+  r.r_breaker_trips <- 0;
+  r.r_journal_appends <- 0;
+  r.r_journal_replayed <- 0
 
 (* merge [src] into [dst] (registry lock held) *)
 let merge_into (dst : record) (src : record) : unit =
@@ -122,7 +139,12 @@ let merge_into (dst : record) (src : record) : unit =
         (n + Option.value ~default:0 (Hashtbl.find_opt dst.r_failures k)))
     src.r_failures;
   dst.r_quarantines <- dst.r_quarantines + src.r_quarantines;
-  dst.r_timing_retries <- dst.r_timing_retries + src.r_timing_retries
+  dst.r_timing_retries <- dst.r_timing_retries + src.r_timing_retries;
+  dst.r_transient_retries <- dst.r_transient_retries + src.r_transient_retries;
+  dst.r_watchdog_cancels <- dst.r_watchdog_cancels + src.r_watchdog_cancels;
+  dst.r_breaker_trips <- dst.r_breaker_trips + src.r_breaker_trips;
+  dst.r_journal_appends <- dst.r_journal_appends + src.r_journal_appends;
+  dst.r_journal_replayed <- dst.r_journal_replayed + src.r_journal_replayed
 
 (* registry of live per-domain records + the fold of exited domains *)
 let registry_lock = Mutex.create ()
@@ -222,6 +244,33 @@ let record_timing_retry () =
   let r = current () in
   r.r_timing_retries <- r.r_timing_retries + 1
 
+(** One evaluation attempt re-run by the supervisor after a transient
+    fault. *)
+let record_transient_retry () =
+  let r = current () in
+  r.r_transient_retries <- r.r_transient_retries + 1
+
+(** One stalled evaluation cancelled by the watchdog (recorded by the
+    cancelled task in its own domain, so the count is race-free). *)
+let record_watchdog_cancel () =
+  let r = current () in
+  r.r_watchdog_cancels <- r.r_watchdog_cancels + 1
+
+(** One program written off by the per-program circuit breaker. *)
+let record_breaker_trip () =
+  let r = current () in
+  r.r_breaker_trips <- r.r_breaker_trips + 1
+
+(** One record flushed to the write-ahead reward journal. *)
+let record_journal_append () =
+  let r = current () in
+  r.r_journal_appends <- r.r_journal_appends + 1
+
+(** [n] records restored from a reward journal on resume. *)
+let record_journal_replayed (n : int) =
+  let r = current () in
+  r.r_journal_replayed <- r.r_journal_replayed + n
+
 (* ------------------------------------------------------------------ *)
 (* Merged reads                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -261,6 +310,12 @@ type snapshot = {
   failures : (string * int) list;  (** taxonomy kind -> failed evaluations *)
   quarantines : int;
   timing_retries : int;
+  transient_retries : int;
+      (** attempts re-run by the supervisor after transient faults *)
+  watchdog_cancels : int;  (** stalled evaluations cancelled as [Hung] *)
+  breaker_trips : int;  (** programs quarantined by the circuit breaker *)
+  journal_appends : int;  (** write-ahead journal records flushed *)
+  journal_replayed : int;  (** journal records restored on resume *)
 }
 
 let snapshot () : snapshot =
@@ -289,6 +344,11 @@ let snapshot () : snapshot =
         (Hashtbl.fold (fun k n acc -> (k, n) :: acc) m.r_failures []);
     quarantines = m.r_quarantines;
     timing_retries = m.r_timing_retries;
+    transient_retries = m.r_transient_retries;
+    watchdog_cancels = m.r_watchdog_cancels;
+    breaker_trips = m.r_breaker_trips;
+    journal_appends = m.r_journal_appends;
+    journal_replayed = m.r_journal_replayed;
   }
 
 let reset () =
@@ -347,4 +407,17 @@ let report () : string =
   if s.timing_retries > 0 then
     Buffer.add_string b
       (Printf.sprintf "timing resamples (median-of-k): %d\n" s.timing_retries);
+  if s.transient_retries > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "transient retries: %d\n" s.transient_retries);
+  if s.watchdog_cancels > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "watchdog cancellations: %d\n" s.watchdog_cancels);
+  if s.breaker_trips > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "circuit-breaker trips: %d\n" s.breaker_trips);
+  if s.journal_appends > 0 || s.journal_replayed > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "reward journal: %d appended / %d replayed\n"
+         s.journal_appends s.journal_replayed);
   Buffer.contents b

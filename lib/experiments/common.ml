@@ -84,6 +84,12 @@ let guard ~(name : string) (f : unit -> 'a) : 'a option =
   | Neurovec.Faults.Fuel_exhausted msg ->
       note_skip name ("fuel exhausted: " ^ msg);
       None
+  | Neurovec.Supervisor.Hung msg ->
+      note_skip name ("hung: " ^ msg);
+      None
+  | Neurovec.Faults.Transient msg ->
+      note_skip name ("transient: " ^ msg);
+      None
 
 (** {!guard} fanned across the {!Neurovec.Parpool} domains: evaluate [f]
     on every item, convert per-item evaluation failures to skips, and fold
@@ -98,7 +104,10 @@ let guarded_map ~(name : 'a -> string) (f : 'a -> 'b) (items : 'a array) :
       | Neurovec.Pipeline.Compile_error msg -> Error (name x, msg)
       | Ir_interp.Trap msg -> Error (name x, "trap: " ^ msg)
       | Neurovec.Faults.Fuel_exhausted msg ->
-          Error (name x, "fuel exhausted: " ^ msg))
+          Error (name x, "fuel exhausted: " ^ msg)
+      | Neurovec.Supervisor.Hung msg -> Error (name x, "hung: " ^ msg)
+      | Neurovec.Faults.Transient msg ->
+          Error (name x, "transient: " ^ msg))
     items
   |> Array.to_list
   |> List.filter_map (function

@@ -67,11 +67,28 @@ let crc32 (s : string) : int32 =
 (* Save / load                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* create [dir] and any missing parents (a periodic checkpoint into
+   out/run1/ckpts must not crash mid-training because the directory does
+   not exist yet); clear error when a component exists as a file *)
+let rec ensure_dir (dir : string) : unit =
+  if dir = "" || dir = "." || dir = "/" then ()
+  else if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      raise
+        (Sys_error (Printf.sprintf "%s exists but is not a directory" dir))
+  end
+  else begin
+    ensure_dir (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir && Sys.is_directory dir -> ()
+  end
+
 (** Write [agent] (and optionally resumable training [state]) to [path],
     atomically: the bytes land in a temp file first and are renamed over
     [path] only once complete, so an interrupted save leaves the previous
-    checkpoint intact. *)
+    checkpoint intact.  Missing parent directories are created. *)
 let save ?state (agent : Agent.t) (path : string) : unit =
+  ensure_dir (Filename.dirname path);
   let body = Marshal.to_string { p_agent = agent; p_state = state } [] in
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in

@@ -64,9 +64,17 @@ type transition = {
     checkpoint taken at an update boundary reproduces the uninterrupted
     run exactly, because the agent's RNG state rides in the checkpoint.
     On resume the restored optimizer is used as-is ([hyper.lr] does not
-    re-apply). *)
+    re-apply).
+
+    [stop] is polled before each batch (graceful shutdown): when it
+    returns [true], training ends at the current update boundary — the
+    in-flight batch having completed in full — and the final checkpoint
+    is written as usual.  Because updates are the checkpoint granularity,
+    a stopped run resumed with [resume] reproduces the uninterrupted
+    trajectory bit for bit. *)
 let train ?(hyper = default_hyper) ?(progress = fun (_ : stats) -> ())
     ?checkpoint_path ?(checkpoint_every = 0)
+    ?(stop = fun () -> false)
     ?(resume : Train_state.t option) (agent : Agent.t)
     ~(samples : sample array) ~(reward : int -> Spaces.action -> float)
     ~(total_steps : int) : stats list =
@@ -93,7 +101,7 @@ let train ?(hyper = default_hyper) ?(progress = fun (_ : stats) -> ())
               ts_history = List.rev !history; ts_optim = opt }
           agent path
   in
-  while !steps_done < total_steps do
+  while !steps_done < total_steps && not (stop ()) do
     (* ---- collect a batch under the current (frozen) policy ---- *)
     let n = min hyper.batch_size (total_steps - !steps_done) in
     let batch =

@@ -9,7 +9,10 @@
     history, and the optimizer (Adam moments included).  The agent itself
     (weights and its RNG state) is checkpointed alongside by
     {!Checkpoint}, so kill-and-resume at an update boundary reproduces
-    the uninterrupted trajectory bit for bit. *)
+    the uninterrupted trajectory bit for bit.  Graceful shutdown
+    ({!Ppo.train}'s [?stop] hook) always lands on an update boundary:
+    the state flushed by an interrupted run is exactly the state an
+    uninterrupted run passed through. *)
 
 (** Per-update statistics, one record per policy update (re-exported as
     [Ppo.stats]). *)
