@@ -26,6 +26,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ("sweepbench",
      "shared-artifact sweep: legacy vs fast bit-identity + BENCH_sweep.json",
      Experiments.Sweepbench.print);
+    ("inferbench",
+     "batched NN inference: serial vs batched bit-identity + BENCH_infer.json",
+     Experiments.Inferbench.print);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -99,24 +99,34 @@ let create ?agent ?(space = Rl.Spaces.Discrete) ?(hidden = [ 64; 64 ])
     [Supervisor.shutdown_requested] to finish the in-flight update and
     flush the checkpoint + journal on SIGINT/SIGTERM). *)
 let train ?(hyper = Rl.Ppo.default_hyper) ?progress ?checkpoint_path
-    ?(checkpoint_every = 0) ?stop ?resume (t : t) ~(total_steps : int) :
-    Rl.Ppo.stats list =
+    ?(checkpoint_every = 0) ?stop ?batched ?resume (t : t)
+    ~(total_steps : int) : Rl.Ppo.stats list =
   Rl.Ppo.train ~hyper ?progress ?checkpoint_path ~checkpoint_every ?stop
+    ?batched
+    ~rollout_jobs:(Parpool.jobs ())
+    ~rollout_map:(fun f xs -> Parpool.map f xs)
     ?resume t.agent ~samples:t.samples
     ~reward:(fun idx act -> Reward.reward t.oracle idx act)
     ~total_steps
 
-(** Per-loop pragma decisions for a program under the trained policy. *)
+(** Per-loop pragma decisions for a program under the trained policy:
+    one batched forward over every loop site (actions identical to
+    per-site {!Rl.Agent.predict}). *)
 let predict_decisions (agent : Rl.Agent.t) (p : Dataset.Program.t) :
     (int * Minic.Ast.loop_pragma) list =
   let prog = (Frontend.checked p).Frontend.a_ast in
-  List.map
-    (fun site ->
-      let act = Rl.Agent.predict agent (encode_site agent site) in
+  let sites = Extractor.extract prog in
+  let acts =
+    Rl.Agent.predict_batch agent
+      (Array.of_list (List.map (encode_site agent) sites))
+  in
+  List.mapi
+    (fun i site ->
+      let act = acts.(i) in
       ( site.Extractor.ordinal,
         Injector.pragma_of ~vf:(Rl.Spaces.vf_of act) ~if_:(Rl.Spaces.if_of act)
       ))
-    (Extractor.extract prog)
+    sites
 
 (** Execution time (seconds) of [p] when the trained agent injects pragmas
     into every loop; [polly] also runs the polyhedral pipeline first. *)

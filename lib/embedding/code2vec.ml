@@ -74,9 +74,18 @@ type cache = {
   hs : Nn.Tensor.vec array;  (** tanh outputs *)
   alphas : Nn.Tensor.vec;
   code : Nn.Tensor.vec;
+  padded : bool;
+      (** the snippet had no contexts and [ids] is the synthetic pad —
+          its rows alias real vocab rows 0 and must not receive gradient *)
 }
 
-(** Map contexts to vocabulary ids. *)
+(* forward/backward cost is bounded by the model's own max_contexts, no
+   matter how many contexts a caller extracted *)
+let clamp (t : t) (ids : ids array) : ids array =
+  if Array.length ids <= t.cfg.max_contexts then ids
+  else Array.sub ids 0 t.cfg.max_contexts
+
+(** Map contexts to vocabulary ids (clamped to [cfg.max_contexts]). *)
 let encode (t : t) (ctxs : Ast_path.context list) : ids array =
   let v = t.cfg.vocab in
   ctxs
@@ -84,11 +93,13 @@ let encode (t : t) (ctxs : Ast_path.context list) : ids array =
          { li = Vocab.token_id v c.Ast_path.left;
            pi = Vocab.path_id v c.Ast_path.path;
            ri = Vocab.token_id v c.Ast_path.right })
-  |> Array.of_list
+  |> Array.of_list |> clamp t
 
 let forward_ids (t : t) (ids : ids array) : cache =
+  let ids = clamp t ids in
   let n = max 1 (Array.length ids) in
-  let ids = if Array.length ids = 0 then [| { li = 0; pi = 0; ri = 0 } |] else ids in
+  let padded = Array.length ids = 0 in
+  let ids = if padded then [| { li = 0; pi = 0; ri = 0 } |] else ids in
   let xs =
     Array.map
       (fun { li; pi; ri } ->
@@ -107,10 +118,109 @@ let forward_ids (t : t) (ids : ids array) : cache =
   for c = 0 to n - 1 do
     Nn.Tensor.axpy ~alpha:alphas.(c) hs.(c) code
   done;
-  { ids; xs; hs; alphas; code }
+  { ids; xs; hs; alphas; code; padded }
 
 let forward (t : t) (ctxs : Ast_path.context list) : cache =
   forward_ids t (encode t ctxs)
+
+(** One batched inference forward over many snippets, on [arena] scratch
+    (see {!Nn.Batch}): packs every (clamped, padded) context of the batch
+    into one contiguous input matrix, computes each {e unique} (l, p, r)
+    triple's [h = tanh(W x + b)] row exactly once — identical triples
+    produce bit-identical rows, so the deduplication cannot change any
+    result — then runs each snippet's attention softmax over its own
+    segment of occurrences.  Returns the [n x d_code] row-major code
+    matrix, an arena slot valid until the arena is reused.  Each row is
+    bit-identical to [(forward_ids t ids).code]. *)
+let forward_batch (t : t) (arena : Nn.Batch.arena)
+    (snippets : ids array array) : Nn.Batch.buf =
+  let cfg = t.cfg in
+  let d_tok = cfg.d_token and d_path = cfg.d_path and d_code = cfg.d_code in
+  let in_dim = (2 * d_tok) + d_path in
+  let n = Array.length snippets in
+  let counts = Nn.Batch.int_slot arena "c2v.counts" n in
+  let total = ref 0 and max_count = ref 1 in
+  for s = 0 to n - 1 do
+    let c = max 1 (min (Array.length snippets.(s)) cfg.max_contexts) in
+    counts.(s) <- c;
+    if c > !max_count then max_count := c;
+    total := !total + c
+  done;
+  let total = !total in
+  (* map every context occurrence to its unique-triple row *)
+  let tbl = arena.Nn.Batch.table in
+  Hashtbl.reset tbl;
+  let uix = Nn.Batch.int_slot arena "c2v.uix" total in
+  let ul = Nn.Batch.int_slot arena "c2v.ul" total in
+  let up = Nn.Batch.int_slot arena "c2v.up" total in
+  let ur = Nn.Batch.int_slot arena "c2v.ur" total in
+  let n_tok = cfg.vocab.Vocab.n_tokens and n_path = cfg.vocab.Vocab.n_paths in
+  let uniq = ref 0 and occ = ref 0 in
+  for s = 0 to n - 1 do
+    let ids = snippets.(s) in
+    for c = 0 to counts.(s) - 1 do
+      let { li; pi; ri } =
+        if Array.length ids = 0 then { li = 0; pi = 0; ri = 0 } else ids.(c)
+      in
+      let key = (((li * n_path) + pi) * n_tok) + ri in
+      let u =
+        match Hashtbl.find_opt tbl key with
+        | Some u -> u
+        | None ->
+            let u = !uniq in
+            Hashtbl.add tbl key u;
+            ul.(u) <- li;
+            up.(u) <- pi;
+            ur.(u) <- ri;
+            incr uniq;
+            u
+      in
+      uix.(!occ) <- u;
+      incr occ
+    done
+  done;
+  let uniq = !uniq in
+  (* gather the unique [E_tok[l]; E_path[p]; E_tok[r]] input rows *)
+  let x = Nn.Batch.slot arena "c2v.x" (uniq * in_dim) in
+  for u = 0 to uniq - 1 do
+    let off = u * in_dim in
+    Nn.Batch.blit_mat_row ~src:t.tok ~row:ul.(u) ~dst:x ~dst_off:off;
+    Nn.Batch.blit_mat_row ~src:t.path ~row:up.(u) ~dst:x
+      ~dst_off:(off + d_tok);
+    Nn.Batch.blit_mat_row ~src:t.tok ~row:ur.(u) ~dst:x
+      ~dst_off:(off + d_tok + d_path)
+  done;
+  (* h_u = tanh(W x_u + b), once per unique triple *)
+  let h = Nn.Batch.slot arena "c2v.h" (uniq * d_code) in
+  Nn.Dense.forward_rows t.combine ~x ~y:h ~rows:uniq;
+  Nn.Batch.tanh_inplace h ~len:(uniq * d_code);
+  (* per-snippet attention over its own segment, accumulated into codes *)
+  let codes = Nn.Batch.slot arena "c2v.codes" (max 1 (n * d_code)) in
+  let scores = Nn.Batch.float_slot arena "c2v.scores" !max_count in
+  let off = ref 0 in
+  for s = 0 to n - 1 do
+    let nc = counts.(s) in
+    (if cfg.use_attention then begin
+       for c = 0 to nc - 1 do
+         scores.(c) <- Nn.Batch.dot_row h ~off:(uix.(!off + c) * d_code) t.attn
+       done;
+       Nn.Batch.softmax_inplace scores ~n:nc
+     end
+     else
+       let a = 1.0 /. float_of_int nc in
+       for c = 0 to nc - 1 do
+         scores.(c) <- a
+       done);
+    let cbase = s * d_code in
+    Nn.Batch.fill_zero_row codes ~off:cbase ~len:d_code;
+    for c = 0 to nc - 1 do
+      Nn.Batch.axpy_row ~alpha:scores.(c) ~src:h
+        ~src_off:(uix.(!off + c) * d_code) ~dst:codes ~dst_off:cbase
+        ~len:d_code
+    done;
+    off := !off + nc
+  done;
+  codes
 
 (** Push dL/dcode back through attention, combiner, and tables. *)
 let backward (t : t) (c : cache) ~(dcode : Nn.Tensor.vec) : unit =
@@ -135,11 +245,15 @@ let backward (t : t) (c : cache) ~(dcode : Nn.Tensor.vec) : unit =
     (* tanh + dense backward *)
     let dz = Nn.Tensor.tanh_bwd c.hs.(ci) dh in
     let dx = Nn.Dense.backward t.combine ~x:c.xs.(ci) ~dy:dz in
-    (* split dx into the three table rows *)
-    let { li; pi; ri } = c.ids.(ci) in
-    row_add t.g_tok li (Array.sub dx 0 d_tok);
-    row_add t.g_path pi (Array.sub dx d_tok d_path);
-    row_add t.g_tok ri (Array.sub dx (d_tok + d_path) d_tok)
+    (* split dx into the three table rows — unless this is the synthetic
+       pad of an empty snippet, whose ids alias real vocab rows 0 and
+       must not train them *)
+    if not c.padded then begin
+      let { li; pi; ri } = c.ids.(ci) in
+      row_add t.g_tok li (Array.sub dx 0 d_tok);
+      row_add t.g_path pi (Array.sub dx d_tok d_path);
+      row_add t.g_tok ri (Array.sub dx (d_tok + d_path) d_tok)
+    end
   done
 
 let params (t : t) : Nn.Optim.params =

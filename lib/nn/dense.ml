@@ -30,6 +30,13 @@ let forward (l : t) (x : Tensor.vec) : Tensor.vec =
   Tensor.add_inplace y l.b;
   y
 
+(** Batched {!forward} over [rows] row-major rows of [x] into [y]
+    (preallocated scratch; see {!Batch}).  Bit-identical per row to
+    {!forward}. *)
+let forward_rows (l : t) ~(x : Batch.buf) ~(y : Batch.buf) ~(rows : int) :
+    unit =
+  Batch.dense_rows ~w:l.w ~b:l.b ~x ~y ~rows
+
 (** Accumulate gradients for one sample; returns dL/dx. *)
 let backward (l : t) ~(x : Tensor.vec) ~(dy : Tensor.vec) : Tensor.vec =
   Tensor.ger l.gw ~alpha:1.0 dy x;

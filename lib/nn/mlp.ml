@@ -47,6 +47,31 @@ let forward_cached (t : t) (x : Tensor.vec) : cache =
 
 let forward (t : t) (x : Tensor.vec) : Tensor.vec = (forward_cached t x).output
 
+(** Batched inference forward: [rows] row-major inputs in [x], activation
+    between layers but not after the last, exactly as {!forward_cached}.
+    Returns the output buffer — an arena slot (or [x] itself for an empty
+    stack); valid until the next use of the same slots. *)
+let forward_rows (t : t) (arena : Batch.arena) ~(x : Batch.buf) ~(rows : int)
+    : Batch.buf =
+  let n = List.length t.layers in
+  let rec go i x = function
+    | [] -> x
+    | (l : Dense.t) :: rest ->
+        (* ping-pong between two slots so a layer never reads the buffer
+           it is writing *)
+        let y = Batch.slot arena (if i land 1 = 0 then "mlp.a" else "mlp.b")
+            (rows * l.Dense.out_dim) in
+        Dense.forward_rows l ~x ~y ~rows;
+        (if i < n - 1 then
+           let len = rows * l.Dense.out_dim in
+           match t.act with
+           | Tanh -> Batch.tanh_inplace y ~len
+           | Relu -> Batch.relu_inplace y ~len
+           | Linear -> ());
+        go (i + 1) y rest
+  in
+  go 0 x t.layers
+
 (** Backpropagate dL/d(output); accumulates layer gradients and returns
     dL/d(input). Must be called with the cache produced by
     [forward_cached] on the same input. *)
@@ -56,12 +81,9 @@ let backward (t : t) (c : cache) ~(dout : Tensor.vec) : Tensor.vec =
   let inputs = Array.of_list c.inputs in
   let dy = ref dout in
   for i = n - 1 downto 0 do
-    (* undo the activation (applied after every layer but the last) *)
-    (if i < n - 1 then
-       let y_act =
-         if i + 1 < n then inputs.(i + 1) else c.output
-       in
-       dy := act_bwd t.act ~y:y_act ~dy:!dy);
+    (* undo the activation (applied after every layer but the last);
+       layer i's post-activation output is layer i+1's cached input *)
+    if i < n - 1 then dy := act_bwd t.act ~y:inputs.(i + 1) ~dy:!dy;
     dy := Dense.backward layers.(i) ~x:inputs.(i) ~dy:!dy
   done;
   !dy

@@ -124,21 +124,42 @@ let log_softmax (v : vec) : vec =
   let logz = m +. log s in
   Array.map (fun x -> x -. logz) v
 
+exception Bad_probability of string
+(** A probability vector handed to {!sample} was not one: NaN/infinite
+    entries, negative mass, or total mass well short of the sampled
+    uniform.  A diverged policy surfaces as this error instead of
+    silently biasing every deficient draw onto the last action. *)
+
+(** {!sample} with the uniform draw supplied by the caller (so batched
+    rollouts can pre-draw the RNG stream in the serial order and apply it
+    later).  Selection replicates the historical scan exactly — first
+    index whose running sum exceeds [u] — for any valid distribution. *)
+let sample_u ~(u : float) (probs : vec) : int =
+  let n = Array.length probs in
+  if n = 0 then raise (Bad_probability "sample: empty probability vector");
+  let acc = ref 0.0 and idx = ref (-1) in
+  for i = 0 to n - 1 do
+    let p = probs.(i) in
+    if not (Float.is_finite p) || p < 0.0 then
+      raise
+        (Bad_probability
+           (Printf.sprintf "sample: probs.(%d) = %h is not a probability" i p));
+    acc := !acc +. p;
+    if !idx < 0 && u < !acc then idx := i
+  done;
+  if !idx >= 0 then !idx
+  else if !acc < 1.0 -. 1e-6 then
+    (* rounding can leave the total a few ulps under 1.0 with u just
+       above it — that is fine and falls through to the last index, as
+       the scan always did; a *deficient* distribution is an error *)
+    raise
+      (Bad_probability
+         (Printf.sprintf "sample: total mass %h < 1 (u = %h)" !acc u))
+  else n - 1
+
 (** Sample an index from a probability vector. *)
 let sample (rng : Rng.t) (probs : vec) : int =
-  let u = Rng.float rng in
-  let acc = ref 0.0 and idx = ref (Array.length probs - 1) in
-  (try
-     Array.iteri
-       (fun i p ->
-         acc := !acc +. p;
-         if u < !acc then begin
-           idx := i;
-           raise Exit
-         end)
-       probs
-   with Exit -> ());
-  !idx
+  sample_u ~u:(Rng.float rng) probs
 
 let argmax (v : vec) : int =
   let best = ref 0 in

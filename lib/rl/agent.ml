@@ -61,6 +61,58 @@ let forward (t : t) (ids : Embedding.Code2vec.ids array) : fwd =
   { emb; trunk_cache; trunk_out; pi; v }
 
 (* ------------------------------------------------------------------ *)
+(* Batched inference forward                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* one arena-backed batched forward over a chunk of snippets: embed the
+   whole chunk (Code2vec.forward_batch), run the trunk + heads as
+   matrix-matrix kernels, and only materialize the per-snippet policy
+   logits at the boundary.  Bit-identical per row to [forward]. *)
+let forward_chunk (t : t) (idss : Embedding.Code2vec.ids array array) :
+    (Nn.Tensor.vec * float) array =
+  let arena = Nn.Batch.domain_arena () in
+  let n = Array.length idss in
+  let codes = Embedding.Code2vec.forward_batch t.c2v arena idss in
+  let trunk = Nn.Mlp.forward_rows t.trunk arena ~x:codes ~rows:n in
+  let h_out = t.head_pi.Nn.Dense.in_dim in
+  Nn.Batch.tanh_inplace trunk ~len:(n * h_out);
+  let pd = t.head_pi.Nn.Dense.out_dim in
+  let pi = Nn.Batch.slot arena "agent.pi" (n * pd) in
+  Nn.Dense.forward_rows t.head_pi ~x:trunk ~y:pi ~rows:n;
+  let v = Nn.Batch.slot arena "agent.v" (max 1 n) in
+  Nn.Dense.forward_rows t.head_v ~x:trunk ~y:v ~rows:n;
+  Array.init n (fun i ->
+      (Nn.Batch.row_to_vec pi ~off:(i * pd) ~len:pd, Nn.Batch.get v i))
+
+(* shard [0, n) into [jobs] contiguous chunks and run [f] per chunk via
+   [map] — rows are computed independently, so any shard count produces
+   the same bits *)
+let sharded ~(jobs : int) ~map (f : 'a array -> 'b array) (xs : 'a array) :
+    'b array =
+  let n = Array.length xs in
+  if jobs <= 1 || n < 2 then f xs
+  else begin
+    let chunk = (n + jobs - 1) / jobs in
+    let nchunks = (n + chunk - 1) / chunk in
+    let parts =
+      map
+        (fun ci ->
+          f (Array.sub xs (ci * chunk) (min chunk (n - (ci * chunk)))))
+        (Array.init nchunks Fun.id)
+    in
+    Array.concat (Array.to_list parts)
+  end
+
+(** Batched {!forward} for inference: per-snippet (policy logits, value),
+    each bit-identical to the scalar [forward].  [jobs]/[map] inject a
+    parallel map (e.g. [Parpool.map], which this library cannot depend
+    on) to shard the batch across domains; the default is serial. *)
+let forward_batch ?(jobs = 1) ?(map = fun f xs -> Array.map f xs) (t : t)
+    (idss : Embedding.Code2vec.ids array array) :
+    (Nn.Tensor.vec * float) array =
+  sharded ~jobs ~map (forward_chunk t) idss
+
+(* ------------------------------------------------------------------ *)
 (* Distributions                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -76,33 +128,59 @@ let gauss_logp ~mu ~log_std x =
   let z = (x -. mu) /. sigma in
   (-0.5 *. z *. z) -. log_std -. (0.5 *. log (2.0 *. Float.pi))
 
-(** Sample an action from the policy output. *)
-let sample (t : t) (f : fwd) : taken =
+(** The RNG consumption of one {!sample}, drawn eagerly in the serial
+    stream order.  Batched rollouts pick a sample and [draw] per step —
+    consuming the stream exactly as the scalar loop would — then run one
+    whole-batch forward and apply each draw with {!sample_with}, so the
+    checkpointed RNG state and every action stay bit-identical. *)
+type draw =
+  | Uniform2 of float * float  (** Discrete: one uniform per factor *)
+  | Normals of float array  (** Continuous: one standard normal per dim *)
+
+let draw (t : t) : draw =
   match t.space with
   | Spaces.Discrete ->
-      let zv, zi = split_logits f.pi in
+      let u_vf = Nn.Rng.float t.rng in
+      let u_if = Nn.Rng.float t.rng in
+      Uniform2 (u_vf, u_if)
+  | Spaces.Continuous1 -> Normals [| Nn.Rng.normal t.rng |]
+  | Spaces.Continuous2 ->
+      let n0 = Nn.Rng.normal t.rng in
+      let n1 = Nn.Rng.normal t.rng in
+      Normals [| n0; n1 |]
+
+(** {!sample} with the randomness supplied up front ([pi] is the policy
+    head output for the snippet). *)
+let sample_with (t : t) ~(pi : Nn.Tensor.vec) (d : draw) : taken =
+  match (t.space, d) with
+  | Spaces.Discrete, Uniform2 (u_vf, u_if) ->
+      let zv, zi = split_logits pi in
       let pv = Nn.Tensor.softmax zv and pi_ = Nn.Tensor.softmax zi in
-      let vf_idx = Nn.Tensor.sample t.rng pv in
-      let if_idx = Nn.Tensor.sample t.rng pi_ in
+      let vf_idx = Nn.Tensor.sample_u ~u:u_vf pv in
+      let if_idx = Nn.Tensor.sample_u ~u:u_if pi_ in
       let lv = Nn.Tensor.log_softmax zv and li = Nn.Tensor.log_softmax zi in
       { act = { Spaces.vf_idx; if_idx }; raw = [||];
         logp = lv.(vf_idx) +. li.(if_idx) }
-  | Spaces.Continuous1 ->
-      let mu = f.pi.(0) in
-      let x = mu +. (exp t.log_std.(0) *. Nn.Rng.normal t.rng) in
+  | Spaces.Continuous1, Normals ns ->
+      let mu = pi.(0) in
+      let x = mu +. (exp t.log_std.(0) *. ns.(0)) in
       { act = Spaces.of_flat (int_of_float (Float.round x));
         raw = [| x |];
         logp = gauss_logp ~mu ~log_std:t.log_std.(0) x }
-  | Spaces.Continuous2 ->
-      let x0 = f.pi.(0) +. (exp t.log_std.(0) *. Nn.Rng.normal t.rng) in
-      let x1 = f.pi.(1) +. (exp t.log_std.(1) *. Nn.Rng.normal t.rng) in
+  | Spaces.Continuous2, Normals ns ->
+      let x0 = pi.(0) +. (exp t.log_std.(0) *. ns.(0)) in
+      let x1 = pi.(1) +. (exp t.log_std.(1) *. ns.(1)) in
       { act =
           { Spaces.vf_idx = Spaces.clamp_idx ~n:Spaces.n_vf x0;
             if_idx = Spaces.clamp_idx ~n:Spaces.n_if x1 };
         raw = [| x0; x1 |];
         logp =
-          gauss_logp ~mu:f.pi.(0) ~log_std:t.log_std.(0) x0
-          +. gauss_logp ~mu:f.pi.(1) ~log_std:t.log_std.(1) x1 }
+          gauss_logp ~mu:pi.(0) ~log_std:t.log_std.(0) x0
+          +. gauss_logp ~mu:pi.(1) ~log_std:t.log_std.(1) x1 }
+  | _ -> invalid_arg "Agent.sample_with: draw does not match the action space"
+
+(** Sample an action from the policy output. *)
+let sample (t : t) (f : fwd) : taken = sample_with t ~pi:f.pi (draw t)
 
 (** Log-probability of a previously-taken action under the current policy. *)
 let logp (t : t) (f : fwd) (tk : taken) : float =
@@ -144,6 +222,48 @@ let predict (t : t) (ids : Embedding.Code2vec.ids array) : Spaces.action =
   | Spaces.Continuous2 ->
       { Spaces.vf_idx = Spaces.clamp_idx ~n:Spaces.n_vf f.pi.(0);
         if_idx = Spaces.clamp_idx ~n:Spaces.n_if f.pi.(1) }
+
+(* first strict maximum over a buffer segment — [Tensor.argmax]'s rule *)
+let argmax_seg (b : Nn.Batch.buf) ~(off : int) ~(len : int) : int =
+  let best = ref 0 in
+  for i = 0 to len - 1 do
+    if Nn.Batch.get b (off + i) > Nn.Batch.get b (off + !best) then best := i
+  done;
+  !best
+
+(* batched greedy decisions over one chunk: the forward kernels of
+   [forward_chunk] minus the value head (the action never depends on it),
+   decisions read straight off the logits buffer *)
+let predict_chunk (t : t) (idss : Embedding.Code2vec.ids array array) :
+    Spaces.action array =
+  let arena = Nn.Batch.domain_arena () in
+  let n = Array.length idss in
+  let codes = Embedding.Code2vec.forward_batch t.c2v arena idss in
+  let trunk = Nn.Mlp.forward_rows t.trunk arena ~x:codes ~rows:n in
+  let h_out = t.head_pi.Nn.Dense.in_dim in
+  Nn.Batch.tanh_inplace trunk ~len:(n * h_out);
+  let pd = t.head_pi.Nn.Dense.out_dim in
+  let pi = Nn.Batch.slot arena "agent.pi" (n * pd) in
+  Nn.Dense.forward_rows t.head_pi ~x:trunk ~y:pi ~rows:n;
+  Array.init n (fun i ->
+      let off = i * pd in
+      match t.space with
+      | Spaces.Discrete ->
+          { Spaces.vf_idx = argmax_seg pi ~off ~len:Spaces.n_vf;
+            if_idx = argmax_seg pi ~off:(off + Spaces.n_vf) ~len:Spaces.n_if }
+      | Spaces.Continuous1 ->
+          Spaces.of_flat (int_of_float (Float.round (Nn.Batch.get pi off)))
+      | Spaces.Continuous2 ->
+          { Spaces.vf_idx =
+              Spaces.clamp_idx ~n:Spaces.n_vf (Nn.Batch.get pi off);
+            if_idx =
+              Spaces.clamp_idx ~n:Spaces.n_if (Nn.Batch.get pi (off + 1)) })
+
+(** Batched {!predict}: one action per snippet, each identical to the
+    scalar call; [jobs]/[map] as in {!forward_batch}. *)
+let predict_batch ?(jobs = 1) ?(map = fun f xs -> Array.map f xs) (t : t)
+    (idss : Embedding.Code2vec.ids array array) : Spaces.action array =
+  sharded ~jobs ~map (predict_chunk t) idss
 
 (* ------------------------------------------------------------------ *)
 (* Backward                                                             *)

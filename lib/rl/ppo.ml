@@ -71,10 +71,21 @@ type transition = {
     in-flight batch having completed in full — and the final checkpoint
     is written as usual.  Because updates are the checkpoint granularity,
     a stopped run resumed with [resume] reproduces the uninterrupted
-    trajectory bit for bit. *)
+    trajectory bit for bit.
+
+    [batched] (default true) collects each rollout batch through
+    {!Agent.forward_batch}: the RNG stream is consumed in the exact
+    serial order (sample pick + action randomness per step, via
+    {!Agent.draw}), then one batched forward evaluates every step and
+    {!Agent.sample_with} applies the pre-drawn randomness — so actions,
+    rewards, and checkpoint bytes are bit-identical to the scalar loop,
+    just faster.  [rollout_jobs]/[rollout_map] shard that forward across
+    an injected parallel map (see {!Agent.forward_batch}). *)
 let train ?(hyper = default_hyper) ?(progress = fun (_ : stats) -> ())
     ?checkpoint_path ?(checkpoint_every = 0)
     ?(stop = fun () -> false)
+    ?(batched = true) ?(rollout_jobs = 1)
+    ?(rollout_map = fun f xs -> Array.map f xs)
     ?(resume : Train_state.t option) (agent : Agent.t)
     ~(samples : sample array) ~(reward : int -> Spaces.action -> float)
     ~(total_steps : int) : stats list =
@@ -105,12 +116,35 @@ let train ?(hyper = default_hyper) ?(progress = fun (_ : stats) -> ())
     (* ---- collect a batch under the current (frozen) policy ---- *)
     let n = min hyper.batch_size (total_steps - !steps_done) in
     let batch =
-      Array.init n (fun _ ->
-          let s = samples.(Nn.Rng.int rng (Array.length samples)) in
-          let f = Agent.forward agent s.s_ids in
-          let taken = Agent.sample agent f in
-          let r = reward s.s_id taken.Agent.act in
-          { t_sample = s; t_taken = taken; t_value = f.Agent.v; t_reward = r })
+      if batched then begin
+        (* consume the RNG exactly as the scalar loop: per step, the
+           sample pick then that step's action randomness *)
+        let picks =
+          Array.init n (fun _ ->
+              let s = samples.(Nn.Rng.int rng (Array.length samples)) in
+              let d = Agent.draw agent in
+              (s, d))
+        in
+        let outs =
+          Agent.forward_batch ~jobs:rollout_jobs ~map:rollout_map agent
+            (Array.map (fun ((s : sample), _) -> s.s_ids) picks)
+        in
+        Array.mapi
+          (fun i (s, d) ->
+            let pi, v = outs.(i) in
+            let taken = Agent.sample_with agent ~pi d in
+            let r = reward s.s_id taken.Agent.act in
+            { t_sample = s; t_taken = taken; t_value = v; t_reward = r })
+          picks
+      end
+      else
+        Array.init n (fun _ ->
+            let s = samples.(Nn.Rng.int rng (Array.length samples)) in
+            let f = Agent.forward agent s.s_ids in
+            let taken = Agent.sample agent f in
+            let r = reward s.s_id taken.Agent.act in
+            { t_sample = s; t_taken = taken; t_value = f.Agent.v;
+              t_reward = r })
     in
     steps_done := !steps_done + n;
     (* ---- PPO epochs ---- *)
@@ -183,12 +217,16 @@ let train ?(hyper = default_hyper) ?(progress = fun (_ : stats) -> ())
   List.rev !history
 
 (** Greedy evaluation: mean reward of the deterministic policy over
-    [samples]. *)
+    [samples].  One batched forward for the whole corpus; per-sample
+    actions (and therefore rewards) are identical to scalar
+    {!Agent.predict}. *)
 let evaluate (agent : Agent.t) ~(samples : sample array)
     ~(reward : int -> Spaces.action -> float) : float =
-  let total =
-    Array.fold_left
-      (fun acc s -> acc +. reward s.s_id (Agent.predict agent s.s_ids))
-      0.0 samples
+  let acts =
+    Agent.predict_batch agent (Array.map (fun s -> s.s_ids) samples)
   in
-  total /. float_of_int (max 1 (Array.length samples))
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i s -> total := !total +. reward s.s_id acts.(i))
+    samples;
+  !total /. float_of_int (max 1 (Array.length samples))

@@ -174,6 +174,107 @@ let test_c2v_mean_pooling () =
       Alcotest.(check (float 1e-9)) "uniform" (1.0 /. float_of_int n) a)
     c.Embedding.Code2vec.alphas
 
+(* regression: [encode] capped contexts but [forward_ids] trusted its
+   input, so ids handed in directly (a pre-encoded corpus, a batched
+   caller) blew past cfg.max_contexts — both entry points must clamp *)
+let test_c2v_clamps_max_contexts () =
+  let cfg = { Embedding.Code2vec.default_config with max_contexts = 3 } in
+  let m = mk_model ~cfg () in
+  let s =
+    parse_stmt
+      "int i; for (i = 0; i < 64; i++) { a[i] = b[i] * b[i] + i - 3; }"
+  in
+  let ctxs = Embedding.Ast_path.contexts_of_stmt s in
+  Alcotest.(check bool) "loop yields more contexts than the cap" true
+    (List.length ctxs > 3);
+  Alcotest.(check int) "encode clamps" 3
+    (Array.length (Embedding.Code2vec.encode m ctxs));
+  let over =
+    Array.init 10 (fun i ->
+        { Embedding.Code2vec.li = i mod 4; pi = i; ri = i mod 3 })
+  in
+  let c = Embedding.Code2vec.forward_ids m over in
+  Alcotest.(check int) "forward_ids clamps" 3
+    (Array.length c.Embedding.Code2vec.ids);
+  Alcotest.(check int) "attention follows the clamp" 3
+    (Array.length c.Embedding.Code2vec.alphas)
+
+(* regression: the empty-context pad {li=0; pi=0; ri=0} used to train the
+   real vocabulary rows behind id 0 — its embedding gradients must stay
+   frozen while the rest of the model still learns *)
+let test_c2v_pad_gradient_frozen () =
+  let m = mk_model () in
+  let w = Array.init 128 (fun i -> cos (float_of_int i)) in
+  let all_zero (t : Nn.Tensor.mat) =
+    Array.for_all (fun v -> v = 0.0) t.Nn.Tensor.data
+  in
+  Embedding.Code2vec.zero_grad m;
+  let c = Embedding.Code2vec.forward_ids m [||] in
+  Embedding.Code2vec.backward m c ~dcode:w;
+  Alcotest.(check bool) "pad leaves the token table untouched" true
+    (all_zero m.Embedding.Code2vec.g_tok);
+  Alcotest.(check bool) "pad leaves the path table untouched" true
+    (all_zero m.Embedding.Code2vec.g_path);
+  (* a real snippet does reach the tables through the same code path *)
+  Embedding.Code2vec.zero_grad m;
+  let c2 = Embedding.Code2vec.forward_ids m (some_ids m) in
+  Embedding.Code2vec.backward m c2 ~dcode:w;
+  Alcotest.(check bool) "real contexts update the token table" true
+    (not (all_zero m.Embedding.Code2vec.g_tok))
+
+(* ------------------------------------------------------------------ *)
+(* Batched embedding: bit-identical to per-snippet forward_ids          *)
+(* ------------------------------------------------------------------ *)
+
+let bits = Int64.bits_of_float
+
+let check_batch_matches_scalar (m : Embedding.Code2vec.t)
+    (snippets : Embedding.Code2vec.ids array array) : unit =
+  let arena = Nn.Batch.create_arena () in
+  let d_code = m.Embedding.Code2vec.cfg.Embedding.Code2vec.d_code in
+  (* twice through the same arena: the second pass reuses warm slots *)
+  for pass = 1 to 2 do
+    let codes = Embedding.Code2vec.forward_batch m arena snippets in
+    Array.iteri
+      (fun i ids ->
+        let expect =
+          (Embedding.Code2vec.forward_ids m ids).Embedding.Code2vec.code
+        in
+        for j = 0 to d_code - 1 do
+          let got = Nn.Batch.get codes ((i * d_code) + j) in
+          if bits expect.(j) <> bits got then
+            Alcotest.failf "pass %d snippet %d dim %d: %h vs %h" pass i j
+              expect.(j) got
+        done)
+      snippets
+  done
+
+let test_c2v_forward_batch_bitwise () =
+  let m = mk_model () in
+  let ids_of src =
+    let s = parse_stmt src in
+    Embedding.Code2vec.encode m (Embedding.Ast_path.contexts_of_stmt s)
+  in
+  let over =
+    Array.init 40 (fun i ->
+        { Embedding.Code2vec.li = i mod 5; pi = i mod 7; ri = i mod 3 })
+  in
+  check_batch_matches_scalar m
+    [|
+      some_ids m;
+      [||] (* empty snippet: the padded row *);
+      ids_of "int i; for (i = 0; i < 64; i++) { if (b[i] > 3) a[i] = b[i]; }";
+      over (* clamps inside the batch *);
+      some_ids m (* duplicate snippet: exercises the context dedup *);
+    |];
+  (* and a batch that is nothing but pads *)
+  check_batch_matches_scalar m [| [||]; [||] |]
+
+let test_c2v_forward_batch_mean_pooling () =
+  let cfg = { Embedding.Code2vec.default_config with use_attention = false } in
+  let m = mk_model ~cfg () in
+  check_batch_matches_scalar m [| some_ids m; [||]; some_ids m |]
+
 let suite =
   [
     ( "embedding.paths",
@@ -199,5 +300,16 @@ let suite =
           test_c2v_similar_code_similar_vec;
         Alcotest.test_case "gradient check" `Quick test_c2v_gradients;
         Alcotest.test_case "mean pooling ablation" `Quick test_c2v_mean_pooling;
+        Alcotest.test_case "max_contexts clamp" `Quick
+          test_c2v_clamps_max_contexts;
+        Alcotest.test_case "pad gradient frozen" `Quick
+          test_c2v_pad_gradient_frozen;
+      ] );
+    ( "batched.embedding",
+      [
+        Alcotest.test_case "forward_batch bitwise" `Quick
+          test_c2v_forward_batch_bitwise;
+        Alcotest.test_case "forward_batch mean pooling" `Quick
+          test_c2v_forward_batch_mean_pooling;
       ] );
   ]

@@ -100,6 +100,39 @@ let test_sample_respects_distribution () =
 let test_argmax () =
   Alcotest.(check int) "argmax" 2 (Nn.Tensor.argmax [| 0.1; -3.0; 5.0; 4.9 |])
 
+(* ---- sample validation (regression: the old loop silently returned the
+   last index whenever u overshot the accumulated mass, so a NaN or
+   deficient probability vector produced an arbitrary action instead of
+   an error) ---- *)
+
+let expect_bad_probability what f =
+  match f () with
+  | exception Nn.Tensor.Bad_probability _ -> ()
+  | i -> Alcotest.failf "%s: expected Bad_probability, got index %d" what i
+
+let test_sample_rejects_nan () =
+  expect_bad_probability "nan entry" (fun () ->
+      Nn.Tensor.sample_u ~u:0.5 [| 0.3; Float.nan; 0.4 |])
+
+let test_sample_rejects_negative () =
+  expect_bad_probability "negative entry" (fun () ->
+      Nn.Tensor.sample_u ~u:0.5 [| 0.6; -0.2; 0.6 |])
+
+let test_sample_rejects_deficient_mass () =
+  (* u beyond the total mass used to fall through to the last index *)
+  expect_bad_probability "mass 0.3" (fun () ->
+      Nn.Tensor.sample_u ~u:0.9 [| 0.1; 0.2 |]);
+  expect_bad_probability "empty vector" (fun () ->
+      Nn.Tensor.sample_u ~u:0.5 [||])
+
+let test_sample_u_valid_vectors () =
+  Alcotest.(check int) "picks by cdf" 1
+    (Nn.Tensor.sample_u ~u:0.35 [| 0.25; 0.25; 0.25; 0.25 |]);
+  (* a softmax whose sum rounds to 1 - epsilon must still serve u ~ 1
+     via the last index, not raise *)
+  Alcotest.(check int) "rounding tolerance" 1
+    (Nn.Tensor.sample_u ~u:0.99999999 [| 0.5; 0.4999999 |])
+
 (* ------------------------------------------------------------------ *)
 (* Gradient checks                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -212,6 +245,134 @@ let test_adam_beats_noise () =
   done;
   Alcotest.(check bool) "moved toward 0" true (p.(0) < 10.0)
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* regression: Adam pairs its moment vectors with the params purely by
+   position, so a model whose shape changed under a live optimizer used
+   to corrupt the moments silently — now it must raise Bad_state *)
+let test_adam_rejects_shape_change () =
+  let opt = Nn.Optim.adam ~lr:0.01 () in
+  let p = [| 1.0; 2.0 |] and g = [| 0.1; 0.1 |] in
+  Nn.Optim.step opt [ (p, g) ];
+  (* more parameter tensors than moment slots *)
+  (match Nn.Optim.step opt [ (p, g); (p, g) ] with
+  | () -> Alcotest.fail "expected Bad_state on a changed param count"
+  | exception Nn.Optim.Bad_state m ->
+      Alcotest.(check bool) "count message" true
+        (contains ~sub:"moment slots" m));
+  (* same count, resized tensor *)
+  let p3 = [| 1.0; 2.0; 3.0 |] and g3 = [| 0.1; 0.1; 0.1 |] in
+  (match Nn.Optim.step opt [ (p3, g3) ] with
+  | () -> Alcotest.fail "expected Bad_state on a resized tensor"
+  | exception Nn.Optim.Bad_state m ->
+      Alcotest.(check bool) "length message" true (contains ~sub:"elements" m));
+  (* the matching list still steps fine afterwards *)
+  Nn.Optim.step opt [ (p, g) ]
+
+(* ------------------------------------------------------------------ *)
+(* Batched kernels: bit-identical to the scalar path                    *)
+(* ------------------------------------------------------------------ *)
+
+let bits = Int64.bits_of_float
+
+let fill_rows (rows : float array array) : Nn.Batch.buf =
+  let w = Array.length rows.(0) in
+  let b = Nn.Batch.create (Array.length rows * w) in
+  Array.iteri
+    (fun r xr -> Array.iteri (fun j v -> Bigarray.Array1.set b ((r * w) + j) v) xr)
+    rows;
+  b
+
+(* random layers over random shapes: dense_rows must reproduce
+   Dense.forward bit for bit, row by row (covers the unrolled main loop,
+   the tail loop, and the fused bias add) *)
+let test_dense_rows_bitwise () =
+  let rng = Nn.Rng.create 31 in
+  for trial = 1 to 25 do
+    let in_dim = 1 + Nn.Rng.int rng 17 in
+    let out_dim = 1 + Nn.Rng.int rng 13 in
+    let rows = 1 + Nn.Rng.int rng 9 in
+    let l = Nn.Dense.create rng ~in_dim ~out_dim in
+    let xs =
+      Array.init rows (fun _ -> Array.init in_dim (fun _ -> Nn.Rng.normal rng))
+    in
+    let y = Nn.Batch.create (rows * out_dim) in
+    Nn.Dense.forward_rows l ~x:(fill_rows xs) ~y ~rows;
+    Array.iteri
+      (fun r xr ->
+        let expect = Nn.Dense.forward l xr in
+        for o = 0 to out_dim - 1 do
+          let got = Nn.Batch.get y ((r * out_dim) + o) in
+          if bits expect.(o) <> bits got then
+            Alcotest.failf "trial %d (%dx%d) row %d out %d: %h vs %h" trial
+              in_dim out_dim r o expect.(o) got
+        done)
+      xs
+  done
+
+(* full trunk stacks under every activation, including the empty stack
+   (forward_rows returns the input buffer, as forward returns x) *)
+let test_mlp_rows_bitwise () =
+  let rng = Nn.Rng.create 32 in
+  let arena = Nn.Batch.create_arena () in
+  List.iter
+    (fun (act, dims) ->
+      let mlp = Nn.Mlp.create rng ~dims ~act in
+      let in_dim = List.hd dims in
+      let out_dim = List.hd (List.rev dims) in
+      let rows = 7 in
+      let xs =
+        Array.init rows (fun _ ->
+            Array.init in_dim (fun _ -> Nn.Rng.normal rng))
+      in
+      let y = Nn.Mlp.forward_rows mlp arena ~x:(fill_rows xs) ~rows in
+      Array.iteri
+        (fun r xr ->
+          let expect = Nn.Mlp.forward mlp xr in
+          for o = 0 to out_dim - 1 do
+            let got = Nn.Batch.get y ((r * out_dim) + o) in
+            if bits expect.(o) <> bits got then
+              Alcotest.failf "dims %s row %d out %d: %h vs %h"
+                (String.concat "x" (List.map string_of_int dims))
+                r o expect.(o) got
+          done)
+        xs)
+    [ (Nn.Mlp.Tanh, [ 4; 8; 3 ]); (Nn.Mlp.Relu, [ 5; 6; 6; 2 ]);
+      (Nn.Mlp.Linear, [ 3; 4 ]); (Nn.Mlp.Tanh, [ 4 ]) ]
+
+let test_softmax_inplace_bitwise () =
+  let rng = Nn.Rng.create 33 in
+  for _ = 1 to 20 do
+    let n = 1 + Nn.Rng.int rng 12 in
+    let z = Array.init n (fun _ -> 4.0 *. Nn.Rng.normal rng) in
+    let expect = Nn.Tensor.softmax z in
+    let s = Array.copy z in
+    Nn.Batch.softmax_inplace s ~n;
+    for i = 0 to n - 1 do
+      if bits expect.(i) <> bits s.(i) then
+        Alcotest.failf "softmax[%d]: %h vs %h" i expect.(i) s.(i)
+    done
+  done
+
+(* arena slots keep their identity (and grow, never shrink) so the warm
+   steady state is allocation-free *)
+let test_arena_slot_reuse () =
+  let a = Nn.Batch.create_arena () in
+  let b1 = Nn.Batch.slot a "x" 10 in
+  let b2 = Nn.Batch.slot a "x" 8 in
+  Alcotest.(check bool) "smaller request reuses the buffer" true (b1 == b2);
+  let b3 = Nn.Batch.slot a "x" 1000 in
+  Alcotest.(check bool) "larger request grows" true
+    (Bigarray.Array1.dim b3 >= 1000);
+  let b4 = Nn.Batch.slot a "y" 10 in
+  Alcotest.(check bool) "names are distinct slots" true (b3 != b4);
+  Nn.Batch.reset a;
+  let b5 = Nn.Batch.slot a "x" 10 in
+  Alcotest.(check bool) "reset drops the store" true (b3 != b5)
+
 let suite =
   [
     ( "nn.rng",
@@ -230,6 +391,13 @@ let suite =
         Alcotest.test_case "log_softmax consistent" `Quick
           test_log_softmax_consistent;
         Alcotest.test_case "sampling" `Quick test_sample_respects_distribution;
+        Alcotest.test_case "sample rejects nan" `Quick test_sample_rejects_nan;
+        Alcotest.test_case "sample rejects negative" `Quick
+          test_sample_rejects_negative;
+        Alcotest.test_case "sample rejects deficient mass" `Quick
+          test_sample_rejects_deficient_mass;
+        Alcotest.test_case "sample_u valid vectors" `Quick
+          test_sample_u_valid_vectors;
         Alcotest.test_case "argmax" `Quick test_argmax;
       ] );
     ( "nn.grad",
@@ -244,5 +412,16 @@ let suite =
         Alcotest.test_case "sgd converges" `Quick test_sgd_converges;
         Alcotest.test_case "adam converges" `Quick test_adam_converges;
         Alcotest.test_case "adam direction" `Quick test_adam_beats_noise;
+        Alcotest.test_case "adam rejects shape change" `Quick
+          test_adam_rejects_shape_change;
+      ] );
+    ( "batched.kernels",
+      [
+        Alcotest.test_case "dense_rows bitwise" `Quick test_dense_rows_bitwise;
+        Alcotest.test_case "mlp forward_rows bitwise" `Quick
+          test_mlp_rows_bitwise;
+        Alcotest.test_case "softmax_inplace bitwise" `Quick
+          test_softmax_inplace_bitwise;
+        Alcotest.test_case "arena slot reuse" `Quick test_arena_slot_reuse;
       ] );
   ]

@@ -155,16 +155,17 @@ let read_file path =
   close_in ic;
   s
 
-let train_checkpoint ?(legacy = false) ~jobs path =
+let train_checkpoint ?(legacy = false) ?(batched = true)
+    ?(options = fault_options) ~jobs path =
   Neurovec.Frontend.clear ();
   Neurovec.Parpool.with_jobs jobs (fun () ->
       let corpus = Dataset.Loopgen.generate ~seed:55 16 in
       let fw =
-        Neurovec.Framework.create ~options:fault_options
-          ~legacy_pipeline:legacy ~seed:3 corpus
+        Neurovec.Framework.create ~options ~legacy_pipeline:legacy ~seed:3
+          corpus
       in
       ignore
-        (Neurovec.Framework.train fw
+        (Neurovec.Framework.train fw ~batched
            ~hyper:{ Rl.Ppo.default_hyper with batch_size = 64 }
            ~total_steps:192);
       Rl.Checkpoint.save fw.Neurovec.Framework.agent path)
@@ -226,6 +227,40 @@ let test_engines_checkpoint_bytes_identical () =
       Alcotest.(check bool)
         "legacy and fast-path training produce identical checkpoints" true
         (read_file pl = read_file pf))
+
+(* ------------------------------------------------------------------ *)
+(* Batched vs scalar rollouts: trained-checkpoint bytes                 *)
+(* ------------------------------------------------------------------ *)
+
+(* the batched rollout path (forward_batch + pre-drawn randomness) must
+   be invisible end to end: training the same corpus with the same seed
+   writes byte-identical checkpoints whether rollouts run scalar or
+   batched, serial or across the pool, with or without injected faults *)
+
+let test_batched_checkpoint_bytes_identical () =
+  with_two_checkpoints (fun ps pb ->
+      train_checkpoint ~batched:false ~jobs:1 ps;
+      train_checkpoint ~batched:true ~jobs:1 pb;
+      Alcotest.(check bool)
+        "scalar and batched rollouts write identical checkpoints" true
+        (read_file ps = read_file pb))
+
+let test_batched_checkpoint_pool () =
+  with_two_checkpoints (fun ps pb ->
+      train_checkpoint ~batched:false ~jobs:1 ps;
+      train_checkpoint ~batched:true ~jobs:4 pb;
+      Alcotest.(check bool)
+        "scalar serial vs batched 4-domain pool, faults active" true
+        (read_file ps = read_file pb))
+
+let test_batched_checkpoint_no_faults () =
+  let options = Neurovec.Pipeline.default_options in
+  with_two_checkpoints (fun ps pb ->
+      train_checkpoint ~options ~batched:false ~jobs:1 ps;
+      train_checkpoint ~options ~batched:true ~jobs:4 pb;
+      Alcotest.(check bool)
+        "scalar vs batched pool on a clean pipeline" true
+        (read_file ps = read_file pb))
 
 (* ------------------------------------------------------------------ *)
 (* Cache stress                                                         *)
@@ -297,6 +332,15 @@ let suite =
           test_engines_identical_pool;
         Alcotest.test_case "legacy vs shared-artifact checkpoints" `Slow
           test_engines_checkpoint_bytes_identical;
+      ] );
+    ( "batched.checkpoint",
+      [
+        Alcotest.test_case "scalar vs batched rollouts" `Slow
+          test_batched_checkpoint_bytes_identical;
+        Alcotest.test_case "scalar vs batched pool under faults" `Slow
+          test_batched_checkpoint_pool;
+        Alcotest.test_case "scalar vs batched pool, no faults" `Slow
+          test_batched_checkpoint_no_faults;
       ] );
     ( "parallel.stress",
       [

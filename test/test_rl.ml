@@ -92,6 +92,119 @@ let test_discrete_logp_gradient () =
     [ 0; 3; 7; 9 ]
 
 (* ------------------------------------------------------------------ *)
+(* Batched inference: bit-identical to the scalar agent                 *)
+(* ------------------------------------------------------------------ *)
+
+let bits = Int64.bits_of_float
+
+let all_spaces =
+  [ Rl.Spaces.Discrete; Rl.Spaces.Continuous1; Rl.Spaces.Continuous2 ]
+
+(* a small mixed corpus: distinct snippets, a duplicate, and an empty one *)
+let corpus_ids agent =
+  let ids_of src =
+    let prog = Minic.Parser.parse_string src in
+    Embedding.Code2vec.encode agent.Rl.Agent.c2v
+      (Embedding.Ast_path.contexts_of_stmt
+         (Neurovec.Extractor.embedding_stmt prog))
+  in
+  let s0 = some_ids agent in
+  let s1 =
+    ids_of
+      "float x[64]; float y[64]; int kernel() { float s = 0; int i; for (i=0;i<64;i++) s += x[i]*y[i]; return (int) s; }"
+  in
+  let s2 =
+    ids_of
+      "int a[64]; int kernel() { int i; for (i=0;i<64;i++) if (a[i] > 3) a[i] = i; return a[0]; }"
+  in
+  [| s0; s1; [||]; s0; s2 |]
+
+let check_forward_batch ~what agent idss batched =
+  Alcotest.(check int) (what ^ ": result count") (Array.length idss)
+    (Array.length batched);
+  Array.iteri
+    (fun i ids ->
+      let f = Rl.Agent.forward agent ids in
+      let bpi, bv = batched.(i) in
+      if bits f.Rl.Agent.v <> bits bv then
+        Alcotest.failf "%s: snippet %d value %h vs %h" what i f.Rl.Agent.v bv;
+      Array.iteri
+        (fun k s ->
+          if bits s <> bits bpi.(k) then
+            Alcotest.failf "%s: snippet %d logit %d: %h vs %h" what i k s
+              bpi.(k))
+        f.Rl.Agent.pi)
+    idss
+
+let pool_map f xs = Neurovec.Parpool.map ~jobs:4 f xs
+
+let test_forward_batch_bitwise () =
+  List.iter
+    (fun space ->
+      let agent = mk_agent ~space 41 in
+      let idss = corpus_ids agent in
+      let what s =
+        Printf.sprintf "%s %s" (Rl.Spaces.kind_to_string space) s
+      in
+      check_forward_batch ~what:(what "jobs 1") agent idss
+        (Rl.Agent.forward_batch agent idss);
+      check_forward_batch ~what:(what "jobs 4 serial map") agent idss
+        (Rl.Agent.forward_batch ~jobs:4 agent idss);
+      check_forward_batch ~what:(what "jobs 4 pool") agent idss
+        (Rl.Agent.forward_batch ~jobs:4 ~map:pool_map agent idss))
+    all_spaces
+
+let test_predict_batch_matches () =
+  List.iter
+    (fun space ->
+      let agent = mk_agent ~space 42 in
+      let idss = corpus_ids agent in
+      let expect = Array.map (Rl.Agent.predict agent) idss in
+      List.iter
+        (fun (what, got) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s" (Rl.Spaces.kind_to_string space) what)
+            true (expect = got))
+        [
+          ("jobs 1", Rl.Agent.predict_batch agent idss);
+          ("jobs 3 serial map", Rl.Agent.predict_batch ~jobs:3 agent idss);
+          ( "jobs 4 pool",
+            Rl.Agent.predict_batch ~jobs:4 ~map:pool_map agent idss );
+        ])
+    all_spaces
+
+(* the batched rollout order — draw the randomness first, forward the
+   whole batch, then apply each draw — must reproduce the scalar
+   [sample] exactly: same action, raw sample, logp, and RNG state *)
+let test_draw_sample_with_equiv () =
+  List.iter
+    (fun space ->
+      let a = mk_agent ~space 43 and b = mk_agent ~space 43 in
+      let ids = some_ids a in
+      for step = 1 to 10 do
+        let fa = Rl.Agent.forward a ids in
+        let ta = Rl.Agent.sample a fa in
+        let d = Rl.Agent.draw b in
+        let bpi, _ = (Rl.Agent.forward_batch b [| ids |]).(0) in
+        let tb = Rl.Agent.sample_with b ~pi:bpi d in
+        let what s =
+          Printf.sprintf "%s step %d %s" (Rl.Spaces.kind_to_string space)
+            step s
+        in
+        Alcotest.(check bool) (what "action") true
+          (ta.Rl.Agent.act = tb.Rl.Agent.act);
+        Alcotest.(check int64) (what "logp") (bits ta.Rl.Agent.logp)
+          (bits tb.Rl.Agent.logp);
+        Alcotest.(check bool) (what "raw") true
+          (Array.map bits ta.Rl.Agent.raw = Array.map bits tb.Rl.Agent.raw)
+      done;
+      (* both streams consumed the same number of draws *)
+      Alcotest.(check (float 0.0)) "rng in lockstep"
+        (Nn.Rng.float a.Rl.Agent.rng)
+        (Nn.Rng.float b.Rl.Agent.rng))
+    all_spaces
+
+(* ------------------------------------------------------------------ *)
 (* PPO on synthetic bandits                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -175,6 +288,64 @@ let test_ppo_stats_shape () =
       Alcotest.(check int) "update number" (i + 1) st.Rl.Ppo.update;
       Alcotest.(check (float 1e-9)) "constant reward" 0.5 st.Rl.Ppo.reward_mean)
     hist
+
+(* batched rollout collection must be invisible: same statistics to the
+   bit, same final policy, whether the batch forward runs serially or
+   sharded across the pool *)
+let test_ppo_batched_rollouts_identical () =
+  List.iter
+    (fun space ->
+      let reward id (a : Rl.Spaces.action) =
+        (* deterministic, content-addressed: call order cannot matter *)
+        float_of_int ((a.Rl.Spaces.vf_idx * 3) + a.Rl.Spaces.if_idx + id)
+        /. 25.0
+      in
+      let run ~batched ~rollout_jobs ~rollout_map =
+        let agent = mk_agent ~space 45 in
+        let samples =
+          [|
+            { Rl.Ppo.s_id = 0; s_ids = some_ids agent };
+            { Rl.Ppo.s_id = 1; s_ids = [||] };
+          |]
+        in
+        let hist =
+          Rl.Ppo.train
+            ~hyper:{ Rl.Ppo.default_hyper with batch_size = 50; lr = 3e-3 }
+            ~batched ~rollout_jobs ~rollout_map agent ~samples ~reward
+            ~total_steps:200
+        in
+        (hist, Array.map (fun s -> Rl.Agent.predict agent s.Rl.Ppo.s_ids) samples)
+      in
+      let serial_map f xs = Array.map f xs in
+      let hist_s, pred_s =
+        run ~batched:false ~rollout_jobs:1 ~rollout_map:serial_map
+      in
+      List.iter
+        (fun (what, rollout_jobs, rollout_map) ->
+          let hist_b, pred_b = run ~batched:true ~rollout_jobs ~rollout_map in
+          let what s =
+            Printf.sprintf "%s %s %s" (Rl.Spaces.kind_to_string space) what s
+          in
+          Alcotest.(check int) (what "updates") (List.length hist_s)
+            (List.length hist_b);
+          List.iter2
+            (fun (a : Rl.Ppo.stats) (b : Rl.Ppo.stats) ->
+              Alcotest.(check int64) (what "reward mean")
+                (Int64.bits_of_float a.Rl.Ppo.reward_mean)
+                (Int64.bits_of_float b.Rl.Ppo.reward_mean);
+              Alcotest.(check int64) (what "loss")
+                (Int64.bits_of_float a.Rl.Ppo.loss)
+                (Int64.bits_of_float b.Rl.Ppo.loss);
+              Alcotest.(check int64) (what "entropy")
+                (Int64.bits_of_float a.Rl.Ppo.entropy_mean)
+                (Int64.bits_of_float b.Rl.Ppo.entropy_mean))
+            hist_s hist_b;
+          Alcotest.(check bool) (what "final policy") true (pred_s = pred_b))
+        [
+          ("batched jobs 1", 1, serial_map);
+          ("batched jobs 4 pool", 4, pool_map);
+        ])
+    all_spaces
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoints                                                          *)
@@ -437,5 +608,19 @@ let suite =
           test_ppo_resume_equivalence;
         Alcotest.test_case "periodic checkpoints" `Quick
           test_ppo_periodic_checkpoints;
+      ] );
+    ( "batched.agent",
+      [
+        Alcotest.test_case "forward_batch bitwise" `Quick
+          test_forward_batch_bitwise;
+        Alcotest.test_case "predict_batch matches" `Quick
+          test_predict_batch_matches;
+        Alcotest.test_case "draw + sample_with = sample" `Quick
+          test_draw_sample_with_equiv;
+      ] );
+    ( "batched.ppo",
+      [
+        Alcotest.test_case "batched rollouts identical" `Slow
+          test_ppo_batched_rollouts_identical;
       ] );
   ]
