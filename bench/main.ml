@@ -29,6 +29,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ("inferbench",
      "batched NN inference: serial vs batched bit-identity + BENCH_infer.json",
      Experiments.Inferbench.print);
+    ("servebench",
+     "serve daemon: cold vs warm throughput, crash recovery + BENCH_serve.json",
+     Experiments.Servebench.print);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -338,9 +338,115 @@ let predict_cmd =
        ~doc:"Inject pragmas predicted by a trained agent into a file.")
     Term.(const run $ file $ model $ kernel)
 
+(* ---- serve -------------------------------------------------------- *)
+
+let serve_cmd =
+  let model = Arg.(required & opt (some file) None & info [ "model" ] ~doc:"Trained agent checkpoint to serve.") in
+  let socket = Arg.(value & opt (some string) None & info [ "socket" ] ~doc:"Unix-domain socket path to listen on; omitted = frames over stdin/stdout.") in
+  let store = Arg.(value & opt (some string) None & info [ "store" ] ~doc:"On-disk reply store: a restarted daemon answers warm, bit-identically.") in
+  let max_queue = Arg.(value & opt int 128 & info [ "max-queue" ] ~doc:"Bounded request queue; beyond it requests are shed with a structured overloaded reply.") in
+  let max_batch = Arg.(value & opt int 32 & info [ "max-batch" ] ~doc:"Most requests folded into one batched forward pass.") in
+  let report_every = Arg.(value & opt float 0.0 & info [ "report-every" ] ~doc:"Seconds between one-line self-reports on stderr (0 = off).") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print the full statistics report after the drain.") in
+  let run model socket store max_queue max_batch report_every stats jobs
+      deadline max_retries =
+    or_compile_error @@ fun () ->
+    apply_jobs jobs;
+    apply_supervision deadline max_retries;
+    Neurovec.Supervisor.install_signal_handlers ();
+    let agent = Rl.Checkpoint.load model in
+    let options =
+      { Neurovec.Pipeline.default_options with
+        faults = Neurovec.Faults.of_env () }
+    in
+    let server =
+      Serve.Server.create ~options ?store_path:store ~max_queue ~max_batch
+        ~report_every agent
+    in
+    (match socket with
+    | Some path ->
+        Printf.eprintf "neurovec serve: listening on %s\n%!" path;
+        Serve.Server.run_socket server ~path
+    | None -> Serve.Server.run_stdio server);
+    Printf.eprintf "neurovec serve: drained, store flushed\n%!";
+    if stats then print_string (Neurovec.Stats.report ());
+    Neurovec.Supervisor.uninstall_signal_handlers ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the vectorization daemon: load a checkpoint once, answer \
+          length-prefixed requests, batch concurrent forward passes, shed \
+          overload explicitly, and drain gracefully on SIGTERM.")
+    Term.(const run $ model $ socket $ store $ max_queue $ max_batch
+          $ report_every $ stats $ jobs_arg $ deadline_arg $ max_retries_arg)
+
+(* ---- request ------------------------------------------------------- *)
+
+let request_cmd =
+  let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let socket = Arg.(required & opt (some string) None & info [ "socket" ] ~doc:"Unix-domain socket of a running daemon.") in
+  let kernel = Arg.(value & opt string "kernel" & info [ "kernel" ]) in
+  let client = Arg.(value & opt string "cli" & info [ "client" ] ~doc:"Client identity for the daemon's per-client circuit breaker.") in
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Health check only.") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Fetch the daemon's statistics report.") in
+  let run file socket kernel client ping stats =
+    or_compile_error @@ fun () ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX socket)
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "neurovec: cannot connect to %s: %s\n" socket
+         (Unix.error_message e);
+       exit 1);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let req =
+      if ping then Serve.Protocol.Ping
+      else if stats then Serve.Protocol.Stats_req
+      else
+        match file with
+        | None ->
+            Printf.eprintf "neurovec: request needs FILE (or --ping/--stats)\n";
+            exit 2
+        | Some path ->
+            Serve.Protocol.Vectorize
+              { v_client = client; v_name = Filename.basename path;
+                v_kernel = kernel; v_source = read_file path }
+    in
+    Serve.Protocol.write_frame oc (Serve.Protocol.encode_request req);
+    (match Serve.Protocol.read_frame ic with
+    | Serve.Protocol.Frame payload -> (
+        match Serve.Protocol.decode_reply payload with
+        | Serve.Protocol.Answer text -> print_string text
+        | Serve.Protocol.Pong -> print_endline "pong"
+        | Serve.Protocol.Stats_reply text -> print_string text
+        | Serve.Protocol.Error (kind, msg) ->
+            Printf.eprintf "neurovec: %s: %s\n"
+              (Serve.Protocol.error_name kind)
+              msg;
+            (* temp-fail exit for conditions a client should retry later *)
+            exit
+              (match kind with
+              | `Overloaded | `Shutting_down | `Breaker_open -> 75
+              | _ -> 1))
+    | Serve.Protocol.Eof ->
+        Printf.eprintf "neurovec: daemon closed the connection\n";
+        exit 1
+    | Serve.Protocol.Too_big n ->
+        Printf.eprintf "neurovec: daemon sent an oversized frame (%d)\n" n;
+        exit 1);
+    Unix.close fd
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one request to a running daemon; a successful answer prints \
+          exactly what 'neurovec predict' would.")
+    Term.(const run $ file $ socket $ kernel $ client $ ping $ stats)
+
 let () =
   let info =
     Cmd.info "neurovec" ~version:"1.0.0"
       ~doc:"End-to-end loop vectorization with deep reinforcement learning."
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; sweep_cmd; dataset_cmd; train_cmd; predict_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; sweep_cmd; dataset_cmd; train_cmd; predict_cmd; serve_cmd; request_cmd ]))

@@ -17,7 +17,15 @@
     on different programs never contend, and a miss parses {e outside} the
     lock — two domains racing on the same cold program may both parse it,
     but parsing is deterministic, so whichever artifact lands last is
-    bit-identical to the other and results cannot depend on the race. *)
+    bit-identical to the other and results cannot depend on the race.
+
+    {b Bounded.}  Each shard caps its entry count ({!shard_capacity},
+    [NEUROVEC_FRONTEND_CAP]) and evicts oldest-first past the cap, so a
+    long-lived daemon serving an unbounded stream of distinct programs
+    cannot grow the tables without limit.  Eviction is invisible except in
+    cost: artifacts are pure functions of content, so an evicted entry is
+    recomputed bit-identically on its next lookup.  Evictions are counted
+    in {!Stats}. *)
 
 (** Raised for any malformed program: parse errors, semantic errors, and
     (via {!Pipeline}) lowering failures.  [Pipeline.Compile_error] is a
@@ -55,17 +63,79 @@ type prevec = {
 
 let n_shards = 16
 
-type shard = { lock : Mutex.t; tbl : (string, artifact) Hashtbl.t }
+(* ------------------------------------------------------------------ *)
+(* Capacity                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A long-lived daemon sees an unbounded stream of distinct programs, so
+   the shard tables must not grow without limit.  Each shard keeps its
+   keys in insertion order and evicts the oldest entries past the cap;
+   eviction only costs a recompute on the next lookup (artifacts are pure
+   functions of content), so bit-identity is unaffected. *)
+
+let default_shard_capacity = 1024
+
+let capacity_ref : int option ref = ref None
+
+let env_capacity =
+  lazy
+    (match Sys.getenv_opt "NEUROVEC_FRONTEND_CAP" with
+    | None | Some "" -> None
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Some n
+        | _ ->
+            Printf.eprintf
+              "neurovec: unparseable NEUROVEC_FRONTEND_CAP=%S, using the \
+               default\n%!"
+              s;
+            None))
+
+(** Per-shard entry cap for the artifact and prevec tables (total capacity
+    is [16 * shard_capacity ()]); [NEUROVEC_FRONTEND_CAP] or
+    {!set_shard_capacity} override the default of 1024. *)
+let shard_capacity () : int =
+  match !capacity_ref with
+  | Some n -> n
+  | None ->
+      Option.value (Lazy.force env_capacity) ~default:default_shard_capacity
+
+let set_shard_capacity (n : int) : unit = capacity_ref := Some (max 1 n)
+
+type shard = {
+  lock : Mutex.t;
+  tbl : (string, artifact) Hashtbl.t;
+  order : string Queue.t;  (** insertion order, for bounded eviction *)
+}
 
 let shards =
   Array.init n_shards (fun _ ->
-      { lock = Mutex.create (); tbl = Hashtbl.create 32 })
+      { lock = Mutex.create (); tbl = Hashtbl.create 32;
+        order = Queue.create () })
 
-type pv_shard = { pv_lock : Mutex.t; pv_tbl : (string, prevec) Hashtbl.t }
+type pv_shard = {
+  pv_lock : Mutex.t;
+  pv_tbl : (string, prevec) Hashtbl.t;
+  pv_order : string Queue.t;
+}
 
 let pv_shards =
   Array.init n_shards (fun _ ->
-      { pv_lock = Mutex.create (); pv_tbl = Hashtbl.create 32 })
+      { pv_lock = Mutex.create (); pv_tbl = Hashtbl.create 32;
+        pv_order = Queue.create () })
+
+(* shard lock held; keys are unique in [order] because only first-commit
+   inserts push them *)
+let evict_over_cap (tbl : (string, 'a) Hashtbl.t) (order : string Queue.t) :
+    unit =
+  let cap = shard_capacity () in
+  while Hashtbl.length tbl > cap && not (Queue.is_empty order) do
+    let oldest = Queue.pop order in
+    if Hashtbl.mem tbl oldest then begin
+      Hashtbl.remove tbl oldest;
+      Stats.record_frontend_eviction ()
+    end
+  done
 
 let shard_of (h : string) : shard =
   (* the content hash is a hex digest: its first byte is already uniform *)
@@ -84,10 +154,16 @@ let on_clear (f : unit -> unit) : unit = clear_hooks := f :: !clear_hooks
 
 let clear () =
   Array.iter
-    (fun s -> Mutex.protect s.lock (fun () -> Hashtbl.reset s.tbl))
+    (fun s ->
+      Mutex.protect s.lock (fun () ->
+          Hashtbl.reset s.tbl;
+          Queue.clear s.order))
     shards;
   Array.iter
-    (fun s -> Mutex.protect s.pv_lock (fun () -> Hashtbl.reset s.pv_tbl))
+    (fun s ->
+      Mutex.protect s.pv_lock (fun () ->
+          Hashtbl.reset s.pv_tbl;
+          Queue.clear s.pv_order))
     pv_shards;
   Machine.Timing.memo_clear ();
   List.iter (fun f -> f ()) !clear_hooks
@@ -142,6 +218,8 @@ let checked (p : Dataset.Program.t) : artifact =
           | Some winner -> winner  (* a racing domain parsed it first *)
           | None ->
               Hashtbl.replace s.tbl h a;
+              Queue.push h s.order;
+              evict_over_cap s.tbl s.order;
               a)
 
 (** The shared pre-vectorization artifact for [p]: pragma-free lowering +
@@ -195,6 +273,8 @@ let prevec_of ?(polly = false) (p : Dataset.Program.t) (a : artifact) :
           | Some winner -> winner  (* a racing domain lowered it first *)
           | None ->
               Hashtbl.replace s.pv_tbl h pv;
+              Queue.push h s.pv_order;
+              evict_over_cap s.pv_tbl s.pv_order;
               pv)
 
 (** As {!prevec_of}, checking the front end first (exactly one front-end

@@ -363,8 +363,11 @@ let eval_planned ?(options = default_options) ?fault_key ?(sample = 0)
   Stats.pipeline_run ();
   (exec_cycles /. (options.target.Machine.Target.ghz *. 1e9), compile_seconds)
 
-(** Compile with per-loop pragma decisions. *)
-let run_with_decisions ?(options = default_options) ?sample
+(** Compile with per-loop pragma decisions.  [attempt] numbers the
+    supervisor's retries of the whole point, as in {!run_with_pragma} —
+    the serve daemon threads it so transient faults on the decision path
+    can recover deterministically. *)
+let run_with_decisions ?(options = default_options) ?sample ?attempt
     (p : Dataset.Program.t)
     ~(decisions : (int * Minic.Ast.loop_pragma) list) : result =
   let a = Frontend.checked p in
@@ -378,5 +381,5 @@ let run_with_decisions ?(options = default_options) ?sample
                (Option.value pr.Minic.Ast.interleave_count ~default:0))
            decisions)
   in
-  run_artifact ~options ?sample ~fault_key p
+  run_artifact ~options ?sample ?attempt ~fault_key p
     (Injector.inject_ast ~clear_others:true a.Frontend.a_ast ~decisions)

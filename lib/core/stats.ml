@@ -85,6 +85,24 @@ type record = {
       (** records flushed to the write-ahead reward journal *)
   mutable r_journal_replayed : int;
       (** records restored from a reward journal on resume *)
+  mutable r_frontend_evictions : int;
+      (** entries evicted from the bounded front-end shard tables *)
+  mutable r_serve_accepted : int;
+      (** serve requests admitted to the daemon's queue *)
+  mutable r_serve_shed : int;
+      (** serve requests rejected with a structured reply (overload,
+          open breaker, drain) instead of being processed *)
+  mutable r_serve_failed : int;
+      (** serve requests answered with a typed failure reply *)
+  mutable r_serve_batches : int;
+      (** batched forward passes taken by the serve batcher *)
+  mutable r_serve_batched : int;
+      (** requests covered by those batches (sum of batch sizes) *)
+  mutable r_serve_batch_max : int;  (** largest batch seen (merge: max) *)
+  mutable r_store_hits : int;  (** on-disk store lookups served *)
+  mutable r_store_misses : int;
+  mutable r_store_crc_rejects : int;
+      (** store entries dropped for failing their CRC / framing checks *)
 }
 
 let fresh_record () : record =
@@ -95,7 +113,10 @@ let fresh_record () : record =
     r_reward_misses = 0; r_pipeline_runs = 0; r_failures = Hashtbl.create 8;
     r_quarantines = 0; r_timing_retries = 0; r_transient_retries = 0;
     r_watchdog_cancels = 0; r_breaker_trips = 0; r_journal_appends = 0;
-    r_journal_replayed = 0 }
+    r_journal_replayed = 0; r_frontend_evictions = 0; r_serve_accepted = 0;
+    r_serve_shed = 0; r_serve_failed = 0; r_serve_batches = 0;
+    r_serve_batched = 0; r_serve_batch_max = 0; r_store_hits = 0;
+    r_store_misses = 0; r_store_crc_rejects = 0 }
 
 let zero_record (r : record) : unit =
   Array.fill r.phase_secs 0 n_phases 0.0;
@@ -116,7 +137,17 @@ let zero_record (r : record) : unit =
   r.r_watchdog_cancels <- 0;
   r.r_breaker_trips <- 0;
   r.r_journal_appends <- 0;
-  r.r_journal_replayed <- 0
+  r.r_journal_replayed <- 0;
+  r.r_frontend_evictions <- 0;
+  r.r_serve_accepted <- 0;
+  r.r_serve_shed <- 0;
+  r.r_serve_failed <- 0;
+  r.r_serve_batches <- 0;
+  r.r_serve_batched <- 0;
+  r.r_serve_batch_max <- 0;
+  r.r_store_hits <- 0;
+  r.r_store_misses <- 0;
+  r.r_store_crc_rejects <- 0
 
 (* merge [src] into [dst] (registry lock held) *)
 let merge_into (dst : record) (src : record) : unit =
@@ -144,7 +175,20 @@ let merge_into (dst : record) (src : record) : unit =
   dst.r_watchdog_cancels <- dst.r_watchdog_cancels + src.r_watchdog_cancels;
   dst.r_breaker_trips <- dst.r_breaker_trips + src.r_breaker_trips;
   dst.r_journal_appends <- dst.r_journal_appends + src.r_journal_appends;
-  dst.r_journal_replayed <- dst.r_journal_replayed + src.r_journal_replayed
+  dst.r_journal_replayed <- dst.r_journal_replayed + src.r_journal_replayed;
+  dst.r_frontend_evictions <-
+    dst.r_frontend_evictions + src.r_frontend_evictions;
+  dst.r_serve_accepted <- dst.r_serve_accepted + src.r_serve_accepted;
+  dst.r_serve_shed <- dst.r_serve_shed + src.r_serve_shed;
+  dst.r_serve_failed <- dst.r_serve_failed + src.r_serve_failed;
+  dst.r_serve_batches <- dst.r_serve_batches + src.r_serve_batches;
+  dst.r_serve_batched <- dst.r_serve_batched + src.r_serve_batched;
+  (* a maximum, not a sum: "largest batch seen" is commutative under max,
+     so the merged view stays schedule-independent *)
+  dst.r_serve_batch_max <- max dst.r_serve_batch_max src.r_serve_batch_max;
+  dst.r_store_hits <- dst.r_store_hits + src.r_store_hits;
+  dst.r_store_misses <- dst.r_store_misses + src.r_store_misses;
+  dst.r_store_crc_rejects <- dst.r_store_crc_rejects + src.r_store_crc_rejects
 
 (* registry of live per-domain records + the fold of exited domains *)
 let registry_lock = Mutex.create ()
@@ -271,6 +315,48 @@ let record_journal_replayed (n : int) =
   let r = current () in
   r.r_journal_replayed <- r.r_journal_replayed + n
 
+(** One entry evicted from a bounded front-end shard table. *)
+let record_frontend_eviction () =
+  let r = current () in
+  r.r_frontend_evictions <- r.r_frontend_evictions + 1
+
+(** One serve request admitted to the daemon's queue. *)
+let record_serve_accepted () =
+  let r = current () in
+  r.r_serve_accepted <- r.r_serve_accepted + 1
+
+(** One serve request shed with a structured reply (queue full, open
+    breaker, or drain) instead of being processed. *)
+let record_serve_shed () =
+  let r = current () in
+  r.r_serve_shed <- r.r_serve_shed + 1
+
+(** One serve request answered with a typed failure reply. *)
+let record_serve_failed () =
+  let r = current () in
+  r.r_serve_failed <- r.r_serve_failed + 1
+
+(** One batch of [n] requests taken by the serve batcher. *)
+let record_serve_batch (n : int) =
+  let r = current () in
+  r.r_serve_batches <- r.r_serve_batches + 1;
+  r.r_serve_batched <- r.r_serve_batched + n;
+  if n > r.r_serve_batch_max then r.r_serve_batch_max <- n
+
+(** One on-disk store lookup served from the store. *)
+let record_store_hit () =
+  let r = current () in
+  r.r_store_hits <- r.r_store_hits + 1
+
+let record_store_miss () =
+  let r = current () in
+  r.r_store_misses <- r.r_store_misses + 1
+
+(** One store entry dropped for failing its CRC or framing check. *)
+let record_store_crc_reject () =
+  let r = current () in
+  r.r_store_crc_rejects <- r.r_store_crc_rejects + 1
+
 (* ------------------------------------------------------------------ *)
 (* Merged reads                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -316,6 +402,16 @@ type snapshot = {
   breaker_trips : int;  (** programs quarantined by the circuit breaker *)
   journal_appends : int;  (** write-ahead journal records flushed *)
   journal_replayed : int;  (** journal records restored on resume *)
+  frontend_evictions : int;  (** entries evicted from bounded shards *)
+  serve_accepted : int;  (** daemon requests admitted to the queue *)
+  serve_shed : int;  (** daemon requests shed with a structured reply *)
+  serve_failed : int;  (** daemon requests answered with a typed failure *)
+  serve_batches : int;  (** batched forward passes in the daemon *)
+  serve_batched : int;  (** requests covered by those batches *)
+  serve_batch_max : int;  (** largest batch seen *)
+  store_hits : int;  (** on-disk store lookups served *)
+  store_misses : int;
+  store_crc_rejects : int;  (** store entries dropped by CRC / framing *)
 }
 
 let snapshot () : snapshot =
@@ -349,6 +445,16 @@ let snapshot () : snapshot =
     breaker_trips = m.r_breaker_trips;
     journal_appends = m.r_journal_appends;
     journal_replayed = m.r_journal_replayed;
+    frontend_evictions = m.r_frontend_evictions;
+    serve_accepted = m.r_serve_accepted;
+    serve_shed = m.r_serve_shed;
+    serve_failed = m.r_serve_failed;
+    serve_batches = m.r_serve_batches;
+    serve_batched = m.r_serve_batched;
+    serve_batch_max = m.r_serve_batch_max;
+    store_hits = m.r_store_hits;
+    store_misses = m.r_store_misses;
+    store_crc_rejects = m.r_store_crc_rejects;
   }
 
 let reset () =
@@ -420,4 +526,26 @@ let report () : string =
     Buffer.add_string b
       (Printf.sprintf "reward journal: %d appended / %d replayed\n"
          s.journal_appends s.journal_replayed);
+  if s.frontend_evictions > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "front-end evictions: %d\n" s.frontend_evictions);
+  if s.serve_accepted > 0 || s.serve_shed > 0 || s.serve_failed > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "serve requests: %d accepted / %d shed / %d failed / %d retried\n"
+         s.serve_accepted s.serve_shed s.serve_failed s.transient_retries);
+  if s.serve_batches > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "serve batches: %d (mean size %.1f, max %d)\n" s.serve_batches
+         (float_of_int s.serve_batched /. float_of_int s.serve_batches)
+         s.serve_batch_max);
+  if s.store_hits > 0 || s.store_misses > 0 || s.store_crc_rejects > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "on-disk store:   %d hits / %d misses (%.1f%% hit rate), %d CRC \
+          rejects\n"
+         s.store_hits s.store_misses
+         (100.0 *. hit_rate ~hits:s.store_hits ~misses:s.store_misses)
+         s.store_crc_rejects);
   Buffer.contents b

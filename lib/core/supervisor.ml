@@ -272,24 +272,81 @@ let shutdown_requested () : bool = Atomic.get shutdown
 (** For tests: forget a previous shutdown request. *)
 let reset_shutdown () : unit = Atomic.set shutdown false
 
-(** Install SIGINT/SIGTERM handlers for a training run: the first signal
-    requests a graceful shutdown (finish the in-flight update, flush the
-    checkpoint and journal, exit cleanly); a second SIGINT exits
-    immediately with the conventional 130. *)
+(* Installing handlers must compose: a serve daemon installs them for its
+   drain, a train run launched under it installs them again, and repeated
+   serve sessions in one process (the tests) install and tear down
+   several times.  A naive [Sys.set_signal] clobbers whatever handler the
+   host had and can never give it back, so installation is refcounted —
+   the first install displaces the previous behaviours and remembers
+   them, later installs only deepen the count — and the graceful handler
+   {e chains} to the displaced handler, so supervision adds shutdown
+   semantics on top of the host's instead of replacing them. *)
+
+let install_lock = Mutex.create ()
+let install_depth = ref 0
+
+(* behaviours displaced by the first install, restored by the last
+   uninstall; (sigint, sigterm) *)
+let displaced : (Sys.signal_behavior * Sys.signal_behavior) option ref =
+  ref None
+
+let chain (signal : int) : unit =
+  match !displaced with
+  | None -> ()
+  | Some (for_int, for_term) -> (
+      match if signal = Sys.sigint then for_int else for_term with
+      | Sys.Signal_handle f -> ( try f signal with _ -> ())
+      | Sys.Signal_default | Sys.Signal_ignore -> ())
+
+let graceful (signal : int) : unit =
+  if Atomic.get shutdown then exit 130
+  else begin
+    Atomic.set shutdown true;
+    prerr_endline
+      "neurovec: shutdown requested; finishing the in-flight work \
+       (interrupt again to exit now)";
+    chain signal
+  end
+
+(** Install SIGINT/SIGTERM handlers for a long-running session (training,
+    serving): the first signal requests a graceful shutdown — finish the
+    in-flight work, flush checkpoints/journals/stores, exit cleanly — and
+    a second signal exits immediately with the conventional 130.
+    Installation is refcounted and composes: a second install (a train
+    run under a serve daemon, repeated serve sessions) deepens the count
+    instead of clobbering, the handler chains to whatever handler it
+    displaced, and {!uninstall_signal_handlers} restores the displaced
+    behaviour once the count drains to zero. *)
 let install_signal_handlers () : unit =
-  let graceful _ =
-    if Atomic.get shutdown then exit 130
-    else begin
-      Atomic.set shutdown true;
-      prerr_endline
-        "neurovec: shutdown requested; finishing the in-flight update \
-         (interrupt again to exit now)"
-    end
-  in
-  (try Sys.set_signal Sys.sigint (Sys.Signal_handle graceful)
-   with Invalid_argument _ | Sys_error _ -> ());
-  try Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful)
-  with Invalid_argument _ | Sys_error _ -> ()
+  Mutex.protect install_lock (fun () ->
+      incr install_depth;
+      if !install_depth = 1 then
+        try
+          let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle graceful) in
+          let prev_term =
+            Sys.signal Sys.sigterm (Sys.Signal_handle graceful)
+          in
+          displaced := Some (prev_int, prev_term)
+        with Invalid_argument _ | Sys_error _ -> displaced := None)
+
+(** Undo one {!install_signal_handlers}; the displaced SIGINT/SIGTERM
+    behaviours are restored when the last install is undone.  Extra calls
+    are ignored. *)
+let uninstall_signal_handlers () : unit =
+  Mutex.protect install_lock (fun () ->
+      if !install_depth > 0 then begin
+        decr install_depth;
+        if !install_depth = 0 then begin
+          (match !displaced with
+          | None -> ()
+          | Some (for_int, for_term) -> (
+              try
+                Sys.set_signal Sys.sigint for_int;
+                Sys.set_signal Sys.sigterm for_term
+              with Invalid_argument _ | Sys_error _ -> ()));
+          displaced := None
+        end
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Filesystem helpers                                                   *)

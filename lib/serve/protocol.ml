@@ -1,0 +1,275 @@
+(** Wire protocol for the [neurovec serve] daemon.
+
+    Every message travels as one {e frame}: a 4-byte big-endian payload
+    length followed by the payload.  Inside a frame, messages are a tag
+    byte plus length-prefixed fields, so the codec needs no quoting and a
+    reply can carry arbitrary program text verbatim.
+
+    Robustness is part of the contract, not an afterthought:
+
+    - {!read_frame} never raises on bad input from the peer.  A clean EOF
+      at a frame boundary is [Eof]; an oversized length is [Too_big] — the
+      payload is {e drained}, not trusted, so the stream stays framed and
+      the daemon can answer with a typed error instead of dropping the
+      connection; a length field that cannot describe a frame at all
+      (negative when read signed) is treated as a torn stream and mapped
+      to [Eof].
+    - {!decode_request} / {!decode_reply} raise {!Malformed} — with a
+      reason — on truncation, trailing garbage, unknown tags or absurd
+      field lengths.  The server maps {!Malformed} to an [`Malformed]
+      error reply; it never kills the connection.
+    - Encoding then decoding any message is the identity (there is a
+      qcheck property for this, including hostile inputs).
+
+    The answer payload of a successful [Vectorize] request is byte-for-byte
+    the text the [neurovec predict] CLI prints for the same program and
+    checkpoint — that equality is what the CI warm-restart gate checks. *)
+
+exception Malformed of string
+
+(** Frames larger than this are refused with a typed [`Too_big] error
+    (and drained, to keep the stream framed).  Generous for programs,
+    small enough that a hostile length cannot balloon memory. *)
+let max_frame = 4 * 1024 * 1024
+
+type request =
+  | Vectorize of {
+      v_client : string;  (** stable client identity, for the breaker *)
+      v_name : string;  (** program name (diagnostics only) *)
+      v_kernel : string;  (** function to time *)
+      v_source : string;  (** mini-C program text *)
+    }
+  | Ping
+  | Stats_req  (** ask the daemon for its live counters report *)
+
+(** Why a request failed; each constructor is a stable wire tag so clients
+    can react (retry later on [`Overloaded], fix the program on
+    [`Compile_error], back off on [`Breaker_open]). *)
+type error_kind =
+  [ `Malformed  (** the frame decoded to garbage *)
+  | `Too_big  (** the frame exceeded {!max_frame} *)
+  | `Compile_error  (** front end or pipeline rejected the program *)
+  | `Overloaded  (** bounded queue full: explicit load shedding *)
+  | `Breaker_open  (** this client's circuit breaker is open *)
+  | `Hung  (** evaluation cancelled by the watchdog *)
+  | `Transient  (** transient faults persisted past the retry budget *)
+  | `Shutting_down  (** daemon is draining; request not accepted *)
+  | `Internal  (** anything else; the daemon survived it *)
+  ]
+
+type reply =
+  | Answer of string  (** exactly the [neurovec predict] output text *)
+  | Error of error_kind * string
+  | Pong
+  | Stats_reply of string
+
+(* ------------------------------------------------------------------ *)
+(* Payload primitives                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let put_u32 (b : Buffer.t) (n : int) : unit =
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (n land 0xff))
+
+let put_str (b : Buffer.t) (s : string) : unit =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+(* decode cursor over an immutable payload *)
+type cursor = { c_buf : string; mutable c_pos : int }
+
+let need (c : cursor) (n : int) (what : string) : unit =
+  if n < 0 || c.c_pos + n > String.length c.c_buf then
+    raise
+      (Malformed
+         (Printf.sprintf "truncated %s at offset %d (need %d of %d bytes)"
+            what c.c_pos n
+            (String.length c.c_buf - c.c_pos)))
+
+let get_u32 (c : cursor) (what : string) : int =
+  need c 4 what;
+  let b i = Char.code c.c_buf.[c.c_pos + i] in
+  let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  c.c_pos <- c.c_pos + 4;
+  n
+
+let get_str (c : cursor) (what : string) : string =
+  let n = get_u32 c (what ^ " length") in
+  if n > max_frame then
+    raise
+      (Malformed (Printf.sprintf "absurd %s length %d" what n));
+  need c n what;
+  let s = String.sub c.c_buf c.c_pos n in
+  c.c_pos <- c.c_pos + n;
+  s
+
+let get_tag (c : cursor) : char =
+  need c 1 "tag";
+  let t = c.c_buf.[c.c_pos] in
+  c.c_pos <- c.c_pos + 1;
+  t
+
+let finish (c : cursor) (what : string) : unit =
+  if c.c_pos <> String.length c.c_buf then
+    raise
+      (Malformed
+         (Printf.sprintf "%d trailing bytes after %s"
+            (String.length c.c_buf - c.c_pos)
+            what))
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let encode_request (r : request) : string =
+  let b = Buffer.create 256 in
+  (match r with
+  | Vectorize { v_client; v_name; v_kernel; v_source } ->
+      Buffer.add_char b 'V';
+      put_str b v_client;
+      put_str b v_name;
+      put_str b v_kernel;
+      put_str b v_source
+  | Ping -> Buffer.add_char b 'P'
+  | Stats_req -> Buffer.add_char b 'S');
+  Buffer.contents b
+
+let decode_request (payload : string) : request =
+  let c = { c_buf = payload; c_pos = 0 } in
+  let r =
+    match get_tag c with
+    | 'V' ->
+        let v_client = get_str c "client" in
+        let v_name = get_str c "name" in
+        let v_kernel = get_str c "kernel" in
+        let v_source = get_str c "source" in
+        Vectorize { v_client; v_name; v_kernel; v_source }
+    | 'P' -> Ping
+    | 'S' -> Stats_req
+    | t -> raise (Malformed (Printf.sprintf "unknown request tag %C" t))
+  in
+  finish c "request";
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let error_tag : error_kind -> char = function
+  | `Malformed -> 'm'
+  | `Too_big -> 'b'
+  | `Compile_error -> 'c'
+  | `Overloaded -> 'o'
+  | `Breaker_open -> 'k'
+  | `Hung -> 'h'
+  | `Transient -> 't'
+  | `Shutting_down -> 'd'
+  | `Internal -> 'i'
+
+let error_of_tag : char -> error_kind = function
+  | 'm' -> `Malformed
+  | 'b' -> `Too_big
+  | 'c' -> `Compile_error
+  | 'o' -> `Overloaded
+  | 'k' -> `Breaker_open
+  | 'h' -> `Hung
+  | 't' -> `Transient
+  | 'd' -> `Shutting_down
+  | 'i' -> `Internal
+  | t -> raise (Malformed (Printf.sprintf "unknown error kind %C" t))
+
+(** Stable human-readable name, used in client-side diagnostics and the
+    daemon log. *)
+let error_name : error_kind -> string = function
+  | `Malformed -> "malformed"
+  | `Too_big -> "too-big"
+  | `Compile_error -> "compile-error"
+  | `Overloaded -> "overloaded"
+  | `Breaker_open -> "breaker-open"
+  | `Hung -> "hung"
+  | `Transient -> "transient"
+  | `Shutting_down -> "shutting-down"
+  | `Internal -> "internal"
+
+let encode_reply (r : reply) : string =
+  let b = Buffer.create 256 in
+  (match r with
+  | Answer text ->
+      Buffer.add_char b 'A';
+      put_str b text
+  | Error (kind, msg) ->
+      Buffer.add_char b 'E';
+      Buffer.add_char b (error_tag kind);
+      put_str b msg
+  | Pong -> Buffer.add_char b 'P'
+  | Stats_reply text ->
+      Buffer.add_char b 'S';
+      put_str b text);
+  Buffer.contents b
+
+let decode_reply (payload : string) : reply =
+  let c = { c_buf = payload; c_pos = 0 } in
+  let r =
+    match get_tag c with
+    | 'A' -> Answer (get_str c "answer")
+    | 'E' ->
+        let kind = error_of_tag (get_tag c) in
+        Error (kind, get_str c "error message")
+    | 'P' -> Pong
+    | 'S' -> Stats_reply (get_str c "stats")
+    | t -> raise (Malformed (Printf.sprintf "unknown reply tag %C" t))
+  in
+  finish c "reply";
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type frame_result =
+  | Frame of string
+  | Eof  (** peer closed (or the stream tore mid-frame) *)
+  | Too_big of int  (** declared length; the payload has been drained *)
+
+let write_frame (oc : out_channel) (payload : string) : unit =
+  let n = String.length payload in
+  output_char oc (Char.chr ((n lsr 24) land 0xff));
+  output_char oc (Char.chr ((n lsr 16) land 0xff));
+  output_char oc (Char.chr ((n lsr 8) land 0xff));
+  output_char oc (Char.chr (n land 0xff));
+  output_string oc payload;
+  flush oc
+
+(** Read one frame.  Never raises on peer input: clean EOF and mid-frame
+    truncation both yield [Eof] (there is nothing left to answer to); a
+    frame longer than {!max_frame} is drained in chunks and reported as
+    [Too_big] so the caller can send a typed refusal and keep going. *)
+let read_frame (ic : in_channel) : frame_result =
+  match
+    let b0 = input_char ic in
+    let b1 = input_char ic in
+    let b2 = input_char ic in
+    let b3 = input_char ic in
+    (Char.code b0 lsl 24) lor (Char.code b1 lsl 16) lor (Char.code b2 lsl 8)
+    lor Char.code b3
+  with
+  | exception End_of_file -> Eof
+  | n when n > max_frame ->
+      (* drain without trusting the length to fit in memory at once *)
+      let chunk = Bytes.create 65536 in
+      let rec drain remaining =
+        if remaining > 0 then begin
+          let k = min remaining (Bytes.length chunk) in
+          match really_input ic chunk 0 k with
+          | () -> drain (remaining - k)
+          | exception End_of_file -> ()
+        end
+      in
+      drain n;
+      Too_big n
+  | n -> (
+      match really_input_string ic n with
+      | payload -> Frame payload
+      | exception End_of_file -> Eof)

@@ -471,19 +471,25 @@ let test_signal_sets_shutdown_flag () =
   with_supervision (fun () ->
       Neurovec.Supervisor.reset_shutdown ();
       Neurovec.Supervisor.install_signal_handlers ();
-      Alcotest.(check bool) "clear before" false
-        (Neurovec.Supervisor.shutdown_requested ());
-      Unix.kill (Unix.getpid ()) Sys.sigterm;
-      (* signal delivery runs at a safepoint; give it one *)
-      let deadline = Unix.gettimeofday () +. 2.0 in
-      while
-        (not (Neurovec.Supervisor.shutdown_requested ()))
-        && Unix.gettimeofday () < deadline
-      do
-        Thread.delay 0.005
-      done;
-      Alcotest.(check bool) "first SIGTERM requests graceful shutdown" true
-        (Neurovec.Supervisor.shutdown_requested ()))
+      (* uninstall even on failure: a leaked install would leave the
+         graceful handler active for every later suite *)
+      Fun.protect
+        ~finally:Neurovec.Supervisor.uninstall_signal_handlers
+        (fun () ->
+          Alcotest.(check bool) "clear before" false
+            (Neurovec.Supervisor.shutdown_requested ());
+          Unix.kill (Unix.getpid ()) Sys.sigterm;
+          (* signal delivery runs at a safepoint; give it one *)
+          let deadline = Unix.gettimeofday () +. 2.0 in
+          while
+            (not (Neurovec.Supervisor.shutdown_requested ()))
+            && Unix.gettimeofday () < deadline
+          do
+            Thread.delay 0.005
+          done;
+          Alcotest.(check bool) "first SIGTERM requests graceful shutdown"
+            true
+            (Neurovec.Supervisor.shutdown_requested ())))
 
 (* ------------------------------------------------------------------ *)
 (* mkdir_p                                                              *)
