@@ -66,6 +66,20 @@ let apply_supervision deadline max_retries =
   Option.iter Neurovec.Supervisor.set_deadline deadline;
   Option.iter Neurovec.Supervisor.set_max_retries max_retries
 
+(** [--verify]: run the translation validator on every evaluated plan
+    (overrides [NEUROVEC_VERIFY]). *)
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Validate every evaluated plan against the scalar reference by \
+           differential interpretation (also enabled by NEUROVEC_VERIFY=1). \
+           A refuted plan quarantines the program as miscompiled, with a \
+           minimized counterexample.")
+
+let verify_on flag = flag || Neurovec.Pipeline.verify_of_env ()
+
 (** Report malformed input, corrupt checkpoints and quarantined programs
     as a one-line error (exit 1) instead of cmdliner's uncaught-exception
     banner. *)
@@ -85,6 +99,10 @@ let or_compile_error (f : unit -> unit) : unit =
       exit 1
   | Neurovec.Faults.Transient msg ->
       Printf.eprintf "neurovec: transient failure persisted: %s\n" msg;
+      exit 1
+  | Verify.Tv.Miscompile msg ->
+      Printf.eprintf "neurovec: translation validation refuted the plan: %s\n"
+        msg;
       exit 1
   | Sys_error msg ->
       Printf.eprintf "neurovec: %s\n" msg;
@@ -139,12 +157,17 @@ let sweep_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let kernel = Arg.(value & opt string "kernel" & info [ "kernel" ]) in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print pipeline phase timings and cache stats.") in
-  let run file kernel stats jobs deadline max_retries =
+  let run file kernel stats verify jobs deadline max_retries =
     or_compile_error @@ fun () ->
     apply_jobs jobs;
     apply_supervision deadline max_retries;
     let p = program_of_file ~kernel file in
-    let base = Neurovec.Pipeline.run_baseline p in
+    let options =
+      { Neurovec.Pipeline.default_options with
+        faults = Neurovec.Faults.of_env ();
+        verify = verify_on verify }
+    in
+    let base = Neurovec.Pipeline.run_baseline ~options p in
     let t_base = base.Neurovec.Pipeline.exec_seconds in
     (* evaluate the whole grid on the pool, then print in row order *)
     let grid =
@@ -157,7 +180,7 @@ let sweep_cmd =
     let cells =
       Neurovec.Parpool.map
         (fun (vf, if_) ->
-          let r = Neurovec.Pipeline.run_with_pragma p ~vf ~if_ in
+          let r = Neurovec.Pipeline.run_with_pragma ~options p ~vf ~if_ in
           t_base /. r.Neurovec.Pipeline.exec_seconds)
         grid
     in
@@ -176,8 +199,8 @@ let sweep_cmd =
     if stats then print_string (Neurovec.Stats.report ())
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Brute-force the (VF, IF) grid for a file.")
-    Term.(const run $ file $ kernel $ stats $ jobs_arg $ deadline_arg
-          $ max_retries_arg)
+    Term.(const run $ file $ kernel $ stats $ verify_arg $ jobs_arg
+          $ deadline_arg $ max_retries_arg)
 
 (* ---- dataset ------------------------------------------------------ *)
 
@@ -221,8 +244,8 @@ let train_cmd =
   let ckpt_every = Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~doc:"Also checkpoint to the --save path every N environment steps (crash-safe atomic writes; 0 disables periodic checkpoints).") in
   let resume = Arg.(value & opt (some file) None & info [ "resume" ] ~doc:"Resume training from a checkpoint written by --save, restoring step count, statistics history and optimizer state.") in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print pipeline phase timings, cache and fault statistics.") in
-  let run programs steps seed batch lr save ckpt_every resume stats jobs
-      deadline max_retries =
+  let run programs steps seed batch lr save ckpt_every resume stats verify
+      jobs deadline max_retries =
     or_compile_error @@ fun () ->
     apply_jobs jobs;
     apply_supervision deadline max_retries;
@@ -231,7 +254,8 @@ let train_cmd =
     (* fault injection / timing noise, if requested via NEUROVEC_FAULTS *)
     let options =
       { Neurovec.Pipeline.default_options with
-        faults = Neurovec.Faults.of_env () }
+        faults = Neurovec.Faults.of_env ();
+        verify = verify_on verify }
     in
     let resumed = Option.map Rl.Checkpoint.load_full resume in
     (* the write-ahead reward journal rides next to the checkpoint: a
@@ -303,7 +327,8 @@ let train_cmd =
   in
   Cmd.v (Cmd.info "train" ~doc:"Train the PPO vectorization agent.")
     Term.(const run $ programs $ steps $ seed $ batch $ lr $ save $ ckpt_every
-          $ resume $ stats $ jobs_arg $ deadline_arg $ max_retries_arg)
+          $ resume $ stats $ verify_arg $ jobs_arg $ deadline_arg
+          $ max_retries_arg)
 
 (* ---- predict ------------------------------------------------------ *)
 
@@ -348,8 +373,8 @@ let serve_cmd =
   let max_batch = Arg.(value & opt int 32 & info [ "max-batch" ] ~doc:"Most requests folded into one batched forward pass.") in
   let report_every = Arg.(value & opt float 0.0 & info [ "report-every" ] ~doc:"Seconds between one-line self-reports on stderr (0 = off).") in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print the full statistics report after the drain.") in
-  let run model socket store max_queue max_batch report_every stats jobs
-      deadline max_retries =
+  let run model socket store max_queue max_batch report_every stats verify
+      jobs deadline max_retries =
     or_compile_error @@ fun () ->
     apply_jobs jobs;
     apply_supervision deadline max_retries;
@@ -357,7 +382,8 @@ let serve_cmd =
     let agent = Rl.Checkpoint.load model in
     let options =
       { Neurovec.Pipeline.default_options with
-        faults = Neurovec.Faults.of_env () }
+        faults = Neurovec.Faults.of_env ();
+        verify = verify_on verify }
     in
     let server =
       Serve.Server.create ~options ?store_path:store ~max_queue ~max_batch
@@ -379,7 +405,53 @@ let serve_cmd =
           length-prefixed requests, batch concurrent forward passes, shed \
           overload explicitly, and drain gracefully on SIGTERM.")
     Term.(const run $ model $ socket $ store $ max_queue $ max_batch
-          $ report_every $ stats $ jobs_arg $ deadline_arg $ max_retries_arg)
+          $ report_every $ stats $ verify_arg $ jobs_arg $ deadline_arg
+          $ max_retries_arg)
+
+(* ---- fuzz --------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let legality =
+    Arg.(
+      value & flag
+      & info [ "legality" ]
+          ~doc:
+            "Hunt for plans the legality analysis accepts but translation \
+             validation refutes, over dependence-boundary loops.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Generator seed; a refutation reproduces from its seed alone.") in
+  let iterations = Arg.(value & opt int 500 & info [ "iterations"; "n" ] ~doc:"Fuzz cases to generate.") in
+  let deadline_s = Arg.(value & opt (some float) None & info [ "deadline-s" ] ~doc:"Wall-clock budget in seconds; truncates the case count but never changes a verdict, so a bounded CI hunt reproduces by seed.") in
+  let run legality seed iterations deadline_s =
+    or_compile_error @@ fun () ->
+    if not legality then begin
+      Printf.eprintf "neurovec: fuzz requires --legality (the only mode)\n";
+      exit 2
+    end;
+    let refutations, ran =
+      Verify.Loopfuzz.hunt ?deadline_s ~seed ~iterations ()
+    in
+    Printf.printf "fuzz --legality: %d/%d cases ran, %d refutation%s\n" ran
+      iterations
+      (List.length refutations)
+      (if List.length refutations = 1 then "" else "s");
+    List.iter
+      (fun r ->
+        Printf.printf
+          "\nREFUTED %s (requested VF=%d IF=%d; applied %s)\n  %s\n%s\n"
+          r.Verify.Loopfuzz.r_name r.Verify.Loopfuzz.r_vf
+          r.Verify.Loopfuzz.r_if r.Verify.Loopfuzz.r_applied
+          r.Verify.Loopfuzz.r_cx r.Verify.Loopfuzz.r_source)
+      refutations;
+    if refutations <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz the legality analysis: generate dependence-boundary loops, \
+          apply plans the clamp accepts, and refute them by differential \
+          interpretation. Exits 1 on any refutation.")
+    Term.(const run $ legality $ seed $ iterations $ deadline_s)
 
 (* ---- request ------------------------------------------------------- *)
 
@@ -449,4 +521,4 @@ let () =
     Cmd.info "neurovec" ~version:"1.0.0"
       ~doc:"End-to-end loop vectorization with deep reinforcement learning."
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; sweep_cmd; dataset_cmd; train_cmd; predict_cmd; serve_cmd; request_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; sweep_cmd; dataset_cmd; train_cmd; predict_cmd; serve_cmd; request_cmd; fuzz_cmd ]))

@@ -12,7 +12,9 @@
 type dependence = {
   dep_base : string;
   dep_distance : int;  (** in iterations; > 0 means crosses iterations *)
-  dep_store_first : bool;  (** true: earlier iteration writes (flow dep) *)
+  dep_store_first : bool;
+      (** true: the pair constrains VF — a flow dependence, or any pair
+          statement-wise widening would reorder within a vector block *)
 }
 
 type verdict = {
@@ -57,9 +59,18 @@ let test_pair (l : Ir.loop) (a : Access.access) (b : Access.access) :
                  dep_distance = abs d;
                  dep_store_first =
                    (* A at iteration n+d collides with B at iteration n
-                      (d > 0): the earlier-iteration access is B. Flow
-                      dependence iff the earlier access is the store. *)
-                   (if d > 0 then b.Access.acc_is_store else a.Access.acc_is_store) })
+                      (d > 0): B is the earlier access in scalar time, but
+                      A comes first in program order, so statement-wise
+                      widening runs all of A's lanes before B's — the pair
+                      is REORDERED whenever both land in one vector block
+                      (VF > d).  With a store on either side the reorder is
+                      observable (store→load reads the new value early,
+                      load→store is a flow dep, store→store flips the final
+                      writer), so every d > 0 pair constrains VF.  d < 0
+                      keeps program order = scalar order; constraining on
+                      [a] being the store is conservative but keeps
+                      existing verdicts stable. *)
+                   (if d > 0 then true else a.Access.acc_is_store) })
 
 (** Analyze all access pairs of a loop. *)
 let analyze (l : Ir.loop) (accesses : Access.access list) : verdict =

@@ -58,6 +58,10 @@ type spec = {
       (** probability an evaluation hangs until the watchdog cancels it *)
   p_transient : float;
       (** per-attempt probability of a retryable transient failure *)
+  p_miscompile : float;
+      (** probability the transform silently miscompiles a point — only
+          observable when translation validation ([--verify]) runs, which
+          then refutes the point with a counterexample *)
 }
 
 (** Stands in for an interpreter/testbed resource limit; converted to the
@@ -73,10 +77,10 @@ exception Transient of string
 
 let create ?(seed = 0) ?(compile = 0.0) ?(trap = 0.0) ?(fuel = 0.0)
     ?(timeout = 0.0) ?(noise = 0.0) ?(tail = 0.0) ?(stall = 0.0)
-    ?(transient = 0.0) () : spec =
+    ?(transient = 0.0) ?(miscompile = 0.0) () : spec =
   { f_seed = seed; p_compile = compile; p_trap = trap; p_fuel = fuel;
     p_timeout = timeout; noise; p_tail = tail; p_stall = stall;
-    p_transient = transient }
+    p_transient = transient; p_miscompile = miscompile }
 
 let none = create ()
 
@@ -84,7 +88,7 @@ let noisy (s : spec) : bool = s.noise > 0.0 || s.p_tail > 0.0
 
 let discrete (s : spec) : bool =
   s.p_compile > 0.0 || s.p_trap > 0.0 || s.p_fuel > 0.0 || s.p_timeout > 0.0
-  || s.p_stall > 0.0 || s.p_transient > 0.0
+  || s.p_stall > 0.0 || s.p_transient > 0.0 || s.p_miscompile > 0.0
 
 let active (s : spec) : bool = discrete s || noisy s
 
@@ -94,10 +98,12 @@ let active (s : spec) : bool = discrete s || noisy s
 let descriptor (s : spec) : string =
   if not (active s) then ""
   else
-    Printf.sprintf "|faults=%d:%g,%g,%g,%g,%g,%g%s" s.f_seed s.p_compile
+    Printf.sprintf "|faults=%d:%g,%g,%g,%g,%g,%g%s%s" s.f_seed s.p_compile
       s.p_trap s.p_fuel s.p_timeout s.noise s.p_tail
       (if s.p_stall > 0.0 || s.p_transient > 0.0 then
          Printf.sprintf ",st=%g,tr=%g" s.p_stall s.p_transient
+       else "")
+      (if s.p_miscompile > 0.0 then Printf.sprintf ",mc=%g" s.p_miscompile
        else "")
 
 (** Uniform in [0, 1) as a pure function of (seed, key, salt). *)
@@ -131,6 +137,15 @@ let transient_hit (s : spec) ~(key : string) ~(attempt : int) : bool =
   s.p_transient > 0.0
   && hash01 s ~key ~salt:(Printf.sprintf "transient\x00%d" attempt)
      < s.p_transient
+
+(** Whether the transform of the point identified by [key] is sabotaged —
+    the translation validator deterministically corrupts one memory cell of
+    the transformed run before comparing, standing in for a real compiler
+    bug.  Keyed by the (program, applied plan) content key rather than the
+    per-action fault key, so every action that clamps to the same applied
+    plan shares one verdict, exactly like an honest miscompile would. *)
+let miscompile_hit (s : spec) ~(key : string) : bool =
+  s.p_miscompile > 0.0 && hash01 s ~key ~salt:"miscompile" < s.p_miscompile
 
 (** Whether the evaluation identified by [key] stalls (would hang past any
     deadline); deterministic per (seed, key), like {!pick}'s faults. *)
@@ -175,7 +190,8 @@ let noise_factor (s : spec) ~(key : string) ~(sample : int) : float =
 (* ------------------------------------------------------------------ *)
 
 (** Parse a ["k=v,k=v"] spec string (keys: seed, compile, trap, fuel,
-    timeout, noise, tail, stall, transient).  Unknown keys and unparseable
+    timeout, noise, tail, stall, transient, miscompile).  Unknown keys and
+    unparseable
     values are reported in the warnings list and otherwise ignored. *)
 let of_string (text : string) : spec * string list =
   let warnings = ref [] in
@@ -232,6 +248,10 @@ let of_string (text : string) : spec * string list =
               | "transient" -> (
                   match fl () with
                   | Some f -> { s with p_transient = f }
+                  | None -> s)
+              | "miscompile" -> (
+                  match fl () with
+                  | Some f -> { s with p_miscompile = f }
                   | None -> s)
               | _ ->
                   warn "ignoring unknown key %S" k;

@@ -124,6 +124,19 @@ let pv_shards =
       { pv_lock = Mutex.create (); pv_tbl = Hashtbl.create 32;
         pv_order = Queue.create () })
 
+(* scalar reference modules for the translation validator: the plain,
+   unoptimized lowering of the checked AST, keyed by content hash *)
+type sr_shard = {
+  sr_lock : Mutex.t;
+  sr_tbl : (string, Ir.modul) Hashtbl.t;
+  sr_order : string Queue.t;
+}
+
+let sr_shards =
+  Array.init n_shards (fun _ ->
+      { sr_lock = Mutex.create (); sr_tbl = Hashtbl.create 32;
+        sr_order = Queue.create () })
+
 (* shard lock held; keys are unique in [order] because only first-commit
    inserts push them *)
 let evict_over_cap (tbl : (string, 'a) Hashtbl.t) (order : string Queue.t) :
@@ -165,6 +178,12 @@ let clear () =
           Hashtbl.reset s.pv_tbl;
           Queue.clear s.pv_order))
     pv_shards;
+  Array.iter
+    (fun s ->
+      Mutex.protect s.sr_lock (fun () ->
+          Hashtbl.reset s.sr_tbl;
+          Queue.clear s.sr_order))
+    sr_shards;
   Machine.Timing.memo_clear ();
   List.iter (fun f -> f ()) !clear_hooks
 
@@ -281,3 +300,36 @@ let prevec_of ?(polly = false) (p : Dataset.Program.t) (a : artifact) :
     lookup, like the per-action entry points). *)
 let prevec ?polly (p : Dataset.Program.t) : prevec =
   prevec_of ?polly p (checked p)
+
+(** The scalar reference module for [p]: the checked AST lowered as-is —
+    pragmas intact, no Polly, no mid-end passes, no vectorizer — the
+    ground truth the translation validator ({!Verify.Tv}) interprets
+    against every transformed module of the program.  Never mutated:
+    consumers only interpret it (the interpreter allocates its own
+    memory), so one module serves every plan of every sweep.  Bounded and
+    cleared like the other shards. *)
+let scalar_ref_of (p : Dataset.Program.t) (a : artifact) : Ir.modul =
+  let h = a.a_hash in
+  let s = sr_shards.(Char.code h.[0] mod n_shards) in
+  match Mutex.protect s.sr_lock (fun () -> Hashtbl.find_opt s.sr_tbl h) with
+  | Some m -> m
+  | None -> (
+      (* lower outside the lock: deterministic, idempotent *)
+      let m =
+        Stats.time Stats.Lower (fun () ->
+            try
+              Ir_lower.lower_program ~bindings:p.Dataset.Program.p_bindings
+                a.a_ast
+            with Ir_lower.Error msg ->
+              raise
+                (Compile_error
+                   (Printf.sprintf "%s: %s" p.Dataset.Program.p_name msg)))
+      in
+      Mutex.protect s.sr_lock (fun () ->
+          match Hashtbl.find_opt s.sr_tbl h with
+          | Some winner -> winner
+          | None ->
+              Hashtbl.replace s.sr_tbl h m;
+              Queue.push h s.sr_order;
+              evict_over_cap s.sr_tbl s.sr_order;
+              m))

@@ -17,20 +17,35 @@ type options = {
   compile_model : Machine.Compile.t;
   faults : Faults.spec;
       (** fault injection and timing noise; [Faults.none] = off *)
+  verify : bool;
+      (** translation validation: after measuring a point, interpret the
+          transformed module against the scalar reference over a
+          content-derived input set ({!Verify.Tv}); a refutation raises
+          {!Verify.Tv.Miscompile}, which the reward oracle converts to the
+          [Miscompiled] quarantine kind *)
 }
 
 let default_options =
   { target = Machine.Target.skylake_avx2; polly = false;
-    compile_model = Machine.Compile.default; faults = Faults.none }
+    compile_model = Machine.Compile.default; faults = Faults.none;
+    verify = false }
+
+(** [true] when [NEUROVEC_VERIFY] asks for translation validation. *)
+let verify_of_env () : bool =
+  match Sys.getenv_opt "NEUROVEC_VERIFY" with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | _ -> false
 
 (** Stable cache key for an options value (used by the reward cache).
-    The fault descriptor is empty when injection is off, so fault-free
-    runs keep their original keys. *)
+    The fault descriptor is empty when injection is off and the verify
+    suffix only appears when validation is on, so existing runs keep
+    their original keys. *)
 let options_key (o : options) : string =
-  Printf.sprintf "%s|polly=%b|cm=%g+%g%s" o.target.Machine.Target.name o.polly
-    o.compile_model.Machine.Compile.base_seconds
+  Printf.sprintf "%s|polly=%b|cm=%g+%g%s%s" o.target.Machine.Target.name
+    o.polly o.compile_model.Machine.Compile.base_seconds
     o.compile_model.Machine.Compile.per_instr_seconds
     (Faults.descriptor o.faults)
+    (if o.verify then "|verify" else "")
 
 type result = {
   modul : Ir.modul;
@@ -73,6 +88,119 @@ let inject_faults ~(faults : Faults.spec) ~(name : string) ~(fkey : string)
          (Printf.sprintf "%s: injected fault: transient testbed failure \
                           (attempt %d)" name attempt));
   if Faults.stall_hit faults ~key:fkey then Supervisor.stall_point ~name
+
+(* ------------------------------------------------------------------ *)
+(* Translation validation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Verdicts are cached content-addressed next to the reward cache: the key
+   is (content hash, polly, kernel, applied plans, options), so the many
+   requested actions that clamp to one applied plan share one verdict, and
+   a warm sweep pays nothing for [--verify].  Cached values are the
+   rendered counterexample ([None] = equivalent); verdicts are pure
+   functions of the key (the input set derives from it — no wall clock,
+   no shared RNG), so first-commit-wins races are invisible and a
+   [--jobs N] sweep caches exactly the bits a [--jobs 1] sweep caches. *)
+
+let vd_n_shards = 16
+
+type vd_shard = {
+  vd_lock : Mutex.t;
+  vd_tbl : (string, string option) Hashtbl.t;
+      (** verdict key -> [None] (equivalent) or rendered counterexample *)
+}
+
+let vd_shards =
+  Array.init vd_n_shards (fun _ ->
+      { vd_lock = Mutex.create (); vd_tbl = Hashtbl.create 64 })
+
+let vd_shard_of (key : string) : vd_shard =
+  vd_shards.(Char.code key.[0] mod vd_n_shards)
+
+let () =
+  Frontend.on_clear (fun () ->
+      Array.iter
+        (fun s -> Mutex.protect s.vd_lock (fun () -> Hashtbl.reset s.vd_tbl))
+        vd_shards;
+      Verify.Tv.clear_cache ())
+
+(** The per-loop applied plans of a planner report, as the stable
+    signature string shared by the verdict cache and the point memo. *)
+let decisions_sig (report : Vectorizer.Planner.report) : string =
+  String.concat ";"
+    (List.map
+       (fun d ->
+         Printf.sprintf "%d,%d"
+           d.Vectorizer.Planner.d_applied.Vectorizer.Transform.vf
+           d.Vectorizer.Planner.d_applied.Vectorizer.Transform.if_)
+       report)
+
+let applied_sig (plans : Vectorizer.Transform.plan list) : string =
+  String.concat ";"
+    (List.map
+       (fun pl ->
+         Printf.sprintf "%d,%d" pl.Vectorizer.Transform.vf
+           pl.Vectorizer.Transform.if_)
+       plans)
+
+(* Validate one measured point when [options.verify] is on: raise
+   {!Verify.Tv.Miscompile} iff the plan's verdict is a refutation.  Runs
+   after measurement, so timings and memos are untouched whether or not
+   validation passes.  [modul] is lazy so a verdict-cache hit never
+   materializes the transformed module (the memoized eval path skips
+   copy + transform entirely on warm points).  The [miscompile] fault
+   knob keys its sabotage by the same content key, so a broken-transform
+   drill produces the same refutation for every action that clamps to
+   the sabotaged plan, at any [--jobs]. *)
+let verify_point ~(options : options) (p : Dataset.Program.t)
+    (a : Frontend.artifact) ~(psig : string) ~(modul : Ir.modul Lazy.t) :
+    unit =
+  if options.verify then begin
+    let kernel = p.Dataset.Program.p_kernel in
+    let ppkey =
+      Printf.sprintf "%s|polly=%b|%s|%s" a.Frontend.a_hash options.polly
+        kernel psig
+    in
+    let vkey = ppkey ^ "|" ^ options_key options in
+    let s = vd_shard_of vkey in
+    let outcome =
+      match
+        Mutex.protect s.vd_lock (fun () -> Hashtbl.find_opt s.vd_tbl vkey)
+      with
+      | Some o ->
+          Stats.verify_hit ();
+          o
+      | None ->
+          Stats.verify_miss ();
+          (* interpret outside the lock: slow, deterministic, idempotent *)
+          let scalar = Frontend.scalar_ref_of p a in
+          let verdict =
+            Verify.Tv.verify
+              ~sabotage:(Faults.miscompile_hit options.faults ~key:ppkey)
+              ~key:ppkey ~scalar
+              ~scalar_key:(a.Frontend.a_hash ^ "|" ^ kernel)
+              ~kernel (Lazy.force modul)
+          in
+          let o =
+            match verdict with
+            | Verify.Tv.Equivalent -> None
+            | Verify.Tv.Refuted cx ->
+                Stats.record_verify_cx ();
+                Some (Verify.Tv.render cx)
+          in
+          Mutex.protect s.vd_lock (fun () ->
+              match Hashtbl.find_opt s.vd_tbl vkey with
+              | Some winner -> winner
+              | None ->
+                  Hashtbl.replace s.vd_tbl vkey o;
+                  o)
+    in
+    match outcome with
+    | None -> ()
+    | Some cx ->
+        Stats.record_verify_refute ();
+        raise (Verify.Tv.Miscompile cx)
+  end
 
 (** Back end: lower a checked AST and simulate it.  [name], [kernel] and
     [bindings] come from the program the AST was derived from.
@@ -131,10 +259,15 @@ let run_ast ?(options = default_options) ?fault_key ?(sample = 0)
 
 let run_artifact ?(options = default_options) ?fault_key ?sample ?attempt
     ?timing_memo (p : Dataset.Program.t) (prog : Minic.Ast.program) : result =
-  run_ast ~options ?fault_key ?sample ?attempt ?timing_memo
-    ~name:p.Dataset.Program.p_name
-    ~kernel:p.Dataset.Program.p_kernel ~bindings:p.Dataset.Program.p_bindings
-    prog
+  let r =
+    run_ast ~options ?fault_key ?sample ?attempt ?timing_memo
+      ~name:p.Dataset.Program.p_name
+      ~kernel:p.Dataset.Program.p_kernel
+      ~bindings:p.Dataset.Program.p_bindings prog
+  in
+  verify_point ~options p (Frontend.checked p)
+    ~psig:(decisions_sig r.decisions) ~modul:(lazy r.modul);
+  r
 
 (** Compile and simulate one program, honouring pragmas in its source. *)
 let run ?(options = default_options) ?sample (p : Dataset.Program.t) : result =
@@ -226,6 +359,8 @@ let run_planned ?(options = default_options) ?fault_key ?(sample = 0)
     exec_cycles /. (options.target.Machine.Target.ghz *. 1e9)
   in
   Stats.pipeline_run ();
+  verify_point ~options p a ~psig:(decisions_sig decisions)
+    ~modul:(lazy m);
   { modul = m; decisions; compile_seconds; exec_seconds; exec_cycles }
 
 (* ------------------------------------------------------------------ *)
@@ -307,15 +442,10 @@ let eval_planned ?(options = default_options) ?fault_key ?(sample = 0)
   inject_faults ~faults:options.faults ~name ~fkey ~attempt;
   let pv = Frontend.prevec_of ~polly:options.polly p a in
   let plans = applied_plans ~plan pv.Frontend.pv_preps in
+  let psig = applied_sig plans in
   let key =
     Printf.sprintf "%s|%s|%s|%s" pv.Frontend.pv_hash (options_key options)
-      p.Dataset.Program.p_kernel
-      (String.concat ";"
-         (List.map
-            (fun pl ->
-              Printf.sprintf "%d,%d" pl.Vectorizer.Transform.vf
-                pl.Vectorizer.Transform.if_)
-            plans))
+      p.Dataset.Program.p_kernel psig
   in
   let s = pt_shard_of key in
   let compile_raw, cycles_raw =
@@ -361,6 +491,22 @@ let eval_planned ?(options = default_options) ?fault_key ?(sample = 0)
     cycles_raw *. Faults.noise_factor options.faults ~key:fkey ~sample
   in
   Stats.pipeline_run ();
+  (* validate after measuring; a verdict-cache hit never re-materializes
+     the transformed module, so warm verified sweeps stay memo-fast *)
+  verify_point ~options p a ~psig
+    ~modul:
+      (lazy
+        (let m = Ir.copy_modul pv.Frontend.pv_modul in
+         let plan_t =
+           Option.map
+             (fun (vf, if_) -> { Vectorizer.Transform.vf; if_ })
+             plan
+         in
+         ignore
+           (Vectorizer.Planner.run_prepared ~plan:plan_t m
+              pv.Frontend.pv_preps);
+         ignore (Vectorizer.Licm.run_modul m);
+         m));
   (exec_cycles /. (options.target.Machine.Target.ghz *. 1e9), compile_seconds)
 
 (** Compile with per-loop pragma decisions.  [attempt] numbers the

@@ -48,7 +48,11 @@
 
 (** Why an evaluation failed.  [Hung] is a stalled evaluation cancelled by
     the supervisor's watchdog; [Transient] is a retryable fault that kept
-    failing past the retry budget. *)
+    failing past the retry budget; [Miscompiled] is a plan the translation
+    validator refuted — deterministic wrong code, never retried, and the
+    only kind that quarantines the whole program from {!brute_force}
+    (a transform that miscompiles one plan cannot be trusted on the
+    others). *)
 type failure =
   | Compile_failed
   | Trap
@@ -56,6 +60,7 @@ type failure =
   | Timed_out
   | Hung
   | Transient
+  | Miscompiled
 
 let failure_name = function
   | Compile_failed -> "compile"
@@ -64,6 +69,7 @@ let failure_name = function
   | Timed_out -> "timeout"
   | Hung -> "hung"
   | Transient -> "transient"
+  | Miscompiled -> "miscompile"
 
 let failure_of_name = function
   | "compile" -> Some Compile_failed
@@ -72,6 +78,7 @@ let failure_of_name = function
   | "timeout" -> Some Timed_out
   | "hung" -> Some Hung
   | "transient" -> Some Transient
+  | "miscompile" -> Some Miscompiled
   | _ -> None
 
 (** Raised when a program's baseline cannot be measured; carries the
@@ -108,6 +115,9 @@ type t = {
   quarantined : (string, string) Hashtbl.t;  (** content key -> reason *)
   quarantine_idx : (int, unit) Hashtbl.t;
       (** program indices that hit quarantine, for ordered reporting *)
+  refutations : (string, string) Hashtbl.t;
+      (** content key + decision -> rendered counterexample, for entries
+          whose failure kind is [Miscompiled] *)
   mutable evaluations : int;  (** non-memoized compile+run count *)
   mutable hits : int;  (** memoized reward lookups served from cache *)
   mutable journal : journal option;
@@ -138,6 +148,7 @@ let create ?(options = Pipeline.default_options) ?(legacy_pipeline = false)
     baselines = Hashtbl.create (Array.length programs);
     cache = Hashtbl.create (4 * Array.length programs);
     quarantined = Hashtbl.create 8; quarantine_idx = Hashtbl.create 8;
+    refutations = Hashtbl.create 8;
     evaluations = 0; hits = 0; journal = None }
 
 let locked (t : t) (f : unit -> 'a) : 'a = Mutex.protect t.lock f
@@ -155,6 +166,7 @@ let locked (t : t) (f : unit -> 'a) : 'a = Mutex.protect t.lock f
      B <key> <exec bits> <compile bits> .
      E <key> <reward bits> <penalized 0|1> <failure name | -> .
      Q <key> <escaped reason> .
+     V <key> <escaped counterexample> .
 *)
 
 let journal_header = "# neurovec-journal 1"
@@ -186,6 +198,9 @@ let journal_entry t key (e : entry) =
 
 let journal_quarantine t key why =
   journal_line t [ "Q"; key; String.escaped why ]
+
+let journal_refutation t key cx =
+  journal_line t [ "V"; key; String.escaped cx ]
 
 (** Attach a write-ahead journal at [path] (append mode; the header is
     written when the file is new or empty).  Every subsequently committed
@@ -273,6 +288,12 @@ let replay_journal (t : t) (path : string) : int =
                       Hashtbl.replace t.quarantined key (unescape why);
                       incr loaded
                     end)
+            | [ "V"; key; cx; "." ] ->
+                locked t (fun () ->
+                    if not (Hashtbl.mem t.refutations key) then begin
+                      Hashtbl.replace t.refutations key (unescape cx);
+                      incr loaded
+                    end)
             | _ -> ()  (* header, torn line, or unknown record kind *)
           done
         with End_of_file -> ());
@@ -307,12 +328,18 @@ let quarantine_report (t : t) : (string * string) list =
 (* Robust measurement                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* [Verify.Tv.Miscompile] deliberately maps to its own kind and NOT to
+   [Transient]: a refutation is a pure function of (program, plan), so
+   the supervisor's retry loop must never burn its budget re-validating
+   one — {!Supervisor.with_retries} only catches [Faults.Transient], and
+   this mapping keeps the taxonomy honest once the exception escapes. *)
 let classify_exn : exn -> (failure * string) option = function
   | Pipeline.Compile_error msg -> Some (Compile_failed, msg)
   | Ir_interp.Trap msg -> Some (Trap, msg)
   | Faults.Fuel_exhausted msg -> Some (Fuel_exhausted, msg)
   | Supervisor.Hung msg -> Some (Hung, msg)
   | Faults.Transient msg -> Some (Transient, msg)
+  | Verify.Tv.Miscompile msg -> Some (Miscompiled, msg)
   | _ -> None
 
 let median (xs : float list) : float =
@@ -474,8 +501,17 @@ let entry (t : t) (idx : int) (action : Rl.Spaces.action) : entry =
                 journal_entry t key e;
                 e)
       in
-      let penalize kind =
+      let penalize kind msg =
         Stats.record_failure (failure_name kind);
+        (* a refutation is the evidence behind a [Miscompiled] entry; keep
+           the rendered counterexample (first commit wins) so quarantine
+           reports and the journal carry it *)
+        if kind = Miscompiled then
+          locked t (fun () ->
+              if not (Hashtbl.mem t.refutations key) then begin
+                Hashtbl.replace t.refutations key msg;
+                journal_refutation t key msg
+              end);
         finish
           { e_reward = t.penalty; e_penalized = true; e_failure = Some kind }
       in
@@ -501,17 +537,17 @@ let entry (t : t) (idx : int) (action : Rl.Spaces.action) : entry =
       with
       | exception e -> (
           match classify_exn e with
-          | Some (kind, _msg) ->
+          | Some (kind, msg) ->
               locked t (fun () -> t.evaluations <- t.evaluations + 1);
-              penalize kind
+              penalize kind msg
           | None -> raise e)
       | t_exec, c_act ->
           locked t (fun () -> t.evaluations <- t.evaluations + 1);
-          if c_act > t.timeout_factor *. c_base then penalize Timed_out
+          if c_act > t.timeout_factor *. c_base then penalize Timed_out ""
           else if (not (Float.is_finite t_exec)) || t_exec < 0.0 then
             (* defensive: a non-finite sample must never reach the PPO
                advantages *)
-            penalize Trap
+            penalize Trap ""
           else
             finish
               { e_reward = (t_base -. t_exec) /. t_base; e_penalized = false;
@@ -520,6 +556,16 @@ let entry (t : t) (idx : int) (action : Rl.Spaces.action) : entry =
 (** Reward of applying [action] to every innermost loop of program [idx]. *)
 let reward (t : t) (idx : int) (action : Rl.Spaces.action) : float =
   (entry t idx action).e_reward
+
+(** The rendered counterexample behind a [Miscompiled] entry for
+    (program, action), when one was recorded. *)
+let refutation (t : t) (idx : int) (action : Rl.Spaces.action) :
+    string option =
+  let key =
+    Printf.sprintf "%s|vf=%d,if=%d" t.keys.(idx) (Rl.Spaces.vf_of action)
+      (Rl.Spaces.if_of action)
+  in
+  locked t (fun () -> Hashtbl.find_opt t.refutations key)
 
 (** Execution time under [action] (seconds); penalized actions return the
     baseline time scaled by the timeout factor. *)
@@ -551,7 +597,28 @@ let brute_force (t : t) (idx : int) : Rl.Spaces.action * float =
       min (Supervisor.breaker_window ()) (Array.length actions)
     else 0
   in
+  (* a refuted plan poisons the whole program: a transform that produces
+     wrong code for one action cannot be trusted on the others.  Scan
+     entries in the fixed action order and quarantine on the lowest-indexed
+     [Miscompiled] one, carrying its counterexample — lowest index first so
+     the quarantine text is schedule-independent at any [--jobs]. *)
+  let miscompile_quarantine (entries : entry array) (off : int) =
+    Array.iteri
+      (fun i e ->
+        if e.e_failure = Some Miscompiled then begin
+          let a = actions.(off + i) in
+          let cx =
+            Option.value ~default:"counterexample unavailable"
+              (refutation t idx a)
+          in
+          quarantine t idx
+            (Printf.sprintf "miscompiled (VF=%d, IF=%d): %s"
+               (Rl.Spaces.vf_of a) (Rl.Spaces.if_of a) cx)
+        end)
+      entries
+  in
   let prefix = Parpool.map (fun a -> entry t idx a) (Array.sub actions 0 w) in
+  miscompile_quarantine prefix 0;
   if w > 0 && Array.for_all (fun e -> e.e_failure <> None) prefix then begin
     let counts = Hashtbl.create 4 in
     Array.iter
@@ -576,11 +643,12 @@ let brute_force (t : t) (idx : int) : Rl.Spaces.action * float =
   end;
   let rest =
     Parpool.map
-      (fun a -> reward t idx a)
+      (fun a -> entry t idx a)
       (Array.sub actions w (Array.length actions - w))
   in
+  miscompile_quarantine rest w;
   let rewards =
-    Array.append (Array.map (fun e -> e.e_reward) prefix) rest
+    Array.map (fun e -> e.e_reward) (Array.append prefix rest)
   in
   let best = ref 0 in
   Array.iteri (fun i r -> if r > rewards.(!best) then best := i) rewards;

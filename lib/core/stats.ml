@@ -103,6 +103,15 @@ type record = {
   mutable r_store_misses : int;
   mutable r_store_crc_rejects : int;
       (** store entries dropped for failing their CRC / framing checks *)
+  mutable r_verify_hits : int;
+      (** translation-validation verdicts served from the verdict cache *)
+  mutable r_verify_misses : int;
+      (** verdicts computed by interpreting scalar vs. transformed *)
+  mutable r_verify_refutes : int;
+      (** evaluations rejected because their plan's verdict is a
+          refutation (cached or fresh) *)
+  mutable r_verify_cx : int;
+      (** fresh counterexamples minted by the validator *)
 }
 
 let fresh_record () : record =
@@ -116,7 +125,8 @@ let fresh_record () : record =
     r_journal_replayed = 0; r_frontend_evictions = 0; r_serve_accepted = 0;
     r_serve_shed = 0; r_serve_failed = 0; r_serve_batches = 0;
     r_serve_batched = 0; r_serve_batch_max = 0; r_store_hits = 0;
-    r_store_misses = 0; r_store_crc_rejects = 0 }
+    r_store_misses = 0; r_store_crc_rejects = 0; r_verify_hits = 0;
+    r_verify_misses = 0; r_verify_refutes = 0; r_verify_cx = 0 }
 
 let zero_record (r : record) : unit =
   Array.fill r.phase_secs 0 n_phases 0.0;
@@ -147,7 +157,11 @@ let zero_record (r : record) : unit =
   r.r_serve_batch_max <- 0;
   r.r_store_hits <- 0;
   r.r_store_misses <- 0;
-  r.r_store_crc_rejects <- 0
+  r.r_store_crc_rejects <- 0;
+  r.r_verify_hits <- 0;
+  r.r_verify_misses <- 0;
+  r.r_verify_refutes <- 0;
+  r.r_verify_cx <- 0
 
 (* merge [src] into [dst] (registry lock held) *)
 let merge_into (dst : record) (src : record) : unit =
@@ -188,7 +202,11 @@ let merge_into (dst : record) (src : record) : unit =
   dst.r_serve_batch_max <- max dst.r_serve_batch_max src.r_serve_batch_max;
   dst.r_store_hits <- dst.r_store_hits + src.r_store_hits;
   dst.r_store_misses <- dst.r_store_misses + src.r_store_misses;
-  dst.r_store_crc_rejects <- dst.r_store_crc_rejects + src.r_store_crc_rejects
+  dst.r_store_crc_rejects <- dst.r_store_crc_rejects + src.r_store_crc_rejects;
+  dst.r_verify_hits <- dst.r_verify_hits + src.r_verify_hits;
+  dst.r_verify_misses <- dst.r_verify_misses + src.r_verify_misses;
+  dst.r_verify_refutes <- dst.r_verify_refutes + src.r_verify_refutes;
+  dst.r_verify_cx <- dst.r_verify_cx + src.r_verify_cx
 
 (* registry of live per-domain records + the fold of exited domains *)
 let registry_lock = Mutex.create ()
@@ -357,6 +375,27 @@ let record_store_crc_reject () =
   let r = current () in
   r.r_store_crc_rejects <- r.r_store_crc_rejects + 1
 
+(** One translation-validation verdict served from the verdict cache. *)
+let verify_hit () =
+  let r = current () in
+  r.r_verify_hits <- r.r_verify_hits + 1
+
+(** One verdict computed by interpreting the scalar reference against the
+    transformed module over the content-derived input set. *)
+let verify_miss () =
+  let r = current () in
+  r.r_verify_misses <- r.r_verify_misses + 1
+
+(** One evaluation rejected because its plan's verdict is a refutation. *)
+let record_verify_refute () =
+  let r = current () in
+  r.r_verify_refutes <- r.r_verify_refutes + 1
+
+(** One fresh counterexample minted by the validator. *)
+let record_verify_cx () =
+  let r = current () in
+  r.r_verify_cx <- r.r_verify_cx + 1
+
 (* ------------------------------------------------------------------ *)
 (* Merged reads                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -412,6 +451,10 @@ type snapshot = {
   store_hits : int;  (** on-disk store lookups served *)
   store_misses : int;
   store_crc_rejects : int;  (** store entries dropped by CRC / framing *)
+  verify_hits : int;  (** verdict-cache hits ({!Pipeline} [--verify]) *)
+  verify_misses : int;  (** verdicts computed by interpretation *)
+  verify_refutes : int;  (** evaluations rejected as [Miscompiled] *)
+  verify_cx : int;  (** fresh counterexamples minted *)
 }
 
 let snapshot () : snapshot =
@@ -455,6 +498,10 @@ let snapshot () : snapshot =
     store_hits = m.r_store_hits;
     store_misses = m.r_store_misses;
     store_crc_rejects = m.r_store_crc_rejects;
+    verify_hits = m.r_verify_hits;
+    verify_misses = m.r_verify_misses;
+    verify_refutes = m.r_verify_refutes;
+    verify_cx = m.r_verify_cx;
   }
 
 let reset () =
@@ -548,4 +595,12 @@ let report () : string =
          s.store_hits s.store_misses
          (100.0 *. hit_rate ~hits:s.store_hits ~misses:s.store_misses)
          s.store_crc_rejects);
+  if s.verify_hits > 0 || s.verify_misses > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "verify cache:    %d hits / %d misses (%.1f%% hit rate), %d \
+          refutations (%d counterexamples)\n"
+         s.verify_hits s.verify_misses
+         (100.0 *. hit_rate ~hits:s.verify_hits ~misses:s.verify_misses)
+         s.verify_refutes s.verify_cx);
   Buffer.contents b

@@ -165,13 +165,17 @@ let as_float = function
 (** View a value as an [n]-lane integer vector (splatting scalars). *)
 let as_vec_i n = function
   | VVI a ->
-      if Array.length a <> n then trap "vector width mismatch" else a
+      if Array.length a <> n then
+        trap "vector width mismatch: have %d lanes, need %d" (Array.length a) n
+      else a
   | VI i -> Array.make n i
   | VF _ | VVF _ -> trap "expected int vector"
 
 let as_vec_f n = function
   | VVF a ->
-      if Array.length a <> n then trap "vector width mismatch" else a
+      if Array.length a <> n then
+        trap "vector width mismatch: have %d lanes, need %d" (Array.length a) n
+      else a
   | VF f -> Array.make n f
   | VI i -> Array.make n (Int64.to_float i)
   | VVI _ -> trap "expected float vector"
@@ -347,10 +351,12 @@ let eval_rvalue fr (rv : Ir.rvalue) : rvalue_v =
   | Extract (s, v, lane) -> (
       match eval_value fr v with
       | VVI a ->
-          if lane >= Array.length a then trap "extract lane out of range";
+          if lane >= Array.length a then
+            trap "extract lane %d out of range (width %d)" lane (Array.length a);
           VI (wrap_int s a.(lane))
       | VVF a ->
-          if lane >= Array.length a then trap "extract lane out of range";
+          if lane >= Array.length a then
+            trap "extract lane %d out of range (width %d)" lane (Array.length a);
           VF (wrap_float s a.(lane))
       | VI _ | VF _ -> trap "extract from scalar")
   | Reduce (op, s, v) -> (

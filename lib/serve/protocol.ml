@@ -53,6 +53,10 @@ type error_kind =
   | `Breaker_open  (** this client's circuit breaker is open *)
   | `Hung  (** evaluation cancelled by the watchdog *)
   | `Transient  (** transient faults persisted past the retry budget *)
+  | `Miscompiled
+    (** the translation validator refuted the plan; message carries the
+        minimized counterexample — never retried, the program is wrong
+        under this transform no matter how often it is re-run *)
   | `Shutting_down  (** daemon is draining; request not accepted *)
   | `Internal  (** anything else; the daemon survived it *)
   ]
@@ -165,6 +169,7 @@ let error_tag : error_kind -> char = function
   | `Breaker_open -> 'k'
   | `Hung -> 'h'
   | `Transient -> 't'
+  | `Miscompiled -> 'v'
   | `Shutting_down -> 'd'
   | `Internal -> 'i'
 
@@ -176,6 +181,7 @@ let error_of_tag : char -> error_kind = function
   | 'k' -> `Breaker_open
   | 'h' -> `Hung
   | 't' -> `Transient
+  | 'v' -> `Miscompiled
   | 'd' -> `Shutting_down
   | 'i' -> `Internal
   | t -> raise (Malformed (Printf.sprintf "unknown error kind %C" t))
@@ -190,6 +196,7 @@ let error_name : error_kind -> string = function
   | `Breaker_open -> "breaker-open"
   | `Hung -> "hung"
   | `Transient -> "transient"
+  | `Miscompiled -> "miscompiled"
   | `Shutting_down -> "shutting-down"
   | `Internal -> "internal"
 

@@ -257,6 +257,7 @@ let measure_one (t : t) (p : pending)
       Error (`Compile_error, msg)
   | exception Neurovec.Supervisor.Hung msg -> Error (`Hung, msg)
   | exception Neurovec.Faults.Transient msg -> Error (`Transient, msg)
+  | exception Verify.Tv.Miscompile msg -> Error (`Miscompiled, msg)
   | exception Neurovec.Faults.Fuel_exhausted msg -> Error (`Internal, msg)
   | exception Ir_interp.Trap msg -> Error (`Internal, msg)
 

@@ -69,7 +69,7 @@ let gen_request : Serve.Protocol.request QCheck.arbitrary =
 let gen_reply : Serve.Protocol.reply QCheck.arbitrary =
   let kinds =
     [ `Malformed; `Too_big; `Compile_error; `Overloaded; `Breaker_open;
-      `Hung; `Transient; `Shutting_down; `Internal ]
+      `Hung; `Transient; `Miscompiled; `Shutting_down; `Internal ]
   in
   QCheck.make
     ~print:(fun r ->

@@ -158,6 +158,81 @@ let test_clamp_pragma () =
   Alcotest.(check int) "vf clamped to 4" 4 vf;
   Alcotest.(check int) "if kept" 2 if_
 
+(* clamp edge cases at the dependence boundary, pinned deterministically:
+   each pins the exact clamped plan AND checks the clamped transform
+   computes what the scalar loop computes *)
+
+let clamp_of ~vf ~if_ src =
+  let leg = Vectorizer.Legality.of_info (analyze_first src) in
+  Vectorizer.Legality.clamp leg ~vf ~if_
+
+let clamp_grid = [ (2, 1); (4, 1); (4, 2); (8, 1); (1, 4); (8, 4); (16, 2) ]
+
+let test_clamp_distance1_recurrence () =
+  (* a[i] = a[i-1]: the tightest loop-carried flow dependence; any
+     widening reorders it, so the clamp must refuse outright *)
+  let src =
+    "int a[64]; int f() { int i; for (i=1;i<64;i++) a[i] = a[i-1] + 1;\n\
+     return a[63]; }"
+  in
+  Alcotest.(check (pair int int)) "clamped to scalar" (1, 1)
+    (clamp_of ~vf:8 ~if_:4 src);
+  check_equiv ~vf:8 ~if_:4 src "f"
+
+let test_clamp_store_load_ahead_pair () =
+  (* S1 stores a[i], S2 loads a[i+2]: statement-wise widening makes S1
+     store a whole vector before S2 loads, so the scalar loop's "read the
+     original a[i+2]" only survives at VF <= 2 — the clamp must bound the
+     plan by the distance even though the *store* is the earlier access *)
+  let src =
+    "int a[68]; int b[64]; int c[64];\n\
+     int f() { int i; for (i=0;i<64;i++) { a[i] = b[i] * 2;\n\
+     c[i] = a[i+2] + 1; } return c[5]; }"
+  in
+  Alcotest.(check (pair int int)) "vf bounded by the distance" (2, 2)
+    (clamp_of ~vf:16 ~if_:2 src);
+  List.iter (fun (vf, if_) -> check_equiv ~vf ~if_ src "f") clamp_grid
+
+let test_clamp_aliasing_store_pair () =
+  (* two stores to the same array at distance 2: the output dependence
+     a[i+2] (iteration i) vs a[i] (iteration i+2) must bound VF, or the
+     later scalar store loses *)
+  let src =
+    "int a[68]; int b[64]; int c[64];\n\
+     int f() { int i; for (i=0;i<64;i++) { a[i] = b[i] + 1;\n\
+     a[i+2] = c[i] * 2; } return a[9]; }"
+  in
+  Alcotest.(check (pair int int)) "vf bounded by the distance" (2, 4)
+    (clamp_of ~vf:8 ~if_:4 src);
+  List.iter (fun (vf, if_) -> check_equiv ~vf ~if_ src "f") clamp_grid
+
+let test_clamp_float_reduction_order () =
+  (* a float reduction is accepted at full width — vectorizing it
+     reassociates the sum, which is a rounding change, not a legality
+     violation, so equivalence is within relative tolerance, not exact *)
+  let src =
+    "double x[128]; double y[128];\n\
+     double f() { double s = 0.0; int i;\n\
+     for (i=0;i<128;i++) s += x[i] * y[i]; return s; }"
+  in
+  Alcotest.(check (pair int int)) "full width accepted" (8, 2)
+    (clamp_of ~vf:8 ~if_:2 src);
+  let close a b =
+    a = b || abs_float (a -. b) <= 1e-3 *. (abs_float a +. abs_float b +. 1.0)
+  in
+  let scalar, _ = run src "f" in
+  List.iter
+    (fun (vf, if_) ->
+      let vec, _ = run ~plan:{ Vectorizer.Transform.vf; if_ } src "f" in
+      match (scalar, vec) with
+      | Some (Ir_interp.VF s), Some (Ir_interp.VF v) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "vf=%d if=%d within tolerance (%h vs %h)" vf if_
+               s v)
+            true (close s v)
+      | _ -> Alcotest.fail "reduction did not return a float")
+    clamp_grid
+
 (* ------------------------------------------------------------------ *)
 (* Transform correctness on targeted shapes                             *)
 (* ------------------------------------------------------------------ *)
@@ -552,6 +627,14 @@ let suite =
         Alcotest.test_case "indirect index blocks" `Quick
           test_legal_unknown_index_blocks;
         Alcotest.test_case "pragma clamp" `Quick test_clamp_pragma;
+        Alcotest.test_case "clamp: distance-1 recurrence" `Quick
+          test_clamp_distance1_recurrence;
+        Alcotest.test_case "clamp: store/load-ahead pair" `Quick
+          test_clamp_store_load_ahead_pair;
+        Alcotest.test_case "clamp: aliasing store pair" `Quick
+          test_clamp_aliasing_store_pair;
+        Alcotest.test_case "clamp: float reduction order" `Quick
+          test_clamp_float_reduction_order;
       ] );
     ( "vectorizer.transform",
       [

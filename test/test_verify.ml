@@ -1,0 +1,582 @@
+(* Translation validation: the Tv differential oracle, the [Miscompiled]
+   failure taxonomy, the verdict cache and its journal records, and the
+   legality fuzzer.
+
+   The contract under test: with --verify on, every evaluated plan is
+   checked against the scalar reference over a content-derived input set;
+   a refutation quarantines the program as miscompiled with a minimized
+   counterexample, is never retried as transient, and every verdict is
+   bit-identical between --jobs 1 and --jobs 4 — including under active
+   fault injection. *)
+
+let bits = Int64.bits_of_float
+
+let verify_options =
+  { Neurovec.Pipeline.default_options with Neurovec.Pipeline.verify = true }
+
+let miscompile_options ?(seed = 31) ?(transient = 0.0) p =
+  { Neurovec.Pipeline.default_options with
+    Neurovec.Pipeline.verify = true;
+    Neurovec.Pipeline.faults =
+      Neurovec.Faults.create ~seed ~transient ~miscompile:p () }
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let lower src = Ir_lower.lower_program (Minic.Parser.parse_string src)
+
+let find_fn m name =
+  match List.find_opt (fun f -> f.Ir.fn_name = name) m.Ir.m_funcs with
+  | Some f -> f
+  | None -> Alcotest.failf "function %s not found" name
+
+(* lower [src] and vectorize every innermost loop of [name] with the
+   legality-clamped plan — the module a --verify evaluation would check *)
+let transformed ?(vf = 4) ?(if_ = 1) src name =
+  let m = lower src in
+  let fn = find_fn m name in
+  List.iter
+    (fun info ->
+      let leg = Vectorizer.Legality.of_info info in
+      let vf, if_ = Vectorizer.Legality.clamp leg ~vf ~if_ in
+      ignore (Vectorizer.Transform.vectorize_in_func fn info { Vectorizer.Transform.vf; if_ }))
+    (Analysis.Loopinfo.innermost_infos fn);
+  m
+
+(* ------------------------------------------------------------------ *)
+(* The Tv oracle                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_tv_inputs_deterministic () =
+  let k = "prog-hash|polly=false|kernel|4,1" in
+  let inputs = Verify.Tv.inputs_of_key k in
+  Alcotest.(check (list string))
+    "same key, same ladder"
+    (List.map Verify.Tv.input_name inputs)
+    (List.map Verify.Tv.input_name (Verify.Tv.inputs_of_key k));
+  (match inputs with
+  | [ Verify.Tv.Zeros; Verify.Tv.Ramp; Verify.Tv.Hashed s1;
+      Verify.Tv.Hashed s2 ] ->
+      Alcotest.(check bool) "seeds positive" true (s1 > 0 && s2 > 0);
+      Alcotest.(check bool) "seeds independent" true (s1 <> s2)
+  | _ -> Alcotest.fail "ladder is zeros, ramp, two seeded fills");
+  Alcotest.(check bool) "different keys, different seeds" true
+    (Verify.Tv.inputs_of_key k <> Verify.Tv.inputs_of_key (k ^ "x"))
+
+let copy_src =
+  "int a[64]; int b[64];\n\
+   int kernel() { int i; for (i=0;i<64;i++) a[i] = b[i] + 1; return a[7]; }"
+
+let test_tv_equivalent_on_clean_transform () =
+  Verify.Tv.clear_cache ();
+  let scalar = lower copy_src in
+  let vec = transformed ~vf:8 copy_src "kernel" in
+  match
+    Verify.Tv.verify ~key:"tv-clean" ~scalar ~scalar_key:"tv-clean-s"
+      ~kernel:"kernel" vec
+  with
+  | Verify.Tv.Equivalent -> ()
+  | Verify.Tv.Refuted cx ->
+      Alcotest.failf "clean transform refuted: %s" (Verify.Tv.render cx)
+
+let test_tv_refutes_wrong_code () =
+  (* the "transform" computes +2 where the reference computes +1: the
+     refutation must land on the simplest input (zeros) and name the
+     lexicographically first diverging cell *)
+  Verify.Tv.clear_cache ();
+  let scalar = lower copy_src in
+  let wrong =
+    lower
+      "int a[64]; int b[64];\n\
+       int kernel() { int i; for (i=0;i<64;i++) a[i] = b[i] + 2; return a[7]; }"
+  in
+  match
+    Verify.Tv.verify ~key:"tv-wrong" ~scalar ~scalar_key:"tv-wrong-s"
+      ~kernel:"kernel" wrong
+  with
+  | Verify.Tv.Equivalent -> Alcotest.fail "wrong code accepted"
+  | Verify.Tv.Refuted cx ->
+      Alcotest.(check string) "minimized to zeros" "zeros"
+        cx.Verify.Tv.cx_input;
+      Alcotest.(check string) "result diverges first" "result"
+        cx.Verify.Tv.cx_cell;
+      Alcotest.(check string) "scalar value" "1" cx.Verify.Tv.cx_scalar;
+      Alcotest.(check string) "vector value" "2" cx.Verify.Tv.cx_vector
+
+let test_tv_refutes_divergent_cell () =
+  (* same return value, one memory cell off: the counterexample names the
+     cell, not the result *)
+  Verify.Tv.clear_cache ();
+  let scalar = lower copy_src in
+  let wrong =
+    lower
+      "int a[64]; int b[64];\n\
+       int kernel() { int i; for (i=0;i<64;i++) a[i] = b[i] + 1;\n\
+       a[9] = a[9] + 5; return a[7]; }"
+  in
+  match
+    Verify.Tv.verify ~key:"tv-cell" ~scalar ~scalar_key:"tv-cell-s"
+      ~kernel:"kernel" wrong
+  with
+  | Verify.Tv.Equivalent -> Alcotest.fail "diverging cell accepted"
+  | Verify.Tv.Refuted cx ->
+      Alcotest.(check string) "first diverging cell" "a[9]"
+        cx.Verify.Tv.cx_cell;
+      Alcotest.(check bool) "rendered counterexample carries the input" true
+        (contains (Verify.Tv.render cx) "input=zeros")
+
+let test_tv_sabotage_refutes () =
+  (* the miscompile fault knob corrupts the transformed run: identical
+     modules must then be refuted, deterministically in the key *)
+  Verify.Tv.clear_cache ();
+  let scalar = lower copy_src in
+  let vec = transformed copy_src "kernel" in
+  let verdict () =
+    Verify.Tv.verify ~sabotage:true ~key:"tv-sab" ~scalar
+      ~scalar_key:"tv-sab-s" ~kernel:"kernel" vec
+  in
+  match (verdict (), verdict ()) with
+  | Verify.Tv.Refuted a, Verify.Tv.Refuted b ->
+      Alcotest.(check string) "sabotage is pure in the key"
+        (Verify.Tv.render a) (Verify.Tv.render b)
+  | _ -> Alcotest.fail "sabotaged run must be refuted, twice identically"
+
+let test_tv_trap_asymmetry () =
+  (* a trap only on the transformed side refutes; the message carries the
+     interpreter's faulting address *)
+  Verify.Tv.clear_cache ();
+  let scalar = lower copy_src in
+  let oob =
+    lower
+      "int a[64]; int b[64];\n\
+       int kernel() { int i; for (i=0;i<65;i++) a[i] = b[i] + 1; return 0; }"
+  in
+  match
+    Verify.Tv.verify ~key:"tv-trap" ~scalar ~scalar_key:"tv-trap-s"
+      ~kernel:"kernel" oob
+  with
+  | Verify.Tv.Equivalent -> Alcotest.fail "trapping transform accepted"
+  | Verify.Tv.Refuted cx ->
+      Alcotest.(check string) "refuted as a trap" "trap" cx.Verify.Tv.cx_cell;
+      Alcotest.(check bool)
+        (Printf.sprintf "trap message has the address (%s)"
+           cx.Verify.Tv.cx_vector)
+        true
+        (contains cx.Verify.Tv.cx_vector "out-of-bounds"
+        && contains cx.Verify.Tv.cx_vector "[64]")
+
+let test_tv_float_reduction_tolerated () =
+  (* vectorizing a float reduction reassociates the sum — a legal rounding
+     change inside the documented tolerance, not a miscompile *)
+  Verify.Tv.clear_cache ();
+  let src =
+    "double x[128]; double y[128]; double s[1];\n\
+     int kernel() { int i; s[0] = 0.0;\n\
+     for (i=0;i<128;i++) s[0] = s[0] + x[i] * y[i]; return 0; }"
+  in
+  let scalar = lower src in
+  let vec = transformed ~vf:8 src "kernel" in
+  match
+    Verify.Tv.verify ~key:"tv-red" ~scalar ~scalar_key:"tv-red-s"
+      ~kernel:"kernel" vec
+  with
+  | Verify.Tv.Equivalent -> ()
+  | Verify.Tv.Refuted cx ->
+      Alcotest.failf "reassociated reduction refuted: %s"
+        (Verify.Tv.render cx)
+
+(* ------------------------------------------------------------------ *)
+(* Failure taxonomy: Miscompiled is terminal, never transient           *)
+(* ------------------------------------------------------------------ *)
+
+let test_classify_miscompile () =
+  (match Neurovec.Reward.classify_exn (Verify.Tv.Miscompile "cx") with
+  | Some (Neurovec.Reward.Miscompiled, "cx") -> ()
+  | _ -> Alcotest.fail "Tv.Miscompile must classify as Miscompiled");
+  Alcotest.(check string) "taxonomy name" "miscompile"
+    (Neurovec.Reward.failure_name Neurovec.Reward.Miscompiled);
+  Alcotest.(check bool) "name round-trips" true
+    (Neurovec.Reward.failure_of_name "miscompile"
+    = Some Neurovec.Reward.Miscompiled)
+
+let test_miscompile_never_retried () =
+  (* a refutation is a pure function of (program, plan): the supervised
+     retry loop must let it through on the first attempt, unlike a
+     transient fault *)
+  Test_supervisor.with_supervision ~retries:3 (fun () ->
+      let attempts = ref 0 in
+      (match
+         Neurovec.Supervisor.with_retries (fun ~attempt:_ ->
+             incr attempts;
+             raise (Verify.Tv.Miscompile "cx"))
+       with
+      | _ -> Alcotest.fail "refutation swallowed by the retry loop"
+      | exception Verify.Tv.Miscompile "cx" -> ()
+      | exception e ->
+          Alcotest.failf "refutation re-raised as %s" (Printexc.to_string e));
+      Alcotest.(check int) "exactly one attempt" 1 !attempts)
+
+(* ------------------------------------------------------------------ *)
+(* --verify sweeps through the reward oracle                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_verified_sweep_clean_corpus () =
+  (* the acceptance gate: a --verify sweep over the seed corpus must
+     quarantine nothing as miscompiled, and must actually verify *)
+  let programs = Dataset.Loopgen.generate ~seed:101 8 in
+  Neurovec.Stats.reset ();
+  let results, quarantined =
+    Test_parallel.sweep ~options:verify_options ~jobs:1 programs
+  in
+  Alcotest.(check (list (pair string string))) "no quarantine" [] quarantined;
+  Array.iter
+    (fun r -> Alcotest.(check bool) "swept" true (r <> None))
+    results;
+  let snap = Neurovec.Stats.snapshot () in
+  Alcotest.(check bool) "verdicts were computed" true
+    (snap.Neurovec.Stats.verify_misses > 0);
+  Alcotest.(check int) "zero refutations" 0
+    snap.Neurovec.Stats.verify_refutes;
+  Alcotest.(check int) "zero counterexamples" 0 snap.Neurovec.Stats.verify_cx;
+  Alcotest.(check bool) "stats report shows the verdict cache" true
+    (contains (Neurovec.Stats.report ()) "verify cache");
+  (* verify off on the same corpus: rewards must be untouched by the
+     validator (goldens unchanged when --verify is off is covered by the
+     golden suite; here we pin on = off for the rewards themselves) *)
+  let plain, _ =
+    Test_parallel.sweep ~options:Neurovec.Pipeline.default_options ~jobs:1
+      programs
+  in
+  Array.iteri
+    (fun i r ->
+      match (r, plain.(i)) with
+      | Some (a, rv), Some (a', rv') ->
+          Alcotest.(check bool) "same best action" true (a = a');
+          Alcotest.(check int64) "same reward bits" (bits rv') (bits rv)
+      | _ -> Alcotest.fail "quarantine state diverged with --verify")
+    results
+
+let test_verified_sweep_jobs_identity () =
+  let programs = Dataset.Loopgen.generate ~seed:101 8 in
+  Test_parallel.check_sweeps_equal
+    (Test_parallel.sweep ~options:verify_options ~jobs:1 programs)
+    (Test_parallel.sweep ~options:verify_options ~jobs:4 programs)
+
+let test_miscompile_knob_caught () =
+  (* every program whose evaluation the knob corrupts must be quarantined
+     as miscompiled, with the minimized counterexample in the report, and
+     the whole outcome must be bit-identical across pool sizes *)
+  let programs = Dataset.Loopgen.generate ~seed:101 8 in
+  let options = miscompile_options 1.0 in
+  Neurovec.Stats.reset ();
+  let ((results, quarantined) as sw1) =
+    Test_parallel.sweep ~options ~jobs:1 programs
+  in
+  let snap = Neurovec.Stats.snapshot () in
+  Alcotest.(check bool) "refutations recorded" true
+    (snap.Neurovec.Stats.verify_refutes > 0);
+  Alcotest.(check bool) "counterexamples minted" true
+    (snap.Neurovec.Stats.verify_cx > 0);
+  Alcotest.(check bool) "miscompiles in the failure taxonomy" true
+    (match List.assoc_opt "miscompile" snap.Neurovec.Stats.failures with
+    | Some n -> n > 0
+    | None -> false);
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "everything quarantined" true (r = None))
+    results;
+  Alcotest.(check int) "all programs reported" (Array.length programs)
+    (List.length quarantined);
+  List.iter
+    (fun (name, why) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: quarantined as miscompiled (%s)" name why)
+        true
+        (contains why "miscompile" && contains why "input="
+        && contains why "cell="))
+    quarantined;
+  Test_parallel.check_sweeps_equal sw1
+    (Test_parallel.sweep ~options ~jobs:4 programs)
+
+let test_partial_miscompile_jobs_identity_under_faults () =
+  (* miscompiles mixed with genuine transient faults and retries: the
+     counterexamples, quarantine report and surviving rewards must not
+     depend on the pool size.  The rate is low because one refuted plan
+     poisons its whole program — 0.3 over 36 plans would quarantine
+     everything and prove nothing about survivors. *)
+  Test_supervisor.with_supervision ~retries:2 (fun () ->
+      let programs = Dataset.Loopgen.generate ~seed:101 10 in
+      let options = miscompile_options ~transient:0.2 0.015 in
+      let run jobs =
+        Neurovec.Stats.reset ();
+        let sw = Test_parallel.sweep ~options ~jobs programs in
+        let snap = Neurovec.Stats.snapshot () in
+        ( sw,
+          snap.Neurovec.Stats.verify_refutes,
+          snap.Neurovec.Stats.verify_cx )
+      in
+      let sw1, refutes1, cx1 = run 1 in
+      let sw4, refutes4, cx4 = run 4 in
+      Test_parallel.check_sweeps_equal sw1 sw4;
+      Alcotest.(check int) "refutation count identical" refutes1 refutes4;
+      Alcotest.(check int) "counterexample count identical" cx1 cx4;
+      Alcotest.(check bool) "some refutations happened" true (refutes1 > 0);
+      (* some program must survive, or the partial knob proves nothing *)
+      let survivors, _ = sw1 in
+      Alcotest.(check bool) "some programs survive" true
+        (Array.exists (fun r -> r <> None) survivors))
+
+let test_miscompiled_entry_and_refutation_accessor () =
+  (* find a program whose baseline survives but whose sweep hits the
+     knob: its entry must be the penalized Miscompiled kind and the
+     accessor must return the recorded counterexample *)
+  let programs = Dataset.Loopgen.generate ~seed:101 10 in
+  let options = miscompile_options 0.3 in
+  Neurovec.Frontend.clear ();
+  let oracle = Neurovec.Reward.create ~options programs in
+  let found = ref 0 in
+  Array.iteri
+    (fun idx _ ->
+      match Neurovec.Reward.baseline oracle idx with
+      | exception Neurovec.Reward.Quarantined _ -> ()
+      | _ ->
+          List.iter
+            (fun a ->
+              let e = Neurovec.Reward.entry oracle idx a in
+              if e.Neurovec.Reward.e_failure = Some Neurovec.Reward.Miscompiled
+              then begin
+                incr found;
+                Alcotest.(check bool) "penalized" true
+                  e.Neurovec.Reward.e_penalized;
+                match Neurovec.Reward.refutation oracle idx a with
+                | Some cx ->
+                    Alcotest.(check bool) "counterexample recorded" true
+                      (contains cx "input=" && contains cx "cell=")
+                | None -> Alcotest.fail "Miscompiled entry lost its evidence"
+              end)
+            Rl.Spaces.all_actions)
+    programs;
+  Alcotest.(check bool)
+    (Printf.sprintf "knob hit some surviving programs (%d points)" !found)
+    true (!found > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Verdict journal: V records, replay, corruption matrix                *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_file suffix f =
+  let path = Filename.temp_file "neurovec_verify" suffix in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let journal_corpus () = Dataset.Loopgen.generate ~seed:106 6
+
+let journal_reference path =
+  let programs = journal_corpus () in
+  let options = miscompile_options ~seed:31 0.4 in
+  Neurovec.Frontend.clear ();
+  let oracle = Neurovec.Reward.create ~options programs in
+  Neurovec.Reward.set_journal oracle path;
+  let sw = Neurovec.Reward.sweep_all oracle in
+  let quar = Neurovec.Reward.quarantine_report oracle in
+  Neurovec.Reward.close_journal oracle;
+  (programs, options, (sw, quar))
+
+let replay_and_sweep programs options path =
+  Neurovec.Frontend.clear ();
+  let oracle = Neurovec.Reward.create ~options programs in
+  let n = Neurovec.Reward.replay_journal oracle path in
+  let sw = Neurovec.Reward.sweep_all oracle in
+  (n, (sw, Neurovec.Reward.quarantine_report oracle), oracle)
+
+let test_journal_v_records_replay () =
+  with_temp_file ".journal" (fun path ->
+      Sys.remove path;
+      let programs, options, reference = journal_reference path in
+      Alcotest.(check bool) "journal has V records" true
+        (contains (read_file path) "\nV\t");
+      Neurovec.Stats.reset ();
+      let n, again, restored = replay_and_sweep programs options path in
+      Alcotest.(check bool) "records replayed" true (n > 0);
+      let snap = Neurovec.Stats.snapshot () in
+      Alcotest.(check int) "no re-evaluation: pipeline runs" 0
+        snap.Neurovec.Stats.pipeline_runs;
+      Alcotest.(check int) "no re-verification" 0
+        snap.Neurovec.Stats.verify_misses;
+      Test_parallel.check_sweeps_equal reference again;
+      (* replayed refutations serve the accessor *)
+      let fresh = Neurovec.Reward.create ~options programs in
+      ignore (Neurovec.Reward.replay_journal fresh path);
+      Array.iteri
+        (fun idx _ ->
+          List.iter
+            (fun a ->
+              Alcotest.(check (option string))
+                "refutation survives replay"
+                (Neurovec.Reward.refutation restored idx a)
+                (Neurovec.Reward.refutation fresh idx a))
+            Rl.Spaces.all_actions)
+        programs)
+
+let test_journal_corruption_matrix () =
+  with_temp_file ".journal" (fun path ->
+      Sys.remove path;
+      let programs, options, reference = journal_reference path in
+      let full = read_file path in
+      let lines = String.split_on_char '\n' full in
+      let check_case name mutated =
+        write_file path mutated;
+        let _, again, _ = replay_and_sweep programs options path in
+        Test_parallel.check_sweeps_equal reference again;
+        ignore name
+      in
+      (* flipped byte inside a V record's key: the record lands under a
+         key nothing looks up; the sweep re-derives bit-identically *)
+      let flip_v line =
+        match String.split_on_char '\t' line with
+        | "V" :: key :: rest when String.length key > 0 ->
+            String.concat "\t"
+              ("V" :: ("Z" ^ String.sub key 1 (String.length key - 1)) :: rest)
+        | _ -> line
+      in
+      Alcotest.(check bool) "a V record exists to corrupt" true
+        (List.exists (fun l -> flip_v l <> l) lines);
+      check_case "flipped V key"
+        (String.concat "\n" (List.map flip_v lines));
+      (* torn tail: a crash mid-append loses the terminator; the partial
+         record is skipped *)
+      check_case "torn tail" (String.sub full 0 (String.length full - 3));
+      (* a garbage line between records is skipped, not fatal *)
+      check_case "garbage line"
+        (String.concat "\n"
+           (match lines with
+           | hdr :: rest -> hdr :: "X\tnot a record" :: rest
+           | [] -> [ "X\tnot a record" ]));
+      (* V record dropped entirely: the quarantine report still carries
+         the counterexample (it rides in the Q record), and rewards
+         re-derive *)
+      check_case "dropped V records"
+        (String.concat "\n"
+           (List.filter
+              (fun l -> String.length l < 2 || String.sub l 0 2 <> "V\t")
+              lines)))
+
+(* ------------------------------------------------------------------ *)
+(* The legality fuzzer                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_fuzz_generator_deterministic () =
+  let a = Verify.Loopfuzz.generate ~seed:9 24 in
+  let b = Verify.Loopfuzz.generate ~seed:9 24 in
+  Alcotest.(check int) "count" 24 (Array.length a);
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check string) "same source"
+        c.Verify.Loopfuzz.c_program.Dataset.Program.p_source
+        b.(i).Verify.Loopfuzz.c_program.Dataset.Program.p_source;
+      Alcotest.(check bool) "same plan" true
+        (c.Verify.Loopfuzz.c_vf = b.(i).Verify.Loopfuzz.c_vf
+        && c.Verify.Loopfuzz.c_if = b.(i).Verify.Loopfuzz.c_if))
+    a;
+  Alcotest.(check bool) "different seeds differ" true
+    (a.(0).Verify.Loopfuzz.c_program.Dataset.Program.p_source
+    <> (Verify.Loopfuzz.generate ~seed:10 1).(0)
+         .Verify.Loopfuzz.c_program.Dataset.Program.p_source)
+
+let test_fuzz_hunt_finds_nothing () =
+  (* the CI gate in miniature: dependence-boundary loops, clamped plans,
+     zero refutations.  A failure here is a real legality bug. *)
+  let refutations, ran = Verify.Loopfuzz.hunt ~seed:9 ~iterations:48 () in
+  Alcotest.(check int) "all cases ran" 48 ran;
+  match refutations with
+  | [] -> ()
+  | r :: _ ->
+      Alcotest.failf "legality bug: %s (VF=%d IF=%d applied %s): %s\n%s"
+        r.Verify.Loopfuzz.r_name r.Verify.Loopfuzz.r_vf
+        r.Verify.Loopfuzz.r_if r.Verify.Loopfuzz.r_applied
+        r.Verify.Loopfuzz.r_cx r.Verify.Loopfuzz.r_source
+
+let test_fuzz_deadline_truncates () =
+  let refutations, ran =
+    Verify.Loopfuzz.hunt ~deadline_s:0.0 ~seed:9 ~iterations:1000 ()
+  in
+  Alcotest.(check (list string)) "no refutations" []
+    (List.map (fun r -> r.Verify.Loopfuzz.r_name) refutations);
+  Alcotest.(check bool)
+    (Printf.sprintf "deadline truncated the hunt (%d ran)" ran)
+    true (ran < 1000)
+
+let suite =
+  [
+    ( "verify.tv",
+      [
+        Alcotest.test_case "input ladder deterministic" `Quick
+          test_tv_inputs_deterministic;
+        Alcotest.test_case "clean transform equivalent" `Quick
+          test_tv_equivalent_on_clean_transform;
+        Alcotest.test_case "wrong code refuted on zeros" `Quick
+          test_tv_refutes_wrong_code;
+        Alcotest.test_case "first diverging cell named" `Quick
+          test_tv_refutes_divergent_cell;
+        Alcotest.test_case "sabotage refutes deterministically" `Quick
+          test_tv_sabotage_refutes;
+        Alcotest.test_case "transformed-only trap refutes" `Quick
+          test_tv_trap_asymmetry;
+        Alcotest.test_case "float reduction within tolerance" `Quick
+          test_tv_float_reduction_tolerated;
+      ] );
+    ( "verify.taxonomy",
+      [
+        Alcotest.test_case "classify maps to Miscompiled" `Quick
+          test_classify_miscompile;
+        Alcotest.test_case "never retried as transient" `Quick
+          test_miscompile_never_retried;
+      ] );
+    ( "verify.sweep",
+      [
+        Alcotest.test_case "clean corpus: zero refutations" `Slow
+          test_verified_sweep_clean_corpus;
+        Alcotest.test_case "verified sweep bit-identical across jobs" `Slow
+          test_verified_sweep_jobs_identity;
+        Alcotest.test_case "miscompile knob caught with counterexample" `Slow
+          test_miscompile_knob_caught;
+        Alcotest.test_case "partial knob + transients, jobs identity" `Slow
+          test_partial_miscompile_jobs_identity_under_faults;
+        Alcotest.test_case "Miscompiled entry keeps its evidence" `Slow
+          test_miscompiled_entry_and_refutation_accessor;
+      ] );
+    ( "verify.journal",
+      [
+        Alcotest.test_case "V records replay" `Slow
+          test_journal_v_records_replay;
+        Alcotest.test_case "corruption matrix" `Slow
+          test_journal_corruption_matrix;
+      ] );
+    ( "verify.fuzz",
+      [
+        Alcotest.test_case "generator deterministic" `Quick
+          test_fuzz_generator_deterministic;
+        Alcotest.test_case "legality hunt finds nothing" `Slow
+          test_fuzz_hunt_finds_nothing;
+        Alcotest.test_case "deadline only truncates" `Quick
+          test_fuzz_deadline_truncates;
+        QCheck_alcotest.to_alcotest
+          (Verify.Loopfuzz.prop_legality_accepted_plans_verify ~count:25 ());
+      ] );
+  ]
