@@ -32,6 +32,10 @@ let experiments : (string * string * (unit -> unit)) list =
     ("servebench",
      "serve daemon: cold vs warm throughput, crash recovery + BENCH_serve.json",
      Experiments.Servebench.print);
+    ("verifybench",
+     "bytecode VM vs tree walker: steps/sec, verified-sweep overhead + \
+      BENCH_verify.json",
+     Experiments.Verifybench.print);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -428,13 +428,24 @@ let fuzz_cmd =
       Printf.eprintf "neurovec: fuzz requires --legality (the only mode)\n";
       exit 2
     end;
-    let refutations, ran =
+    let refutations, st =
       Verify.Loopfuzz.hunt ?deadline_s ~seed ~iterations ()
     in
+    let ran = st.Verify.Loopfuzz.hs_ran in
+    let elapsed = st.Verify.Loopfuzz.hs_elapsed_s in
     Printf.printf "fuzz --legality: %d/%d cases ran, %d refutation%s\n" ran
       iterations
       (List.length refutations)
       (if List.length refutations = 1 then "" else "s");
+    Printf.printf "coverage: %.1f iterations/sec over %.1fs%s; families: %s\n"
+      (if elapsed > 0.0 then float_of_int ran /. elapsed else 0.0)
+      elapsed
+      (if st.Verify.Loopfuzz.hs_deadline_hit then " (deadline expired)"
+       else "")
+      (String.concat " "
+         (List.map
+            (fun (f, n) -> Printf.sprintf "%s=%d" f n)
+            st.Verify.Loopfuzz.hs_families));
     List.iter
       (fun r ->
         Printf.printf

@@ -455,11 +455,21 @@ type snapshot = {
   verify_misses : int;  (** verdicts computed by interpretation *)
   verify_refutes : int;  (** evaluations rejected as [Miscompiled] *)
   verify_cx : int;  (** fresh counterexamples minted *)
+  vm_compiles : int;  (** modules compiled to {!Ir_vm} bytecode *)
+  vm_fallbacks : int;  (** modules the bytecode compiler declined *)
+  vm_cache_hits : int;  (** compiled-code cache hits *)
+  vm_cache_misses : int;
+  vm_evictions : int;  (** compiled-code cache FIFO evictions *)
+  vm_steps : int;  (** IR instructions executed by the bytecode VM *)
+  vm_deopts : int;  (** VM runs abandoned to the tree walker mid-flight *)
+  tree_steps : int;  (** IR instructions tree-walked for verification *)
+  tv_evictions : int;  (** scalar-run cache FIFO evictions ({!Verify.Tv}) *)
 }
 
 let snapshot () : snapshot =
   let m = merged () in
   let tm_hits, tm_misses = Machine.Timing.memo_stats () in
+  let vm = Ir_vm.stats () in
   {
     phases =
       List.map
@@ -502,10 +512,21 @@ let snapshot () : snapshot =
     verify_misses = m.r_verify_misses;
     verify_refutes = m.r_verify_refutes;
     verify_cx = m.r_verify_cx;
+    vm_compiles = vm.Ir_vm.vs_compiles;
+    vm_fallbacks = vm.Ir_vm.vs_fallbacks;
+    vm_cache_hits = vm.Ir_vm.vs_cache_hits;
+    vm_cache_misses = vm.Ir_vm.vs_cache_misses;
+    vm_evictions = vm.Ir_vm.vs_evictions;
+    vm_steps = vm.Ir_vm.vs_steps;
+    vm_deopts = vm.Ir_vm.vs_deopts;
+    tree_steps = Verify.Tv.tree_steps ();
+    tv_evictions = Verify.Tv.sc_evictions ();
   }
 
 let reset () =
   Machine.Timing.memo_stats_reset ();
+  Ir_vm.reset_stats ();
+  Verify.Tv.reset_counters ();
   Mutex.protect registry_lock (fun () ->
       zero_record retired;
       List.iter zero_record !live)
@@ -603,4 +624,21 @@ let report () : string =
          s.verify_hits s.verify_misses
          (100.0 *. hit_rate ~hits:s.verify_hits ~misses:s.verify_misses)
          s.verify_refutes s.verify_cx);
+  if s.vm_cache_hits > 0 || s.vm_cache_misses > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "vm code cache:   %d hits / %d misses (%.1f%% hit rate), %d \
+          compiled / %d fallbacks, %d evictions\n"
+         s.vm_cache_hits s.vm_cache_misses
+         (100.0 *. hit_rate ~hits:s.vm_cache_hits ~misses:s.vm_cache_misses)
+         s.vm_compiles s.vm_fallbacks s.vm_evictions);
+  if s.vm_steps > 0 || s.tree_steps > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "interpreted steps: %d vm / %d tree-walked%s\n" s.vm_steps
+         s.tree_steps
+         (if s.vm_deopts > 0 then Printf.sprintf ", %d deopts" s.vm_deopts
+          else ""));
+  if s.tv_evictions > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "tv scalar-cache evictions: %d\n" s.tv_evictions);
   Buffer.contents b

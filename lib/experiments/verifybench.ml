@@ -1,0 +1,441 @@
+(** Translation-validation benchmark (and equivalence gate): price the
+    bytecode VM against the tree-walking interpreter on the workload
+    [--verify] actually runs, and make the speedup unshippable unless the
+    bits are unchanged.
+
+    Three measurements land in [BENCH_verify.json]:
+
+    - {b interpreter micro}: every module of the corpus (scalar reference
+      and its vectorized transform), executed repeatedly by both engines
+      over identical seeded memory images — steps/second tree vs VM, with
+      a per-run bit-identity check (result, every memory cell, fuel).
+      The ≥3x gate lives here: this is the cost {!Verify.Tv} pays per
+      verdict miss.
+    - {b verified sweeps}: the full reward-oracle sweep with [--verify]
+      on, engine tree vs VM, serial and pooled — verified programs/sec
+      and the end-to-end overhead of verification relative to a plain
+      sweep, before (tree) and after (VM).
+    - {b counterexample identity}: a sabotaged verdict rendered by both
+      engines must produce byte-identical [Miscompiled] counterexample
+      strings, so quarantine reports and V-records cannot drift with the
+      engine. *)
+
+let wall () = Unix.gettimeofday ()
+
+let corpus_seed = 77
+
+type run = {
+  results : (Rl.Spaces.action * float) option array;
+  quarantine : (string * string) list;
+  seconds : float;
+  stats : Neurovec.Stats.snapshot;
+}
+
+(* fresh caches and counters per run: Frontend.clear also empties the Tv
+   scalar-run cache and the VM's compiled-code cache via on_clear hooks *)
+let sweep ~(engine : Verify.Tv.engine) ~(verify : bool) ~(jobs : int)
+    (programs : Dataset.Program.t array) : run =
+  Neurovec.Frontend.clear ();
+  Neurovec.Stats.reset ();
+  Verify.Tv.set_engine engine;
+  let oracle =
+    Neurovec.Reward.create
+      ~options:{ Neurovec.Pipeline.default_options with verify }
+      programs
+  in
+  let t0 = wall () in
+  let results =
+    Neurovec.Parpool.with_jobs jobs (fun () ->
+        Neurovec.Reward.sweep_all oracle)
+  in
+  let seconds = wall () -. t0 in
+  { results; quarantine = Neurovec.Reward.quarantine_report oracle; seconds;
+    stats = Neurovec.Stats.snapshot () }
+
+let sweep_best_of ~(n : int) ~engine ~verify ~jobs programs : run =
+  let rec go best k =
+    if k = 0 then best
+    else
+      let r = sweep ~engine ~verify ~jobs programs in
+      let best =
+        if r.seconds < best.seconds then r
+        else { r with seconds = best.seconds }
+      in
+      go best (k - 1)
+  in
+  go (sweep ~engine ~verify ~jobs programs) (n - 1)
+
+let check_identical ~(what : string) (a : run) (b : run) : unit =
+  if a.quarantine <> b.quarantine then
+    failwith
+      (Printf.sprintf "%s changed the quarantine report (%d vs %d entries)"
+         what
+         (List.length a.quarantine)
+         (List.length b.quarantine));
+  let bad = ref 0 in
+  Array.iteri
+    (fun i ra ->
+      match (ra, b.results.(i)) with
+      | None, None -> ()
+      | Some (aa, ar), Some (ba, br)
+        when aa = ba && Int64.bits_of_float ar = Int64.bits_of_float br ->
+          ()
+      | _ ->
+          incr bad;
+          Printf.eprintf "%s: program %d diverged\n" what i)
+    a.results;
+  if !bad > 0 then
+    failwith
+      (Printf.sprintf "%s diverged on %d/%d programs" what !bad
+         (Array.length a.results))
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter micro: steps/sec, tree vs VM                             *)
+(* ------------------------------------------------------------------ *)
+
+let find_fn (m : Ir.modul) (name : string) : Ir.func =
+  match List.find_opt (fun f -> f.Ir.fn_name = name) m.Ir.m_funcs with
+  | Some f -> f
+  | None -> failwith ("verifybench: kernel " ^ name ^ " not found")
+
+(* the two modules a --verify verdict interprets: the scalar reference
+   and the legality-clamped vectorized transform *)
+let modules_of (p : Dataset.Program.t) : (Ir.modul * string) list =
+  let bindings = p.Dataset.Program.p_bindings in
+  let lower () =
+    Ir_lower.lower_program ~bindings
+      (Minic.Parser.parse_string p.Dataset.Program.p_source)
+  in
+  let scalar = lower () in
+  let m = lower () in
+  ignore (Vectorizer.Licm.run_modul m);
+  ignore (Vectorizer.Cse.run_modul m);
+  ignore (Vectorizer.Licm.run_modul m);
+  let preps = Vectorizer.Planner.prepare_modul m in
+  ignore
+    (Vectorizer.Planner.run_prepared
+       ~plan:(Some { Vectorizer.Transform.vf = 4; if_ = 2 })
+       m preps);
+  ignore (Vectorizer.Licm.run_modul m);
+  [ (scalar, p.Dataset.Program.p_kernel); (m, p.Dataset.Program.p_kernel) ]
+
+let sorted_mem (st : Ir_interp.state) : (string * Ir_interp.mem) list =
+  List.sort compare
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.Ir_interp.mem [])
+
+let mem_bits_equal (a : Ir_interp.mem) (b : Ir_interp.mem) : bool =
+  match (a, b) with
+  | Ir_interp.MI x, Ir_interp.MI y -> x = y
+  | Ir_interp.MF x, Ir_interp.MF y ->
+      Array.length x = Array.length y
+      && Array.for_all2
+           (fun p q -> Int64.bits_of_float p = Int64.bits_of_float q)
+           x y
+  | _ -> false
+
+let rv_bits_equal (a : Ir_interp.rvalue_v option)
+    (b : Ir_interp.rvalue_v option) : bool =
+  match (a, b) with
+  | Some (Ir_interp.VF x), Some (Ir_interp.VF y) ->
+      Int64.bits_of_float x = Int64.bits_of_float y
+  | _ -> a = b
+
+type micro = {
+  mi_steps : int;  (** instructions executed across all runs *)
+  mi_seconds : float;
+  mi_compiled : int;  (** modules the bytecode compiler accepted *)
+  mi_fallback : int;  (** modules it declined (tree-walked on both sides) *)
+}
+
+(** Run every module [reps] times per engine over identical seeded
+    memory, asserting bit-identity run by run.  Returns (tree, vm). *)
+let micro_measure ~(reps : int) (mods : (Ir.modul * string) list) :
+    micro * micro =
+  let compiled = ref 0 and fallback = ref 0 in
+  let pairs =
+    List.map
+      (fun (m, kernel) ->
+        let prog = Ir_vm.compile m ~kernel in
+        (match prog with Some _ -> incr compiled | None -> incr fallback);
+        (m, kernel, prog))
+      mods
+  in
+  let tree_steps = ref 0 and tree_secs = ref 0.0 in
+  let vm_steps = ref 0 and vm_secs = ref 0.0 in
+  List.iter
+    (fun (m, kernel, prog) ->
+      let fn = find_fn m kernel in
+      for rep = 1 to reps do
+        let seed = rep land 7 in
+        (* tree walker *)
+        let st = Ir_interp.init_state ~seed m in
+        let t0 = wall () in
+        let r_tree = Ir_interp.run_func st fn () in
+        tree_secs := !tree_secs +. (wall () -. t0);
+        tree_steps := !tree_steps + st.Ir_interp.steps;
+        (* VM over an identical image *)
+        match prog with
+        | None -> ()
+        | Some prog ->
+            let st2 = Ir_interp.init_state ~seed m in
+            let mem = sorted_mem st2 in
+            let t0 = wall () in
+            let out = Ir_vm.run prog ~mem () in
+            vm_secs := !vm_secs +. (wall () -. t0);
+            vm_steps := !vm_steps + out.Ir_vm.o_steps;
+            (* the gate rides along on every measured run *)
+            if out.Ir_vm.o_steps <> st.Ir_interp.steps then
+              failwith
+                (Printf.sprintf "verifybench: fuel diverged on %s (%d vs %d)"
+                   kernel out.Ir_vm.o_steps st.Ir_interp.steps);
+            if not (rv_bits_equal out.Ir_vm.o_result r_tree) then
+              failwith ("verifybench: result bits diverged on " ^ kernel);
+            List.iter
+              (fun (name, mv) ->
+                if
+                  not
+                    (mem_bits_equal (Hashtbl.find st.Ir_interp.mem name) mv)
+                then
+                  failwith
+                    (Printf.sprintf
+                       "verifybench: memory %s diverged on %s" name kernel))
+              mem
+      done)
+    pairs;
+  ( { mi_steps = !tree_steps; mi_seconds = !tree_secs;
+      mi_compiled = !compiled; mi_fallback = !fallback },
+    { mi_steps = !vm_steps; mi_seconds = !vm_secs; mi_compiled = !compiled;
+      mi_fallback = !fallback } )
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_verify.json                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let num (f : float) : string =
+  if Float.is_finite f then Printf.sprintf "%.6f" f else "0.0"
+
+let required_keys =
+  [ "benchmark"; "corpus_programs"; "corpus_modules"; "jobs_pool";
+    "tree_steps_per_sec"; "vm_steps_per_sec"; "interp_speedup";
+    "modules_compiled"; "modules_fallback"; "sweep_plain_seconds";
+    "sweep_tree_seconds"; "sweep_vm_seconds"; "sweep_vm_pool_seconds";
+    "verified_programs_per_sec_tree"; "verified_programs_per_sec_vm";
+    "verify_overhead_tree_pct"; "verify_overhead_vm_pct";
+    "vm_cache_hit_rate"; "bit_identical"; "counterexamples_identical" ]
+
+let json_of ~(programs : int) ~(modules : int) ~(jobs_pool : int)
+    ~(tree : micro) ~(vm : micro) ~(plain : run) ~(tree_sweep : run)
+    ~(vm_sweep : run) ~(vm_pool : run) : string =
+  let rate (m : micro) =
+    float_of_int m.mi_steps /. Float.max m.mi_seconds 1e-9
+  in
+  let per_sec n dt = float_of_int n /. Float.max dt 1e-9 in
+  let overhead (v : run) =
+    100.0 *. (v.seconds -. plain.seconds) /. Float.max plain.seconds 1e-9
+  in
+  let s = vm_sweep.stats in
+  let cache_rate =
+    Neurovec.Stats.hit_rate ~hits:s.Neurovec.Stats.vm_cache_hits
+      ~misses:s.Neurovec.Stats.vm_cache_misses
+  in
+  String.concat "\n"
+    [
+      "{";
+      "  \"benchmark\": \"verifybench\",";
+      Printf.sprintf "  \"corpus_programs\": %d," programs;
+      Printf.sprintf "  \"corpus_modules\": %d," modules;
+      Printf.sprintf "  \"jobs_pool\": %d," jobs_pool;
+      Printf.sprintf "  \"tree_steps_per_sec\": %s," (num (rate tree));
+      Printf.sprintf "  \"vm_steps_per_sec\": %s," (num (rate vm));
+      Printf.sprintf "  \"interp_speedup\": %s,"
+        (num (rate vm /. Float.max (rate tree) 1e-9));
+      Printf.sprintf "  \"modules_compiled\": %d," vm.mi_compiled;
+      Printf.sprintf "  \"modules_fallback\": %d," vm.mi_fallback;
+      Printf.sprintf "  \"sweep_plain_seconds\": %s," (num plain.seconds);
+      Printf.sprintf "  \"sweep_tree_seconds\": %s," (num tree_sweep.seconds);
+      Printf.sprintf "  \"sweep_vm_seconds\": %s," (num vm_sweep.seconds);
+      Printf.sprintf "  \"sweep_vm_pool_seconds\": %s," (num vm_pool.seconds);
+      Printf.sprintf "  \"verified_programs_per_sec_tree\": %s,"
+        (num (per_sec programs tree_sweep.seconds));
+      Printf.sprintf "  \"verified_programs_per_sec_vm\": %s,"
+        (num (per_sec programs vm_sweep.seconds));
+      Printf.sprintf "  \"verify_overhead_tree_pct\": %s,"
+        (num (overhead tree_sweep));
+      Printf.sprintf "  \"verify_overhead_vm_pct\": %s,"
+        (num (overhead vm_sweep));
+      Printf.sprintf "  \"vm_cache_hit_rate\": %s," (num cache_rate);
+      "  \"bit_identical\": \"yes\",";
+      "  \"counterexamples_identical\": \"yes\"";
+      "}";
+    ]
+
+let contains (hay : string) (needle : string) : bool =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let validate (path : string) : unit =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let depth = ref 0 and min_depth = ref 0 in
+  String.iter
+    (fun c ->
+      if c = '{' then incr depth
+      else if c = '}' then begin
+        decr depth;
+        if !depth < !min_depth then min_depth := !depth
+      end)
+    text;
+  if !depth <> 0 || !min_depth < 0 then
+    failwith (path ^ ": malformed JSON (unbalanced braces)");
+  if not (String.length text > 0 && text.[0] = '{') then
+    failwith (path ^ ": malformed JSON (does not start with an object)");
+  List.iter
+    (fun k ->
+      if not (contains text (Printf.sprintf "\"%s\":" k)) then
+        failwith (Printf.sprintf "%s: missing key %S" path k))
+    required_keys;
+  List.iter
+    (fun bad ->
+      if contains text bad then
+        failwith (Printf.sprintf "%s: non-finite number %S" path bad))
+    [ "nan"; "inf" ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let print () =
+  Common.header
+    "Translation validation: tree walker vs bytecode VM, same bits, \
+     measured speedup";
+  (* at least 4 domains even on small machines: the pool run is a
+     bit-identity gate, not a speedup claim, and oversubscription is the
+     harsher schedule *)
+  let jobs = max 4 (Neurovec.Parpool.jobs ()) in
+  let programs = Dataset.Loopgen.generate ~seed:corpus_seed (Common.scaled 12) in
+  let n = Array.length programs in
+  let mods = List.concat_map modules_of (Array.to_list programs) in
+  let n_mods = List.length mods in
+  Printf.printf "corpus: %d programs -> %d modules, pool size %d\n%!" n
+    n_mods jobs;
+
+  (* interpreter micro: identical work, per-run bit-identity *)
+  let reps = Common.scaled 40 in
+  let tree, vm = micro_measure ~reps mods in
+  let rate (m : micro) =
+    float_of_int m.mi_steps /. Float.max m.mi_seconds 1e-9
+  in
+  Printf.printf "interpreter micro (%d reps/module, %d modules):\n" reps
+    n_mods;
+  Printf.printf "  tree walker: %10.0f steps/s (%d steps in %.3f s)\n"
+    (rate tree) tree.mi_steps tree.mi_seconds;
+  Printf.printf "  bytecode VM: %10.0f steps/s (%d steps in %.3f s)\n"
+    (rate vm) vm.mi_steps vm.mi_seconds;
+  Printf.printf "  compiled %d/%d modules (%d fallbacks)\n" vm.mi_compiled
+    (vm.mi_compiled + vm.mi_fallback)
+    vm.mi_fallback;
+  let interp_speedup = rate vm /. Float.max (rate tree) 1e-9 in
+  Common.bar "vm vs tree steps/s" interp_speedup;
+
+  (* verified sweeps: plain, tree-verified, vm-verified, vm pooled *)
+  let plain =
+    sweep_best_of ~n:2 ~engine:Verify.Tv.Vm ~verify:false ~jobs:1 programs
+  in
+  let tree_sweep =
+    sweep_best_of ~n:2 ~engine:Verify.Tv.Interp ~verify:true ~jobs:1 programs
+  in
+  let vm_sweep =
+    sweep_best_of ~n:2 ~engine:Verify.Tv.Vm ~verify:true ~jobs:1 programs
+  in
+  let tree_pool =
+    sweep ~engine:Verify.Tv.Interp ~verify:true ~jobs programs
+  in
+  let vm_pool = sweep ~engine:Verify.Tv.Vm ~verify:true ~jobs programs in
+  Verify.Tv.set_engine (Verify.Tv.Vm);
+  let overhead (v : run) =
+    100.0 *. (v.seconds -. plain.seconds) /. Float.max plain.seconds 1e-9
+  in
+  Printf.printf "verified sweeps (%d programs x 35 actions):\n" n;
+  Printf.printf "  plain sweep      (--jobs 1): %6.2f s\n" plain.seconds;
+  Printf.printf
+    "  --verify, tree   (--jobs 1): %6.2f s (%.1f%% overhead, %.1f \
+     programs/s)\n"
+    tree_sweep.seconds (overhead tree_sweep)
+    (float_of_int n /. Float.max tree_sweep.seconds 1e-9);
+  Printf.printf
+    "  --verify, vm     (--jobs 1): %6.2f s (%.1f%% overhead, %.1f \
+     programs/s)\n"
+    vm_sweep.seconds (overhead vm_sweep)
+    (float_of_int n /. Float.max vm_sweep.seconds 1e-9);
+  Printf.printf "  --verify, vm     (--jobs %d): %6.2f s\n" jobs
+    vm_pool.seconds;
+
+  (* the gates: speedup is unshippable unless the bits are unchanged *)
+  check_identical ~what:"verify on vs off (jobs 1)" plain vm_sweep;
+  check_identical ~what:"vm vs tree engine (jobs 1)" tree_sweep vm_sweep;
+  check_identical ~what:"vm vs tree engine (pool)" tree_pool vm_pool;
+  check_identical ~what:"vm jobs 1 vs pool" vm_sweep vm_pool;
+
+  (* counterexample identity: the sabotage knob through both engines *)
+  let sab_src =
+    "int a[64]; int b[64];\n\
+     int kernel() { int i; for (i=0;i<64;i++) a[i] = b[i] + 1; return \
+     a[7]; }"
+  in
+  let lower src = Ir_lower.lower_program (Minic.Parser.parse_string src) in
+  let scalar = lower sab_src and vec = lower sab_src in
+  let cx_of engine =
+    Verify.Tv.set_engine engine;
+    Neurovec.Frontend.clear ();
+    match
+      Verify.Tv.verify ~sabotage:true ~key:"verifybench-sab" ~scalar
+        ~scalar_key:"verifybench-sab-s" ~kernel:"kernel" vec
+    with
+    | Verify.Tv.Refuted cx -> Verify.Tv.render cx
+    | Verify.Tv.Equivalent -> failwith "verifybench: sabotage not refuted"
+  in
+  let cx_vm = cx_of Verify.Tv.Vm and cx_tree = cx_of Verify.Tv.Interp in
+  Verify.Tv.set_engine Verify.Tv.Vm;
+  if cx_vm <> cx_tree then
+    failwith
+      (Printf.sprintf
+         "verifybench: counterexamples drifted between engines (%S vs %S)"
+         cx_vm cx_tree);
+  Printf.printf
+    "bit-identical: yes (tree = vm at jobs 1 and jobs %d; counterexamples \
+     byte-identical)\n"
+    jobs;
+
+  let path = "BENCH_verify.json" in
+  let oc = open_out path in
+  output_string oc
+    (json_of ~programs:n ~modules:n_mods ~jobs_pool:jobs ~tree ~vm ~plain
+       ~tree_sweep ~vm_sweep ~vm_pool);
+  output_char oc '\n';
+  close_out oc;
+  validate path;
+  Printf.printf "wrote %s\n" path;
+  if vm.mi_fallback > 0 then
+    failwith
+      (Printf.sprintf
+         "verifybench: %d/%d modules fell back to the tree walker — the \
+          corpus is supposed to be fully compilable"
+         vm.mi_fallback
+         (vm.mi_compiled + vm.mi_fallback));
+  (* the throughput gate needs a quiet machine; CI runners relax it with
+     NEUROVEC_VERIFYBENCH_SPEEDUP_GATE=0 and gate on bit-identity only
+     (every identity check above is an unconditional failwith) *)
+  let gate =
+    match Sys.getenv_opt "NEUROVEC_VERIFYBENCH_SPEEDUP_GATE" with
+    | Some s -> ( match float_of_string_opt s with Some g -> g | None -> 3.0)
+    | None -> 3.0
+  in
+  if interp_speedup < gate then
+    failwith
+      (Printf.sprintf
+         "verifybench: interpreter speedup %.2fx is below the %.1fx gate"
+         interp_speedup gate)

@@ -77,7 +77,7 @@ let init_state ?(seed = 0) ?(max_steps = 200_000_000) ?observer ?loop_enter
 (* Scalar semantics                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let wrap_int (sty : Ir.scalar_ty) (v : int64) : int64 =
+let[@inline always] wrap_int (sty : Ir.scalar_ty) (v : int64) : int64 =
   match sty with
   | Ir.I1 -> Int64.logand v 1L
   | Ir.I8 -> Int64.shift_right (Int64.shift_left v 56) 56
@@ -86,9 +86,9 @@ let wrap_int (sty : Ir.scalar_ty) (v : int64) : int64 =
   | Ir.I64 -> v
   | Ir.F32 | Ir.F64 -> v
 
-let round_f32 (f : float) : float = Int32.float_of_bits (Int32.bits_of_float f)
+let[@inline always] round_f32 (f : float) : float = Int32.float_of_bits (Int32.bits_of_float f)
 
-let wrap_float (sty : Ir.scalar_ty) (f : float) : float =
+let[@inline always] wrap_float (sty : Ir.scalar_ty) (f : float) : float =
   match sty with Ir.F32 -> round_f32 f | _ -> f
 
 let ibin_eval (op : Ir.ibin) (a : int64) (b : int64) : int64 =
@@ -105,7 +105,7 @@ let ibin_eval (op : Ir.ibin) (a : int64) (b : int64) : int64 =
   | Ir.Or -> logor a b
   | Ir.Xor -> logxor a b
 
-let fbin_eval (op : Ir.fbin) (a : float) (b : float) : float =
+let[@inline always] fbin_eval (op : Ir.fbin) (a : float) (b : float) : float =
   match op with
   | Ir.FAdd -> a +. b
   | Ir.FSub -> a -. b

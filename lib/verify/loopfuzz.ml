@@ -212,24 +212,41 @@ let check (p : Dataset.Program.t) ~(vf : int) ~(if_ : int) :
   in
   (Tv.verify ~key ~scalar ~scalar_key:(src_hash ^ "|" ^ kernel) ~kernel m, psig)
 
+type hunt_stats = {
+  hs_requested : int;  (** iterations asked for *)
+  hs_ran : int;  (** cases actually executed before any deadline *)
+  hs_elapsed_s : float;  (** wall seconds spent *)
+  hs_deadline_hit : bool;  (** the hunt was truncated by [deadline_s] *)
+  hs_families : (string * int) list;
+      (** cases run per dependence-boundary family, sorted by name — CI
+          logs show coverage, not just pass/fail *)
+}
+
 (** Run [iterations] fuzz cases from [seed]; returns the refutations and
-    how many cases actually ran.  [deadline_s] (wall seconds) only
-    truncates the iteration count — verdicts of the cases that do run are
-    bit-identical whatever the deadline, so a CI-bounded hunt that finds
-    a refutation reproduces by seed. *)
+    coverage statistics.  [deadline_s] (wall seconds) only truncates the
+    iteration count — verdicts of the cases that do run are bit-identical
+    whatever the deadline, so a CI-bounded hunt that finds a refutation
+    reproduces by seed. *)
 let hunt ?(deadline_s : float option) ~(seed : int) ~(iterations : int) () :
-    refutation list * int =
+    refutation list * hunt_stats =
   let t0 = Unix.gettimeofday () in
   let cases = generate ~seed iterations in
   let refuted = ref [] in
   let ran = ref 0 in
+  let deadline_hit = ref false in
+  let fam_counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
   (try
      Array.iter
        (fun c ->
          (match deadline_s with
-         | Some d when Unix.gettimeofday () -. t0 > d -> raise Exit
+         | Some d when Unix.gettimeofday () -. t0 > d ->
+             deadline_hit := true;
+             raise Exit
          | _ -> ());
          incr ran;
+         let fam = c.c_program.Dataset.Program.p_family in
+         Hashtbl.replace fam_counts fam
+           (1 + Option.value ~default:0 (Hashtbl.find_opt fam_counts fam));
          match check c.c_program ~vf:c.c_vf ~if_:c.c_if with
          | Tv.Equivalent, _ -> ()
          | Tv.Refuted cx, psig ->
@@ -241,7 +258,16 @@ let hunt ?(deadline_s : float option) ~(seed : int) ~(iterations : int) () :
                :: !refuted)
        cases
    with Exit -> ());
-  (List.rev !refuted, !ran)
+  let stats =
+    { hs_requested = iterations;
+      hs_ran = !ran;
+      hs_elapsed_s = Unix.gettimeofday () -. t0;
+      hs_deadline_hit = !deadline_hit;
+      hs_families =
+        List.sort compare
+          (Hashtbl.fold (fun k n acc -> (k, n) :: acc) fam_counts []) }
+  in
+  (List.rev !refuted, stats)
 
 (* ------------------------------------------------------------------ *)
 (* QCheck property                                                      *)

@@ -34,6 +34,47 @@ exception Miscompile of string
     so the supervisor must never retry it. *)
 
 (* ------------------------------------------------------------------ *)
+(* Execution engine                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Which engine interprets kernels.  [Vm] compiles modules to {!Ir_vm}
+    bytecode (content-addressed, cached) and falls back to the tree
+    walker for anything outside the compiler's bit-exact subset; [Interp]
+    forces the tree-walking reference.  Verdicts are bit-identical either
+    way — that is the VM's contract, enforced by the differential suite —
+    so this knob exists for benchmarking and for the CI differential
+    gate, not for correctness. *)
+type engine = Vm | Interp
+
+let engine_of_env () : engine =
+  match Sys.getenv_opt "NEUROVEC_TV_ENGINE" with
+  | Some ("interp" | "tree") -> Interp
+  | Some "vm" | None -> Vm
+  | Some other ->
+      Printf.eprintf
+        "neurovec: unknown NEUROVEC_TV_ENGINE=%S (want vm|interp); using vm\n\
+         %!"
+        other;
+      Vm
+
+let cur_engine : engine Atomic.t = Atomic.make (engine_of_env ())
+let set_engine (e : engine) : unit = Atomic.set cur_engine e
+let engine () : engine = Atomic.get cur_engine
+
+(* steps executed by the tree walker on behalf of verification (the VM
+   counts its own in [Ir_vm.stats]); polled by [Stats.snapshot] *)
+let c_tree_steps = Atomic.make 0
+let tree_steps () : int = Atomic.get c_tree_steps
+
+(* scalar-run cache FIFO evictions; polled by [Stats.snapshot] *)
+let c_sc_evictions = Atomic.make 0
+let sc_evictions () : int = Atomic.get c_sc_evictions
+
+let reset_counters () : unit =
+  Atomic.set c_tree_steps 0;
+  Atomic.set c_sc_evictions 0
+
+(* ------------------------------------------------------------------ *)
 (* Content-derived inputs                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -114,22 +155,51 @@ type run = {
 let find_fn (m : Ir.modul) (name : string) : Ir.func option =
   List.find_opt (fun f -> f.Ir.fn_name = name) m.Ir.m_funcs
 
-let run_kernel (m : Ir.modul) ~(kernel : string) (inp : input) :
+let mem_assoc_of_state (st : Ir_interp.state) :
+    (string * Ir_interp.mem) list =
+  List.sort compare
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.Ir_interp.mem [])
+
+let run_kernel_tree (m : Ir.modul) ~(kernel : string) (inp : input) :
     (run, string) result =
   match find_fn m kernel with
   | None -> Error (Printf.sprintf "kernel %s not found" kernel)
   | Some fn -> (
       let st = state_for m inp in
+      let count () =
+        ignore (Atomic.fetch_and_add c_tree_steps st.Ir_interp.steps)
+      in
       match Ir_interp.run_func st fn () with
       | r ->
-          Ok
-            { run_rv = r;
-              run_mem =
-                List.sort compare
-                  (Hashtbl.fold
-                     (fun k v acc -> (k, v) :: acc)
-                     st.Ir_interp.mem []) }
-      | exception Ir_interp.Trap msg -> Error msg)
+          count ();
+          Ok { run_rv = r; run_mem = mem_assoc_of_state st }
+      | exception Ir_interp.Trap msg ->
+          count ();
+          Error msg)
+
+(** Interpret [kernel] of [m] on [inp].  When the engine is [Vm] and the
+    caller supplies [vm_key] (a content key uniquely identifying the
+    module's semantics), the kernel runs as cached {!Ir_vm} bytecode over
+    the same input memory — bit-identical results, traps, and fuel by the
+    VM's contract; modules outside the compiled subset fall back to the
+    tree walker. *)
+let run_kernel ?(vm_key : string option) (m : Ir.modul) ~(kernel : string)
+    (inp : input) : (run, string) result =
+  match vm_key with
+  | Some key when engine () = Vm -> (
+      match Ir_vm.load ~key m ~kernel with
+      | None -> run_kernel_tree m ~kernel inp
+      | Some prog -> (
+          let st = state_for m inp in
+          let mem = mem_assoc_of_state st in
+          match Ir_vm.run prog ~mem () with
+          | out -> Ok { run_rv = out.Ir_vm.o_result; run_mem = mem }
+          | exception Ir_interp.Trap msg -> Error msg
+          | exception Ir_vm.Deopt ->
+              (* the VM abandoned the native-int invariant mid-run;
+                 [mem] may be partially mutated — rerun from fresh state *)
+              run_kernel_tree m ~kernel inp))
+  | _ -> run_kernel_tree m ~kernel inp
 
 type counterexample = {
   cx_input : string;  (** which derived input refuted the plan *)
@@ -282,17 +352,37 @@ let sabotage_run ~(key : string) (v : run) : run =
    input), never on the plan under verification, so one program's scalar
    runs are shared by every plan of its sweep.  Cached runs are read-only
    after commit (first commit wins; racing recomputation is
-   deterministic).  The table is a pure cache: it is reset past a size cap
-   so a long-lived daemon cannot grow it without bound, and
-   {!clear_cache} hooks into [Frontend.clear]. *)
+   deterministic).  The table is a pure cache, bounded like the
+   [Frontend] shards: a FIFO queue remembers insertion order and the
+   oldest entries are evicted past the cap ([NEUROVEC_TV_CAP]), so a
+   long-lived daemon keeps its warm entries instead of periodically
+   losing the whole table to a reset.  {!clear_cache} hooks into
+   [Frontend.clear]. *)
 
-let sc_cap = 4096
+let sc_cap =
+  match Sys.getenv_opt "NEUROVEC_TV_CAP" with
+  | None -> 4096
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ ->
+          Printf.eprintf
+            "neurovec: unparseable NEUROVEC_TV_CAP=%S, using the default \
+             4096\n\
+             %!"
+            s;
+          4096)
+
 let sc_lock = Mutex.create ()
 
 let sc_tbl : (string, (run, string) result) Hashtbl.t = Hashtbl.create 256
+let sc_order : string Queue.t = Queue.create ()
 
 let clear_cache () : unit =
-  Mutex.protect sc_lock (fun () -> Hashtbl.reset sc_tbl)
+  Mutex.protect sc_lock (fun () ->
+      Hashtbl.reset sc_tbl;
+      Queue.clear sc_order);
+  Ir_vm.clear_cache ()
 
 let scalar_run ~(scalar_key : string) ~(kernel : string)
     (scalar : Ir.modul) (inp : input) : (run, string) result =
@@ -300,13 +390,23 @@ let scalar_run ~(scalar_key : string) ~(kernel : string)
   match Mutex.protect sc_lock (fun () -> Hashtbl.find_opt sc_tbl k) with
   | Some r -> r
   | None -> (
-      let r = run_kernel scalar ~kernel inp in
+      let r = run_kernel ~vm_key:scalar_key scalar ~kernel inp in
       Mutex.protect sc_lock (fun () ->
-          if Hashtbl.length sc_tbl >= sc_cap then Hashtbl.reset sc_tbl;
           match Hashtbl.find_opt sc_tbl k with
           | Some winner -> winner
           | None ->
               Hashtbl.replace sc_tbl k r;
+              Queue.add k sc_order;
+              while
+                Hashtbl.length sc_tbl > sc_cap
+                && not (Queue.is_empty sc_order)
+              do
+                let oldest = Queue.pop sc_order in
+                if Hashtbl.mem sc_tbl oldest then begin
+                  Hashtbl.remove sc_tbl oldest;
+                  Atomic.incr c_sc_evictions
+                end
+              done;
               r))
 
 (* ------------------------------------------------------------------ *)
@@ -329,7 +429,7 @@ let verify ?(sabotage = false) ~(key : string) ~(scalar : Ir.modul)
         match scalar_run ~scalar_key ~kernel scalar inp with
         | Error _ -> go rest (* the reference cannot evaluate this input *)
         | Ok s -> (
-            match run_kernel transformed ~kernel inp with
+            match run_kernel ~vm_key:key transformed ~kernel inp with
             | Error msg ->
                 Refuted
                   { cx_input = input_name inp; cx_cell = "trap";

@@ -20,11 +20,64 @@ let find_fn (m : Ir.modul) (name : string) : Ir.func =
   | Some f -> f
   | None -> Alcotest.failf "function %s not found" name
 
-(* interpret [m]'s kernel; returns the result and the final state *)
+(* bit-exact equality for engine cross-checks: NaN bits included *)
+let rv_bits_equal (a : Ir_interp.rvalue_v option)
+    (b : Ir_interp.rvalue_v option) : bool =
+  match (a, b) with
+  | Some (Ir_interp.VF x), Some (Ir_interp.VF y) ->
+      Int64.bits_of_float x = Int64.bits_of_float y
+  | Some (Ir_interp.VVF x), Some (Ir_interp.VVF y) ->
+      Array.length x = Array.length y
+      && Array.for_all2
+           (fun p q -> Int64.bits_of_float p = Int64.bits_of_float q)
+           x y
+  | _ -> a = b
+
+let mem_bits_equal (a : Ir_interp.mem) (b : Ir_interp.mem) : bool =
+  match (a, b) with
+  | Ir_interp.MI x, Ir_interp.MI y -> x = y
+  | Ir_interp.MF x, Ir_interp.MF y ->
+      Array.length x = Array.length y
+      && Array.for_all2
+           (fun p q -> Int64.bits_of_float p = Int64.bits_of_float q)
+           x y
+  | _ -> false
+
+(* interpret [m]'s kernel; returns the result and the final state.  When
+   the bytecode compiler accepts the module, an identically-initialized
+   memory image also runs through the VM and the outcome must be
+   bit-identical — result, every memory cell, and the fuel count — so
+   every differential run doubles as a VM-vs-interpreter gate. *)
 let interp (m : Ir.modul) (kernel : string) :
     Ir_interp.rvalue_v option * Ir_interp.state =
   let st = Ir_interp.init_state m in
   let r = Ir_interp.run_func st (find_fn m kernel) () in
+  (match Ir_vm.compile m ~kernel with
+  | None -> ()
+  | Some prog ->
+      let st2 = Ir_interp.init_state m in
+      let mem =
+        List.sort compare
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st2.Ir_interp.mem [])
+      in
+      (match Ir_vm.run prog ~mem () with
+      | exception Ir_vm.Deopt ->
+          (* the VM detected a value outside its native-int invariant and
+             declined at runtime; the tree-walker result stands alone *)
+          ()
+      | out ->
+      if not (rv_bits_equal out.Ir_vm.o_result r) then
+        Alcotest.failf "VM result diverged from the tree walker on %s" kernel;
+      if out.Ir_vm.o_steps <> st.Ir_interp.steps then
+        Alcotest.failf "VM fuel %d <> tree fuel %d on %s" out.Ir_vm.o_steps
+          st.Ir_interp.steps kernel;
+      List.iter
+        (fun (name, mv) ->
+          if not (mem_bits_equal (Hashtbl.find st.Ir_interp.mem name) mv)
+          then
+            Alcotest.failf "VM memory for %s diverged from the tree walker"
+              name)
+        mem));
   (r, st)
 
 (* plain scalar reference: parse + lower, no optimization, no vectorizer *)

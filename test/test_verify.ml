@@ -502,8 +502,14 @@ let test_fuzz_generator_deterministic () =
 let test_fuzz_hunt_finds_nothing () =
   (* the CI gate in miniature: dependence-boundary loops, clamped plans,
      zero refutations.  A failure here is a real legality bug. *)
-  let refutations, ran = Verify.Loopfuzz.hunt ~seed:9 ~iterations:48 () in
-  Alcotest.(check int) "all cases ran" 48 ran;
+  let refutations, st = Verify.Loopfuzz.hunt ~seed:9 ~iterations:48 () in
+  Alcotest.(check int) "all cases ran" 48 st.Verify.Loopfuzz.hs_ran;
+  Alcotest.(check bool) "no deadline hit" false
+    st.Verify.Loopfuzz.hs_deadline_hit;
+  Alcotest.(check int) "family coverage sums to the run count" 48
+    (List.fold_left
+       (fun acc (_, n) -> acc + n)
+       0 st.Verify.Loopfuzz.hs_families);
   match refutations with
   | [] -> ()
   | r :: _ ->
@@ -513,14 +519,288 @@ let test_fuzz_hunt_finds_nothing () =
         r.Verify.Loopfuzz.r_cx r.Verify.Loopfuzz.r_source
 
 let test_fuzz_deadline_truncates () =
-  let refutations, ran =
+  let refutations, st =
     Verify.Loopfuzz.hunt ~deadline_s:0.0 ~seed:9 ~iterations:1000 ()
   in
+  let ran = st.Verify.Loopfuzz.hs_ran in
   Alcotest.(check (list string)) "no refutations" []
     (List.map (fun r -> r.Verify.Loopfuzz.r_name) refutations);
   Alcotest.(check bool)
     (Printf.sprintf "deadline truncated the hunt (%d ran)" ran)
-    true (ran < 1000)
+    true (ran < 1000);
+  Alcotest.(check bool) "deadline reported" true
+    st.Verify.Loopfuzz.hs_deadline_hit
+
+(* ------------------------------------------------------------------ *)
+(* The bytecode VM: engine bit-identity and the compiled-code cache     *)
+(* ------------------------------------------------------------------ *)
+
+(* build (scalar, transformed) through the exact passes Loopfuzz.check
+   and the pipeline's shared-artifact path use *)
+let fuzz_modules (p : Dataset.Program.t) ~vf ~if_ =
+  let bindings = p.Dataset.Program.p_bindings in
+  let prog = Minic.Parser.parse_string p.Dataset.Program.p_source in
+  ignore (Minic.Sema.analyze ~bindings prog);
+  let scalar = Ir_lower.lower_program ~bindings prog in
+  let m = Ir_lower.lower_program ~bindings prog in
+  ignore (Vectorizer.Licm.run_modul m);
+  ignore (Vectorizer.Cse.run_modul m);
+  ignore (Vectorizer.Licm.run_modul m);
+  let preps = Vectorizer.Planner.prepare_modul m in
+  ignore
+    (Vectorizer.Planner.run_prepared
+       ~plan:(Some { Vectorizer.Transform.vf; if_ })
+       m preps);
+  ignore (Vectorizer.Licm.run_modul m);
+  (scalar, m)
+
+(* one engine run, raw: outcome or trap, final memory, fuel spent *)
+type raw = {
+  raw_result : (Ir_interp.rvalue_v option, string) result;
+  raw_mem : (string * Ir_interp.mem) list;
+  raw_steps : int option;  (* None when the engine trapped *)
+}
+
+let sorted_mem (st : Ir_interp.state) =
+  List.sort compare
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.Ir_interp.mem [])
+
+let tree_raw ?max_steps (m : Ir.modul) ~kernel ~seed : raw =
+  let st = Ir_interp.init_state ~seed ?max_steps m in
+  match Ir_interp.run_func st (find_fn m kernel) () with
+  | r ->
+      { raw_result = Ok r; raw_mem = sorted_mem st;
+        raw_steps = Some st.Ir_interp.steps }
+  | exception Ir_interp.Trap msg ->
+      { raw_result = Error msg; raw_mem = sorted_mem st; raw_steps = None }
+
+let vm_raw ?max_steps (m : Ir.modul) ~kernel ~seed : raw option =
+  match Ir_vm.compile m ~kernel with
+  | None -> None
+  | Some prog -> (
+      let st = Ir_interp.init_state ~seed m in
+      let mem = sorted_mem st in
+      match Ir_vm.run prog ~mem ?max_steps () with
+      | out ->
+          Some
+            { raw_result = Ok out.Ir_vm.o_result; raw_mem = mem;
+              raw_steps = Some out.Ir_vm.o_steps }
+      | exception Ir_interp.Trap msg ->
+          Some { raw_result = Error msg; raw_mem = mem; raw_steps = None })
+
+let rv_bits_equal (a : Ir_interp.rvalue_v option)
+    (b : Ir_interp.rvalue_v option) : bool =
+  match (a, b) with
+  | Some (Ir_interp.VF x), Some (Ir_interp.VF y) -> bits x = bits y
+  | Some (Ir_interp.VVF x), Some (Ir_interp.VVF y) ->
+      Array.length x = Array.length y
+      && Array.for_all2 (fun p q -> bits p = bits q) x y
+  | _ -> a = b
+
+let mem_bits_equal (a : Ir_interp.mem) (b : Ir_interp.mem) : bool =
+  match (a, b) with
+  | Ir_interp.MI x, Ir_interp.MI y -> x = y
+  | Ir_interp.MF x, Ir_interp.MF y ->
+      Array.length x = Array.length y
+      && Array.for_all2 (fun p q -> bits p = bits q) x y
+  | _ -> false
+
+(* why two raw runs differ, or None when bit-identical — including the
+   partial memory left behind by a trap (both engines execute the same
+   ops in the same order, so a mid-loop trap leaves identical writes) *)
+let raw_diff (t : raw) (v : raw) : string option =
+  match (t.raw_result, v.raw_result) with
+  | Ok _, Error e -> Some ("vm trapped, tree did not: " ^ e)
+  | Error e, Ok _ -> Some ("tree trapped, vm did not: " ^ e)
+  | Error x, Error y when x <> y ->
+      Some (Printf.sprintf "trap message %S vs %S" x y)
+  | Ok x, Ok y when not (rv_bits_equal x y) -> Some "result bits differ"
+  | _ ->
+      if t.raw_steps <> v.raw_steps then
+        Some
+          (Printf.sprintf "fuel %s vs %s"
+             (match t.raw_steps with Some n -> string_of_int n | None -> "-")
+             (match v.raw_steps with Some n -> string_of_int n | None -> "-"))
+      else if List.map fst t.raw_mem <> List.map fst v.raw_mem then
+        Some "array sets differ"
+      else
+        List.fold_left2
+          (fun acc (name, a) (_, b) ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                if mem_bits_equal a b then None
+                else Some (Printf.sprintf "memory %s diverged" name))
+          None t.raw_mem v.raw_mem
+
+let check_engines_identical ~(what : string) (m : Ir.modul)
+    ~(kernel : string) ~(seed : int) : bool =
+  match vm_raw m ~kernel ~seed with
+  | None -> false (* compiler declined; the tree walker is the engine *)
+  | Some v -> (
+      match raw_diff (tree_raw m ~kernel ~seed) v with
+      | None -> true
+      | Some why -> Alcotest.failf "%s (seed %d): %s" what seed why)
+
+(* qcheck: the six dependence-boundary families through both engines —
+   bit-identical memory, results, traps, and fuel on every case *)
+let prop_vm_fuzz_families_bit_identical =
+  QCheck.Test.make ~name:"vm vs interpreter on loopfuzz families" ~count:40
+    QCheck.(
+      make
+        ~print:(fun seed -> Printf.sprintf "seed=%d" seed)
+        Gen.(int_range 3000 3999))
+    (fun seed ->
+      let cases = Verify.Loopfuzz.generate ~seed 6 in
+      Array.for_all
+        (fun c ->
+          let p = c.Verify.Loopfuzz.c_program in
+          let scalar, vec =
+            fuzz_modules p ~vf:c.Verify.Loopfuzz.c_vf
+              ~if_:c.Verify.Loopfuzz.c_if
+          in
+          let kernel = p.Dataset.Program.p_kernel in
+          let both m what =
+            List.for_all
+              (fun s -> check_engines_identical ~what m ~kernel ~seed:s)
+              [ 1; 77 ]
+          in
+          (* require the VM to actually cover these shapes: a silent
+             fallback would turn this property into a no-op *)
+          both scalar (p.Dataset.Program.p_name ^ " scalar")
+          && both vec (p.Dataset.Program.p_name ^ " transformed"))
+        cases)
+
+let test_vm_trap_parity () =
+  (* an out-of-bounds store: same trap message, same faulting address,
+     same partial memory at the point of the trap *)
+  let src =
+    "int a[8];\nint kernel() { int i; for (i=0;i<16;i++) a[i] = i + 1; \
+     return 0; }"
+  in
+  let m = lower src in
+  let t = tree_raw m ~kernel:"kernel" ~seed:0 in
+  (match t.raw_result with
+  | Error msg ->
+      Alcotest.(check string) "tree traps out of bounds"
+        "out-of-bounds store a[8] (size 8)" msg
+  | Ok _ -> Alcotest.fail "expected the tree walker to trap");
+  match vm_raw m ~kernel:"kernel" ~seed:0 with
+  | None -> Alcotest.fail "vm declined a plain counted loop"
+  | Some v -> (
+      match raw_diff t v with
+      | None -> ()
+      | Some why -> Alcotest.failf "engines diverged: %s" why)
+
+let test_vm_fuel_parity () =
+  let m = lower copy_src in
+  (* both engines must exhaust the same budget on the same instruction *)
+  let t = tree_raw ~max_steps:50 m ~kernel:"kernel" ~seed:0 in
+  (match t.raw_result with
+  | Error "step budget exceeded" -> ()
+  | _ -> Alcotest.fail "tree should exhaust a 50-step budget");
+  (match vm_raw ~max_steps:50 m ~kernel:"kernel" ~seed:0 with
+  | None -> Alcotest.fail "vm declined the copy loop"
+  | Some v -> (
+      match raw_diff t v with
+      | None -> ()
+      | Some why -> Alcotest.failf "fuel-trap divergence: %s" why));
+  (* and with room to finish, spend identical fuel *)
+  let t = tree_raw m ~kernel:"kernel" ~seed:0 in
+  match vm_raw m ~kernel:"kernel" ~seed:0 with
+  | None -> Alcotest.fail "vm declined the copy loop"
+  | Some v -> (
+      match raw_diff t v with
+      | None -> ()
+      | Some why -> Alcotest.failf "engines diverged: %s" why)
+
+let test_vm_cache_fifo_and_none_caching () =
+  Verify.Tv.clear_cache ();
+  let m = lower copy_src in
+  let s0 = Ir_vm.stats () in
+  Ir_vm.set_shard_capacity 2;
+  (* same-first-byte keys land in one shard, so the FIFO cap is exact *)
+  let p1 = Ir_vm.load ~key:"a-key-1" m ~kernel:"kernel" in
+  Alcotest.(check bool) "compiles" true (p1 <> None);
+  (match (Ir_vm.load ~key:"a-key-1" m ~kernel:"kernel", p1) with
+  | Some a, Some b ->
+      Alcotest.(check bool) "second load is the same program" true (a == b)
+  | _ -> Alcotest.fail "cached program lost");
+  let s1 = Ir_vm.stats () in
+  Alcotest.(check int) "one cache hit" 1
+    (s1.Ir_vm.vs_cache_hits - s0.Ir_vm.vs_cache_hits);
+  ignore (Ir_vm.load ~key:"a-key-2" m ~kernel:"kernel");
+  ignore (Ir_vm.load ~key:"a-key-3" m ~kernel:"kernel");
+  ignore (Ir_vm.load ~key:"a-key-4" m ~kernel:"kernel");
+  let s2 = Ir_vm.stats () in
+  Alcotest.(check int) "FIFO evicted past the cap" 2
+    (s2.Ir_vm.vs_evictions - s0.Ir_vm.vs_evictions);
+  (* fallback decisions are cached too: a missing kernel is one failed
+     compile, then hits *)
+  Alcotest.(check bool) "missing kernel falls back" true
+    (Ir_vm.load ~key:"a-none" m ~kernel:"nope" = None);
+  let s3 = Ir_vm.stats () in
+  Alcotest.(check bool) "fallback counted" true
+    (s3.Ir_vm.vs_fallbacks > s2.Ir_vm.vs_fallbacks);
+  Alcotest.(check bool) "cached fallback" true
+    (Ir_vm.load ~key:"a-none" m ~kernel:"nope" = None);
+  let s4 = Ir_vm.stats () in
+  Alcotest.(check int) "fallback served from cache" 1
+    (s4.Ir_vm.vs_cache_hits - s3.Ir_vm.vs_cache_hits);
+  Ir_vm.set_shard_capacity 256;
+  Verify.Tv.clear_cache ()
+
+let test_vm_cache_thrash_jobs_identity () =
+  (* corruption-style: a 1-entry-per-shard code cache thrashes on every
+     lookup while 4 domains race compiles — verdicts, rewards, and
+     quarantine must still be bit-identical to --jobs 1 *)
+  Ir_vm.set_shard_capacity 1;
+  Fun.protect
+    ~finally:(fun () ->
+      Ir_vm.set_shard_capacity 256;
+      Verify.Tv.clear_cache ())
+    (fun () ->
+      let programs = Dataset.Loopgen.generate ~seed:113 6 in
+      Neurovec.Stats.reset ();
+      Test_parallel.check_sweeps_equal
+        (Test_parallel.sweep ~options:verify_options ~jobs:1 programs)
+        (Test_parallel.sweep ~options:verify_options ~jobs:4 programs);
+      let snap = Neurovec.Stats.snapshot () in
+      Alcotest.(check bool) "vm executed the verification load" true
+        (snap.Neurovec.Stats.vm_steps > 0);
+      Alcotest.(check bool) "thrashing cache evicted" true
+        (snap.Neurovec.Stats.vm_evictions > 0);
+      Alcotest.(check bool) "stats report shows the vm code cache" true
+        (contains (Neurovec.Stats.report ()) "vm code cache"))
+
+let test_vm_engine_verdicts_identical () =
+  (* the sabotage knob through both engines: identical verdicts and
+     byte-identical rendered counterexamples *)
+  let scalar = lower copy_src in
+  let vec = transformed ~vf:8 copy_src "kernel" in
+  let run engine =
+    Verify.Tv.clear_cache ();
+    Verify.Tv.set_engine engine;
+    ( Verify.Tv.verify ~key:"eng-cmp" ~scalar ~scalar_key:"eng-cmp-s"
+        ~kernel:"kernel" vec,
+      Verify.Tv.verify ~sabotage:true ~key:"eng-cmp" ~scalar
+        ~scalar_key:"eng-cmp-s" ~kernel:"kernel" vec )
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Verify.Tv.set_engine Verify.Tv.Vm;
+      Verify.Tv.clear_cache ())
+    (fun () ->
+      let clean_vm, sab_vm = run Verify.Tv.Vm in
+      let clean_tree, sab_tree = run Verify.Tv.Interp in
+      (match (clean_vm, clean_tree) with
+      | Verify.Tv.Equivalent, Verify.Tv.Equivalent -> ()
+      | _ -> Alcotest.fail "clean transform must verify on both engines");
+      match (sab_vm, sab_tree) with
+      | Verify.Tv.Refuted a, Verify.Tv.Refuted b ->
+          Alcotest.(check string) "byte-identical counterexamples"
+            (Verify.Tv.render b) (Verify.Tv.render a)
+      | _ -> Alcotest.fail "sabotage must refute on both engines")
 
 let suite =
   [
@@ -578,5 +858,19 @@ let suite =
           test_fuzz_deadline_truncates;
         QCheck_alcotest.to_alcotest
           (Verify.Loopfuzz.prop_legality_accepted_plans_verify ~count:25 ());
+      ] );
+    ( "verify.vm",
+      [
+        QCheck_alcotest.to_alcotest prop_vm_fuzz_families_bit_identical;
+        Alcotest.test_case "trap parity (message + partial memory)" `Quick
+          test_vm_trap_parity;
+        Alcotest.test_case "fuel parity (budget exhaustion)" `Quick
+          test_vm_fuel_parity;
+        Alcotest.test_case "code cache: FIFO eviction + cached fallback"
+          `Quick test_vm_cache_fifo_and_none_caching;
+        Alcotest.test_case "code cache thrash: jobs 1 = jobs 4" `Slow
+          test_vm_cache_thrash_jobs_identity;
+        Alcotest.test_case "engine verdicts byte-identical" `Quick
+          test_vm_engine_verdicts_identical;
       ] );
   ]
