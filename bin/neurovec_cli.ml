@@ -104,6 +104,15 @@ let or_compile_error (f : unit -> unit) : unit =
       Printf.eprintf "neurovec: translation validation refuted the plan: %s\n"
         msg;
       exit 1
+  | Rl.Sentinel.Unrecoverable msg ->
+      Printf.eprintf
+        "neurovec: training unrecoverable: %s (rollback budget exhausted)\n"
+        msg;
+      exit 1
+  | Fsio.Disk_fault { op; path; kind } ->
+      Printf.eprintf "neurovec: disk fault: %s writing %s (%s)\n"
+        (Fsio.fault_kind_name kind) path op;
+      exit 1
   | Sys_error msg ->
       Printf.eprintf "neurovec: %s\n" msg;
       exit 1
@@ -242,21 +251,47 @@ let train_cmd =
   let lr = Arg.(value & opt float 5e-4 & info [ "lr" ]) in
   let save = Arg.(value & opt (some string) None & info [ "save" ] ~doc:"Write the trained agent (resumable checkpoint) to FILE.") in
   let ckpt_every = Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~doc:"Also checkpoint to the --save path every N environment steps (crash-safe atomic writes; 0 disables periodic checkpoints).") in
-  let resume = Arg.(value & opt (some file) None & info [ "resume" ] ~doc:"Resume training from a checkpoint written by --save, restoring step count, statistics history and optimizer state.") in
+  let keep = Arg.(value & opt int 3 & info [ "keep-checkpoints" ] ~doc:"Known-good checkpoint generations retained next to the --save path — the lineage ring the sentinel rollback restores from.") in
+  let resume = Arg.(value & opt (some string) None & info [ "resume" ] ~doc:"Resume training from a checkpoint written by --save, restoring step count, statistics history, optimizer state and rollback count.") in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print pipeline phase timings, cache and fault statistics.") in
-  let run programs steps seed batch lr save ckpt_every resume stats verify
-      jobs deadline max_retries =
+  let run programs steps seed batch lr save ckpt_every keep resume stats
+      verify jobs deadline max_retries =
     or_compile_error @@ fun () ->
     apply_jobs jobs;
     apply_supervision deadline max_retries;
     Neurovec.Supervisor.install_signal_handlers ();
     let corpus = Dataset.Loopgen.generate ~seed programs in
-    (* fault injection / timing noise, if requested via NEUROVEC_FAULTS *)
+    (* fault injection / timing noise, if requested via NEUROVEC_FAULTS;
+       the disk knobs additionally arm the durable-write fault layer *)
+    let faults = Neurovec.Faults.of_env () in
+    Neurovec.Faults.install_disk faults;
     let options =
       { Neurovec.Pipeline.default_options with
-        faults = Neurovec.Faults.of_env ();
-        verify = verify_on verify }
+        faults; verify = verify_on verify }
     in
+    (* fail fast, with a one-line typed error, on the two setup mistakes
+       that would otherwise surface hundreds of steps in: a --resume file
+       that does not exist, and a --save destination we cannot write *)
+    (match resume with
+    | Some path when not (Sys.file_exists path) ->
+        raise
+          (Rl.Checkpoint.Bad_checkpoint
+             (Printf.sprintf "%s: no such file" path))
+    | _ -> ());
+    (match save with
+    | None -> ()
+    | Some path -> (
+        Rl.Checkpoint.ensure_dir (Filename.dirname path);
+        let probe = path ^ ".probe" in
+        match open_out_bin probe with
+        | oc ->
+            close_out_noerr oc;
+            (try Sys.remove probe with Sys_error _ -> ())
+        | exception Sys_error msg ->
+            raise
+              (Sys_error
+                 (Printf.sprintf "checkpoint destination not writable: %s"
+                    msg))));
     let resumed = Option.map Rl.Checkpoint.load_full resume in
     (* the write-ahead reward journal rides next to the checkpoint: a
        killed run's journal is replayed before the probes, so already
@@ -288,12 +323,24 @@ let train_cmd =
     ignore
       (Neurovec.Framework.train fw ~hyper ~total_steps:steps
          ?checkpoint_path:save ~checkpoint_every:ckpt_every
+         ~keep_checkpoints:keep
+         ~sentinel:(Neurovec.Framework.sentinel_of_faults faults)
          ~stop:Neurovec.Supervisor.shutdown_requested
          ?resume:(Option.bind resumed snd)
          ~progress:(fun st ->
            Printf.printf "update %3d  steps %6d  reward_mean %+0.3f  loss %8.3f\n%!"
              st.Rl.Ppo.update st.Rl.Ppo.steps st.Rl.Ppo.reward_mean
              st.Rl.Ppo.loss));
+    let rolled =
+      (Neurovec.Stats.snapshot ()).Neurovec.Stats.sentinel_rollbacks
+    in
+    if rolled > 0 then
+      Printf.printf
+        "self-healed: %d sentinel rollback%s (audit trail: %s)\n%!" rolled
+        (if rolled = 1 then "" else "s")
+        (match save with
+        | Some p -> p ^ ".lineage"
+        | None -> "in-memory only, no --save path");
     if Neurovec.Supervisor.shutdown_requested () then begin
       (match save with
       | Some path ->
@@ -327,7 +374,7 @@ let train_cmd =
   in
   Cmd.v (Cmd.info "train" ~doc:"Train the PPO vectorization agent.")
     Term.(const run $ programs $ steps $ seed $ batch $ lr $ save $ ckpt_every
-          $ resume $ stats $ verify_arg $ jobs_arg $ deadline_arg
+          $ keep $ resume $ stats $ verify_arg $ jobs_arg $ deadline_arg
           $ max_retries_arg)
 
 (* ---- predict ------------------------------------------------------ *)
@@ -380,10 +427,13 @@ let serve_cmd =
     apply_supervision deadline max_retries;
     Neurovec.Supervisor.install_signal_handlers ();
     let agent = Rl.Checkpoint.load model in
+    let faults = Neurovec.Faults.of_env () in
+    (* the on-disk reply store writes through the durable-write fault
+       layer; arm it so the spec's disk knobs reach it *)
+    Neurovec.Faults.install_disk faults;
     let options =
       { Neurovec.Pipeline.default_options with
-        faults = Neurovec.Faults.of_env ();
-        verify = verify_on verify }
+        faults; verify = verify_on verify }
     in
     let server =
       Serve.Server.create ~options ?store_path:store ~max_queue ~max_batch
@@ -464,6 +514,28 @@ let fuzz_cmd =
           interpretation. Exits 1 on any refutation.")
     Term.(const run $ legality $ seed $ iterations $ deadline_s)
 
+(* ---- soak --------------------------------------------------------- *)
+
+let soak_cmd =
+  let seed = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Chaos seed: kill times, signals and every injected fault derive from it, so a failing soak reproduces from the seed alone.") in
+  let out = Arg.(value & opt (some string) None & info [ "out" ] ~doc:"Scratch directory to run in (kept for autopsy; default: a temp directory, removed on success).") in
+  let budget = Arg.(value & opt float 75.0 & info [ "time-budget" ] ~doc:"Wall-clock bound in seconds; phases that cannot finish in budget fail their invariants instead of hanging.") in
+  let run seed out budget =
+    or_compile_error @@ fun () ->
+    if not (Experiments.Soak.run ?out ~time_budget:budget ~seed ()) then
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Chaos-soak the self-healing training layer: train under random \
+          SIGKILL/SIGTERM, injected disk faults and NaN-gradient \
+          poisoning, then verify the recovery invariants (rollback \
+          exercised and journaled, bit-identical resume, monotonic \
+          progress, no torn files, store recovery). Exits 1 if any \
+          invariant fails.")
+    Term.(const run $ seed $ out $ budget)
+
 (* ---- request ------------------------------------------------------- *)
 
 let request_cmd =
@@ -532,4 +604,4 @@ let () =
     Cmd.info "neurovec" ~version:"1.0.0"
       ~doc:"End-to-end loop vectorization with deep reinforcement learning."
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; sweep_cmd; dataset_cmd; train_cmd; predict_cmd; serve_cmd; request_cmd; fuzz_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; sweep_cmd; dataset_cmd; train_cmd; predict_cmd; serve_cmd; request_cmd; fuzz_cmd; soak_cmd ]))

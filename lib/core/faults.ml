@@ -62,6 +62,17 @@ type spec = {
       (** probability the transform silently miscompiles a point — only
           observable when translation validation ([--verify]) runs, which
           then refutes the point with a counterexample *)
+  p_disk_full : float;
+      (** per-attempt probability a durable write fails with ENOSPC
+          before any byte lands (see {!Fsio}) *)
+  p_disk_err : float;  (** per-attempt probability of an EIO-style failure *)
+  p_short_write : float;
+      (** per-attempt probability a durable write tears: a prefix lands
+          on disk, then the error surfaces *)
+  p_nan_grad : float;
+      (** per-update probability a gradient is poisoned to NaN right
+          before the optimizer step — the numeric-health sentinels in
+          {!Rl.Ppo.train} must catch it and roll back *)
 }
 
 (** Stands in for an interpreter/testbed resource limit; converted to the
@@ -77,10 +88,13 @@ exception Transient of string
 
 let create ?(seed = 0) ?(compile = 0.0) ?(trap = 0.0) ?(fuel = 0.0)
     ?(timeout = 0.0) ?(noise = 0.0) ?(tail = 0.0) ?(stall = 0.0)
-    ?(transient = 0.0) ?(miscompile = 0.0) () : spec =
+    ?(transient = 0.0) ?(miscompile = 0.0) ?(disk_full = 0.0)
+    ?(disk_err = 0.0) ?(short_write = 0.0) ?(nan_grad = 0.0) () : spec =
   { f_seed = seed; p_compile = compile; p_trap = trap; p_fuel = fuel;
     p_timeout = timeout; noise; p_tail = tail; p_stall = stall;
-    p_transient = transient; p_miscompile = miscompile }
+    p_transient = transient; p_miscompile = miscompile;
+    p_disk_full = disk_full; p_disk_err = disk_err;
+    p_short_write = short_write; p_nan_grad = nan_grad }
 
 let none = create ()
 
@@ -91,6 +105,13 @@ let discrete (s : spec) : bool =
   || s.p_stall > 0.0 || s.p_transient > 0.0 || s.p_miscompile > 0.0
 
 let active (s : spec) : bool = discrete s || noisy s
+
+(* the disk and nan_grad knobs are deliberately excluded from [discrete],
+   [active] and [descriptor]: they perturb the *durability and training*
+   layers, never a measured reward, so reward-cache keys (and the golden
+   files keyed by them) must not change when they are turned on *)
+let disk_active (s : spec) : bool =
+  s.p_disk_full > 0.0 || s.p_disk_err > 0.0 || s.p_short_write > 0.0
 
 (** Cache-key fragment; empty for an inactive spec so fault-free runs keep
     their original reward-cache keys.  The stall/transient rates only
@@ -152,6 +173,46 @@ let miscompile_hit (s : spec) ~(key : string) : bool =
 let stall_hit (s : spec) ~(key : string) : bool =
   s.p_stall > 0.0 && hash01 s ~key ~salt:"stall" < s.p_stall
 
+(** Whether the gradient of policy update [update] is poisoned to NaN.
+    Pure in (seed, update, rollbacks): update indices are
+    schedule-independent, so the sentinel trips at the identical update at
+    any pool size — and keying by the rollback count means the {e replay}
+    of a poisoned update after the automatic rollback is clean, so
+    recovery converges instead of re-tripping forever. *)
+let nan_grad_hit (s : spec) ~(update : int) ~(rollbacks : int) : bool =
+  s.p_nan_grad > 0.0
+  && hash01 s
+       ~key:(Printf.sprintf "update=%d" update)
+       ~salt:(Printf.sprintf "nan_grad\x00%d" rollbacks)
+     < s.p_nan_grad
+
+(** Install the spec's disk-fault layer into {!Fsio}, so every durable
+    writer (checkpoint, reward journal, serve store) sees its per-attempt
+    ENOSPC/EIO/short-write failures.  Each decision is pure in
+    (seed, operation, file basename, attempt index): deterministic at any
+    pool size, and transient — the same logical write can fail now and
+    succeed on retry.  A spec with no disk knobs uninstalls the layer. *)
+let install_disk (s : spec) : unit =
+  if not (disk_active s) then Fsio.set_injector None
+  else
+    Fsio.set_injector
+      (Some
+         (fun ~op ~path ~index ->
+           let key =
+             Printf.sprintf "%s\x00%s\x00%d" op (Filename.basename path)
+               index
+           in
+           if s.p_disk_full > 0.0 && hash01 s ~key ~salt:"disk_full" < s.p_disk_full
+           then Some Fsio.Disk_full
+           else if
+             s.p_disk_err > 0.0 && hash01 s ~key ~salt:"disk_err" < s.p_disk_err
+           then Some Fsio.Disk_err
+           else if
+             s.p_short_write > 0.0
+             && hash01 s ~key ~salt:"short_write" < s.p_short_write
+           then Some Fsio.Short_write
+           else None))
+
 (** Multiplier on simulated compile time; 25x (deterministically per key)
     with probability [p_timeout], which sails past the oracle's 10x budget
     and triggers the paper's -9 penalty path. *)
@@ -190,8 +251,8 @@ let noise_factor (s : spec) ~(key : string) ~(sample : int) : float =
 (* ------------------------------------------------------------------ *)
 
 (** Parse a ["k=v,k=v"] spec string (keys: seed, compile, trap, fuel,
-    timeout, noise, tail, stall, transient, miscompile).  Unknown keys and
-    unparseable
+    timeout, noise, tail, stall, transient, miscompile, disk_full,
+    disk_err, short_write, nan_grad).  Unknown keys and unparseable
     values are reported in the warnings list and otherwise ignored. *)
 let of_string (text : string) : spec * string list =
   let warnings = ref [] in
@@ -252,6 +313,22 @@ let of_string (text : string) : spec * string list =
               | "miscompile" -> (
                   match fl () with
                   | Some f -> { s with p_miscompile = f }
+                  | None -> s)
+              | "disk_full" -> (
+                  match fl () with
+                  | Some f -> { s with p_disk_full = f }
+                  | None -> s)
+              | "disk_err" -> (
+                  match fl () with
+                  | Some f -> { s with p_disk_err = f }
+                  | None -> s)
+              | "short_write" -> (
+                  match fl () with
+                  | Some f -> { s with p_short_write = f }
+                  | None -> s)
+              | "nan_grad" -> (
+                  match fl () with
+                  | Some f -> { s with p_nan_grad = f }
                   | None -> s)
               | _ ->
                   warn "ignoring unknown key %S" k;

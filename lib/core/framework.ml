@@ -93,16 +93,28 @@ let create ?agent ?(space = Rl.Spaces.Discrete) ?(hidden = [ 64; 64 ])
   let samples, skipped = probe_samples agent oracle train_programs in
   { agent; oracle; train_programs; samples; skipped }
 
+(** The sentinel configuration implied by a fault spec: the backoff
+    schedule is seeded by the spec seed, and the [nan_grad] knob becomes
+    the gradient-poisoning hook ({!Faults.nan_grad_hit} — pure in
+    (seed, update, rollbacks), so the injected trip and its recovery are
+    identical at any pool size). *)
+let sentinel_of_faults (spec : Faults.spec) : Rl.Sentinel.config =
+  { Rl.Sentinel.default with
+    Rl.Sentinel.backoff_seed = spec.Faults.f_seed;
+    inject_nan =
+      (fun ~update ~rollbacks -> Faults.nan_grad_hit spec ~update ~rollbacks);
+  }
+
 (** Train the agent; returns per-update statistics.  [checkpoint_path],
-    [checkpoint_every], [resume] and [stop] behave as in {!Rl.Ppo.train}
-    ([stop] is the graceful-shutdown hook — pass
-    [Supervisor.shutdown_requested] to finish the in-flight update and
-    flush the checkpoint + journal on SIGINT/SIGTERM). *)
+    [checkpoint_every], [keep_checkpoints], [sentinel], [resume] and
+    [stop] behave as in {!Rl.Ppo.train} ([stop] is the graceful-shutdown
+    hook — pass [Supervisor.shutdown_requested] to finish the in-flight
+    update and flush the checkpoint + journal on SIGINT/SIGTERM). *)
 let train ?(hyper = Rl.Ppo.default_hyper) ?progress ?checkpoint_path
-    ?(checkpoint_every = 0) ?stop ?batched ?resume (t : t)
-    ~(total_steps : int) : Rl.Ppo.stats list =
-  Rl.Ppo.train ~hyper ?progress ?checkpoint_path ~checkpoint_every ?stop
-    ?batched
+    ?(checkpoint_every = 0) ?keep_checkpoints ?sentinel ?stop ?batched
+    ?resume (t : t) ~(total_steps : int) : Rl.Ppo.stats list =
+  Rl.Ppo.train ~hyper ?progress ?checkpoint_path ~checkpoint_every
+    ?keep_checkpoints ?sentinel ?stop ?batched
     ~rollout_jobs:(Parpool.jobs ())
     ~rollout_map:(fun f xs -> Parpool.map f xs)
     ?resume t.agent ~samples:t.samples

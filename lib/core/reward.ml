@@ -178,14 +178,42 @@ let float_of_bits_opt (s : string) : float option =
   | Some b -> Some (Int64.float_of_bits b)
   | None -> None
 
-(* called with the oracle lock held, immediately after a fresh commit *)
+(* called with the oracle lock held, immediately after a fresh commit.
+   The append is guarded by the disk-fault layer ({!Fsio}) and fails
+   closed: on a fault the file is truncated back to its pre-append
+   length — a short write must not leave a torn record for replay to
+   trip over — earlier records stay untouched, and the channel is
+   reopened so the next commit retries with a fresh attempt index.  The
+   in-memory tables already hold the result, so a lost line degrades
+   resume coverage, never correctness. *)
 let journal_line (t : t) (fields : string list) : unit =
   match t.journal with
   | None -> ()
-  | Some j ->
-      output_string j.j_oc (String.concat "\t" (fields @ [ "." ]) ^ "\n");
-      flush j.j_oc;
-      Stats.record_journal_append ()
+  | Some j -> (
+      let line = String.concat "\t" (fields @ [ "." ]) ^ "\n" in
+      (* the channel is flushed after every line, so the file length is
+         the true append offset (pos_out is unreliable on append-mode
+         channels before their first write) *)
+      let before =
+        try Some (Unix.stat j.j_path).Unix.st_size with Unix.Unix_error _ -> None
+      in
+      match Fsio.output ~op:"journal" ~path:j.j_path j.j_oc line with
+      | () -> Stats.record_journal_append ()
+      | exception Fsio.Disk_fault _ ->
+          Fsio.record_write_error ();
+          close_out_noerr j.j_oc;
+          (match before with
+          | Some len -> ignore (Fsio.truncate_back j.j_path len)
+          | None -> ());
+          (match
+             open_out_gen
+               [ Open_append; Open_creat; Open_binary ]
+               0o644 j.j_path
+           with
+          | oc -> t.journal <- Some { j with j_oc = oc }
+          | exception Sys_error _ ->
+              (* the disk is gone for good: degrade to in-memory only *)
+              t.journal <- None))
 
 let journal_baseline t key (e, c) =
   journal_line t [ "B"; key; bits e; bits c ]
@@ -210,6 +238,38 @@ let journal_refutation t key cx =
 let set_journal (t : t) (path : string) : unit =
   locked t (fun () ->
       (match t.journal with Some j -> close_out_noerr j.j_oc | None -> ());
+      (* a stale .tmp next to the journal is an interrupted atomic write
+         by some sibling artifact: dead bytes, swept, never replayed *)
+      ignore (Fsio.sweep_tmp path);
+      (* a SIGKILL mid-append leaves a torn final line (no trailing
+         newline).  Trim it back to the last complete line before opening
+         for append, so new records never glue onto torn bytes: the torn
+         tail is dropped, every earlier line replays intact. *)
+      (if Sys.file_exists path then
+         try
+           let ic = open_in_bin path in
+           let n = in_channel_length ic in
+           let keep =
+             if n = 0 then 0
+             else begin
+               seek_in ic (n - 1);
+               if input_char ic = '\n' then n
+               else begin
+                 (* scan back for the last newline *)
+                 let rec back i =
+                   if i < 0 then 0
+                   else begin
+                     seek_in ic i;
+                     if input_char ic = '\n' then i + 1 else back (i - 1)
+                   end
+                 in
+                 back (n - 2)
+               end
+             end
+           in
+           close_in_noerr ic;
+           if keep < n then ignore (Fsio.truncate_back path keep)
+         with Sys_error _ -> ());
       let fresh =
         (not (Sys.file_exists path))
         || (let ic = open_in_bin path in

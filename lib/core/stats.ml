@@ -464,6 +464,12 @@ type snapshot = {
   vm_deopts : int;  (** VM runs abandoned to the tree walker mid-flight *)
   tree_steps : int;  (** IR instructions tree-walked for verification *)
   tv_evictions : int;  (** scalar-run cache FIFO evictions ({!Verify.Tv}) *)
+  sentinel_trips : int;  (** numeric-health sentinel trips ({!Rl.Sentinel}) *)
+  sentinel_rollbacks : int;  (** automatic checkpoint rollbacks performed *)
+  disk_faults_injected : int;  (** disk faults injected by {!Fsio} *)
+  disk_write_errors : int;
+      (** durable writes that failed closed and degraded or retried *)
+  tmp_swept : int;  (** stale [.tmp] files swept at startup, never replayed *)
 }
 
 let snapshot () : snapshot =
@@ -521,12 +527,21 @@ let snapshot () : snapshot =
     vm_deopts = vm.Ir_vm.vs_deopts;
     tree_steps = Verify.Tv.tree_steps ();
     tv_evictions = Verify.Tv.sc_evictions ();
+    (* the rl library sits below this one, so its sentinel counters are
+       pulled here rather than recorded, like the VM/TV counters above *)
+    sentinel_trips = Rl.Sentinel.trip_count ();
+    sentinel_rollbacks = Rl.Sentinel.rollback_count ();
+    disk_faults_injected = Fsio.faults_injected ();
+    disk_write_errors = Fsio.write_errors ();
+    tmp_swept = Fsio.tmp_swept ();
   }
 
 let reset () =
   Machine.Timing.memo_stats_reset ();
   Ir_vm.reset_stats ();
   Verify.Tv.reset_counters ();
+  Rl.Sentinel.reset_counters ();
+  Fsio.reset_counters ();
   Mutex.protect registry_lock (fun () ->
       zero_record retired;
       List.iter zero_record !live)
@@ -641,4 +656,15 @@ let report () : string =
   if s.tv_evictions > 0 then
     Buffer.add_string b
       (Printf.sprintf "tv scalar-cache evictions: %d\n" s.tv_evictions);
+  if s.sentinel_trips > 0 || s.sentinel_rollbacks > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "sentinels: %d trips / %d rollbacks\n" s.sentinel_trips
+         s.sentinel_rollbacks);
+  if s.disk_faults_injected > 0 || s.disk_write_errors > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "disk faults: %d injected / %d write errors absorbed\n"
+         s.disk_faults_injected s.disk_write_errors);
+  if s.tmp_swept > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "stale temp files swept: %d\n" s.tmp_swept);
   Buffer.contents b

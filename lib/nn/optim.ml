@@ -19,6 +19,17 @@ let sgd ~lr = Sgd { lr }
 let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~lr () =
   Adam { lr; beta1; beta2; eps; step = 0; state = None }
 
+let lr = function Sgd { lr } -> lr | Adam { lr; _ } -> lr
+
+(** The same optimizer with its learning rate replaced; Adam keeps its
+    step count and accumulated moments (shared, not copied).  Used by the
+    training sentinels' rollback backoff, which halves the rate without
+    restarting the moment estimates. *)
+let with_lr (t : t) (lr : float) : t =
+  match t with
+  | Sgd _ -> Sgd { lr }
+  | Adam a -> Adam { a with lr }
+
 exception Bad_state of string
 (** Adam's lazily-created moment vectors are matched to the parameter
     list purely by position; if the shapes no longer line up (a layer was

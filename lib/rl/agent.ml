@@ -330,6 +330,22 @@ let params (t : t) : Nn.Optim.params =
   @ Nn.Dense.params t.head_v
   @ (if t.space = Spaces.Discrete then [] else [ (t.log_std, t.g_log_std) ])
 
+(** Overwrite [dst]'s learnable state in place from [src]: every
+    parameter and gradient array and the RNG state.  [src] and [dst]
+    must share a shape (e.g. [src] was unmarshalled from a snapshot of
+    [dst]).  This is the sentinels' rollback primitive: training mutates
+    the caller's agent record, so restoring a known-good snapshot must
+    write {e into} that record rather than produce a fresh one. *)
+let restore ~(src : t) (dst : t) : unit =
+  List.iter2
+    (fun (pd, gd) (ps, gs) ->
+      Array.blit ps 0 pd 0 (Array.length pd);
+      Array.blit gs 0 gd 0 (Array.length gd))
+    (params dst) (params src);
+  (* log_std rides in params only for continuous spaces; the discrete
+     agent never mutates it, so params covers everything that moves *)
+  dst.rng.Nn.Rng.state <- src.rng.Nn.Rng.state
+
 let zero_grad (t : t) : unit =
   Embedding.Code2vec.zero_grad t.c2v;
   Nn.Mlp.zero_grad t.trunk;

@@ -80,9 +80,26 @@ type transition = {
     {!Agent.sample_with} applies the pre-drawn randomness — so actions,
     rewards, and checkpoint bytes are bit-identical to the scalar loop,
     just faster.  [rollout_jobs]/[rollout_map] shard that forward across
-    an injected parallel map (see {!Agent.forward_batch}). *)
+    an injected parallel map (see {!Agent.forward_batch}).
+
+    {b Self-healing.}  After every update the numeric-health sentinels
+    ({!Sentinel.check}) inspect the loss, entropy, approx-KL, reward
+    scale, weights, gradients and optimizer moments.  A trip rolls the
+    run back to the newest known-good state — the checkpoint lineage on
+    disk when [checkpoint_path] is set ({!Checkpoint.Lineage}, ring depth
+    [keep_checkpoints]), an in-memory snapshot of the last healthy update
+    otherwise — quarantines a dump of the sick state as
+    [<checkpoint_path>.bad], and applies the deterministic backoff
+    ({!Sentinel.backoff}: halve LR, tighten clip), pure in
+    (seed, rollback count) so recovery is identical at any pool size and
+    across kill-and-resume.  More than [sentinel.max_rollbacks] trips
+    raise {!Sentinel.Unrecoverable}.  A periodic checkpoint save that
+    fails under a disk fault ({!Fsio.Disk_fault}) is absorbed — the
+    previous checkpoint is intact and the next boundary retries — while
+    the final save retries and then lets the typed error escape. *)
 let train ?(hyper = default_hyper) ?(progress = fun (_ : stats) -> ())
-    ?checkpoint_path ?(checkpoint_every = 0)
+    ?checkpoint_path ?(checkpoint_every = 0) ?(keep_checkpoints = 3)
+    ?(sentinel = Sentinel.default)
     ?(stop = fun () -> false)
     ?(batched = true) ?(rollout_jobs = 1)
     ?(rollout_map = fun f xs -> Array.map f xs)
@@ -90,27 +107,120 @@ let train ?(hyper = default_hyper) ?(progress = fun (_ : stats) -> ())
     ~(samples : sample array) ~(reward : int -> Spaces.action -> float)
     ~(total_steps : int) : stats list =
   let rng = agent.Agent.rng in
-  let opt, steps0, update0, history0 =
+  let opt0, steps0, update0, history0, rollbacks0 =
     match resume with
     | Some st ->
         (st.Train_state.ts_optim, st.Train_state.ts_steps,
-         st.Train_state.ts_update, List.rev st.Train_state.ts_history)
-    | None -> (Nn.Optim.adam ~lr:hyper.lr (), 0, 0, [])
+         st.Train_state.ts_update, List.rev st.Train_state.ts_history,
+         st.Train_state.ts_rollbacks)
+    | None -> (Nn.Optim.adam ~lr:hyper.lr (), 0, 0, [], 0)
   in
+  let opt = ref opt0 in
   let history = ref history0 in
   let steps_done = ref steps0 in
   let update = ref update0 in
+  let rollbacks = ref rollbacks0 in
   let last_checkpoint = ref steps0 in
+  (* the effective clip is a pure function of the persisted rollback
+     count, so a resumed run reconstructs the backoff it was under *)
+  let seed = sentinel.Sentinel.backoff_seed in
+  let clip =
+    ref
+      (hyper.clip
+      *. (Sentinel.backoff ~seed ~rollbacks:rollbacks0).Sentinel.clip_scale)
+  in
+  (* stale temp files from an atomic write interrupted by a kill are
+     swept before anything else: they are dead bytes, never replayed *)
+  (match checkpoint_path with
+  | Some path -> ignore (Checkpoint.Lineage.sweep ~keep:keep_checkpoints path)
+  | None -> ());
+  let mem_state () =
+    { Train_state.ts_steps = !steps_done; ts_update = !update;
+      ts_history = List.rev !history; ts_optim = !opt;
+      ts_rollbacks = !rollbacks }
+  in
+  (* in-memory last-known-good snapshot: the rollback source while no
+     disk lineage exists (checkpointing disabled, or no periodic save
+     has happened yet) *)
+  let snapshot = ref (Marshal.to_string (agent, mem_state ()) []) in
+  let take_snapshot () =
+    snapshot := Marshal.to_string (agent, mem_state ()) []
+  in
   let save_checkpoint () =
     match checkpoint_path with
     | None -> ()
     | Some path ->
         last_checkpoint := !steps_done;
-        Checkpoint.save
-          ~state:
-            { Train_state.ts_steps = !steps_done; ts_update = !update;
-              ts_history = List.rev !history; ts_optim = opt }
-          agent path
+        Checkpoint.Lineage.save ~keep:keep_checkpoints
+          ~state:(mem_state ()) agent path
+  in
+  (* ---- sentinel recovery ---- *)
+  let rollback (trip : Sentinel.trip) : unit =
+    Sentinel.record_trip ();
+    let r = !rollbacks + 1 in
+    if r > sentinel.Sentinel.max_rollbacks then
+      raise
+        (Sentinel.Unrecoverable
+           (Printf.sprintf "%s after %d rollbacks"
+              (Sentinel.describe trip) !rollbacks));
+    (* quarantine a post-mortem dump of the sick state (best-effort,
+       plain write: the disk-fault layer must not block the autopsy) *)
+    (match checkpoint_path with
+    | Some path -> (
+        try
+          let oc = open_out_bin (path ^ ".bad") in
+          output_string oc (Checkpoint.compose ~state:(mem_state ()) agent);
+          close_out_noerr oc
+        with Sys_error _ -> ())
+    | None -> ());
+    (* restore the newest known-good state.  With a checkpoint path the
+       disk lineage is authoritative — it is the only state a killed run
+       can resume from, so using it keeps the recovered trajectory
+       identical across kill-and-resume; the in-memory snapshot covers
+       runs without one (and the window before the first save). *)
+    let restored : Train_state.t =
+      let from_memory () =
+        let (src : Agent.t), (st : Train_state.t) =
+          Marshal.from_string !snapshot 0
+        in
+        Agent.restore ~src agent;
+        st
+      in
+      match checkpoint_path with
+      | None -> from_memory ()
+      | Some path -> (
+          match
+            Checkpoint.Lineage.newest_good ~keep:keep_checkpoints path
+          with
+          | Some (_, src, Some st) ->
+              Agent.restore ~src agent;
+              st
+          | Some (_, _, None) | None -> from_memory ())
+    in
+    steps_done := restored.Train_state.ts_steps;
+    update := restored.Train_state.ts_update;
+    history := List.rev restored.Train_state.ts_history;
+    last_checkpoint := restored.Train_state.ts_steps;
+    rollbacks := r;
+    (* deterministic backoff, recomputed from the base hyperparameters
+       and the cumulative rollback count *)
+    let prev = Sentinel.backoff ~seed ~rollbacks:restored.ts_rollbacks in
+    let next = Sentinel.backoff ~seed ~rollbacks:r in
+    let base_lr =
+      Nn.Optim.lr restored.Train_state.ts_optim /. prev.Sentinel.lr_scale
+    in
+    opt :=
+      Nn.Optim.with_lr restored.Train_state.ts_optim
+        (base_lr *. next.Sentinel.lr_scale);
+    clip := hyper.clip *. next.Sentinel.clip_scale;
+    Sentinel.record_rollback ();
+    (match checkpoint_path with
+    | Some path ->
+        Checkpoint.Lineage.log_event path
+          [ "R"; string_of_int !update; string_of_int !steps_done;
+            string_of_int r; String.escaped (Sentinel.describe trip) ]
+    | None -> ());
+    take_snapshot ()
   in
   while !steps_done < total_steps && not (stop ()) do
     (* ---- collect a batch under the current (frozen) policy ---- *)
@@ -148,8 +258,15 @@ let train ?(hyper = default_hyper) ?(progress = fun (_ : stats) -> ())
     in
     steps_done := !steps_done + n;
     (* ---- PPO epochs ---- *)
+    let clip_now = !clip in
+    let poison =
+      sentinel.Sentinel.inject_nan ~update:(!update + 1)
+        ~rollbacks:!rollbacks
+    in
+    let poisoned = ref false in
     let loss_acc = ref 0.0 and loss_count = ref 0 in
     let ent_acc = ref 0.0 in
+    let kl_acc = ref 0.0 in
     for _epoch = 1 to hyper.epochs do
       Nn.Rng.shuffle rng batch;
       let i = ref 0 in
@@ -164,8 +281,8 @@ let train ?(hyper = default_hyper) ?(progress = fun (_ : stats) -> ())
           let ratio = exp (lp -. tr.t_taken.Agent.logp) in
           let adv = tr.t_reward -. tr.t_value in
           let unclipped_active =
-            if adv >= 0.0 then ratio < 1.0 +. hyper.clip
-            else ratio > 1.0 -. hyper.clip
+            if adv >= 0.0 then ratio < 1.0 +. clip_now
+            else ratio > 1.0 -. clip_now
           in
           (* dL/dlogp for L = -min(r A, clip(r) A) *)
           let dlogp = if unclipped_active then -.(ratio *. adv) else 0.0 in
@@ -178,7 +295,7 @@ let train ?(hyper = default_hyper) ?(progress = fun (_ : stats) -> ())
           (* bookkeeping *)
           let surr =
             let clipped =
-              max (1.0 -. hyper.clip) (min (1.0 +. hyper.clip) ratio)
+              max (1.0 -. clip_now) (min (1.0 +. clip_now) ratio)
             in
             min (ratio *. adv) (clipped *. adv)
           in
@@ -189,9 +306,22 @@ let train ?(hyper = default_hyper) ?(progress = fun (_ : stats) -> ())
             +. (hyper.vf_coef *. 0.5 *. ((f.Agent.v -. tr.t_reward) ** 2.0))
             -. (hyper.ent_coef *. ent);
           ent_acc := !ent_acc +. ent;
+          (* approx-KL between the rollout policy and the current one,
+             the standard E[logp_old - logp_new] estimator *)
+          kl_acc := !kl_acc +. (tr.t_taken.Agent.logp -. lp);
           incr loss_count
         done;
-        Nn.Optim.step ~scale:(float_of_int mb_size) opt (Agent.params agent);
+        if poison && not !poisoned then begin
+          (* the injected numeric fault: one gradient cell goes NaN just
+             before the optimizer step, exactly how a real bad update
+             poisons the moments and then every weight *)
+          poisoned := true;
+          match Agent.params agent with
+          | (_, g) :: _ when Array.length g > 0 -> g.(0) <- Float.nan
+          | _ -> ()
+        end;
+        Nn.Optim.step ~scale:(float_of_int mb_size) !opt
+          (Agent.params agent);
         i := mb_end
       done
     done;
@@ -205,15 +335,42 @@ let train ?(hyper = default_hyper) ?(progress = fun (_ : stats) -> ())
         loss = !loss_acc /. float_of_int (max 1 !loss_count);
         entropy_mean = !ent_acc /. float_of_int (max 1 !loss_count) }
     in
-    progress st;
-    history := st :: !history;
-    if
-      checkpoint_every > 0
-      && !steps_done - !last_checkpoint >= checkpoint_every
-      && !steps_done < total_steps
-    then save_checkpoint ()
+    let approx_kl = !kl_acc /. float_of_int (max 1 !loss_count) in
+    (* ---- sentinels: admit the update only if it is healthy ---- *)
+    match
+      Sentinel.check sentinel ~params:(Agent.params agent) ~optim:!opt
+        ~loss:st.loss ~entropy:st.entropy_mean ~reward_mean:st.reward_mean
+        ~approx_kl
+    with
+    | Some trip -> rollback trip
+    | None -> (
+        progress st;
+        history := st :: !history;
+        take_snapshot ();
+        if
+          checkpoint_every > 0
+          && !steps_done - !last_checkpoint >= checkpoint_every
+          && !steps_done < total_steps
+        then
+          try save_checkpoint () with
+          | Fsio.Disk_fault _ ->
+              (* fail closed: the previous checkpoint is intact; the
+                 next boundary retries with a fresh attempt index *)
+              Fsio.record_write_error ()
+          | Checkpoint.Bad_checkpoint _ ->
+              (* the post-save health check refuted a state the in-loop
+                 sentinels passed: treat it as a trip *)
+              rollback (Sentinel.Non_finite "checkpoint health check"))
   done;
-  save_checkpoint ();
+  (* the final checkpoint must land: retry through transient disk
+     faults, then let the typed error escape *)
+  let rec final_save attempt =
+    try save_checkpoint ()
+    with Fsio.Disk_fault _ when attempt < 4 ->
+      Fsio.record_write_error ();
+      final_save (attempt + 1)
+  in
+  final_save 0;
   List.rev !history
 
 (** Greedy evaluation: mean reward of the deterministic policy over

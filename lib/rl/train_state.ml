@@ -29,4 +29,8 @@ type t = {
   ts_update : int;  (** policy updates completed *)
   ts_history : stats list;  (** chronological, oldest first *)
   ts_optim : Nn.Optim.t;  (** optimizer with accumulated moments *)
+  ts_rollbacks : int;
+      (** sentinel rollbacks performed so far ({!Sentinel}); persisting
+          the count makes the deterministic backoff schedule — and the
+          fault keys derived from it — survive kill-and-resume *)
 }

@@ -137,22 +137,27 @@ let load_into (tbl : (string, string) Hashtbl.t) (path : string) :
   (!ok, !rejected, !torn)
 
 (* quarantine the damaged log and atomically rewrite the survivors, so
-   the next open is clean and the evidence is preserved *)
+   the next open is clean and the evidence is preserved.  The rewrite is
+   staged to a temp file (through the disk-fault layer) {e before} the
+   damaged log is moved aside: an injected fault fails closed with the
+   typed [Fsio.Disk_fault], the damaged-but-loadable log still in place
+   for the retry. *)
 let compact (t : t) : unit =
-  let quarantine = t.s_path ^ ".quarantined" in
-  (try Sys.remove quarantine with Sys_error _ -> ());
-  (try Sys.rename t.s_path quarantine
-   with Sys_error _ -> () (* nothing to preserve *));
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Hashtbl.iter (fun k v -> Buffer.add_string buf (record_bytes k v)) t.s_tbl;
   let tmp = t.s_path ^ ".tmp" in
   let oc = open_out_bin tmp in
-  (try
-     output_string oc header;
-     Hashtbl.iter (fun k v -> output_string oc (record_bytes k v)) t.s_tbl;
-     close_out oc
+  (try Fsio.output ~op:"store" ~path:t.s_path oc (Buffer.contents buf)
    with e ->
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
+  close_out oc;
+  let quarantine = t.s_path ^ ".quarantined" in
+  (try Sys.remove quarantine with Sys_error _ -> ());
+  (try Sys.rename t.s_path quarantine
+   with Sys_error _ -> () (* nothing to preserve *));
   Sys.rename tmp t.s_path
 
 (** Open (creating if missing) the store at [path], recovering whatever
@@ -161,6 +166,9 @@ let compact (t : t) : unit =
     store accepts traffic. *)
 let open_store (path : string) : t =
   Neurovec.Supervisor.mkdir_p (Filename.dirname path);
+  (* a stale .tmp is a compaction interrupted by a kill: dead bytes,
+     swept before anything reads — never replayed *)
+  ignore (Fsio.sweep_tmp path);
   let t =
     { s_path = path; s_lock = Mutex.create (); s_tbl = Hashtbl.create 256;
       s_oc = None; s_loaded = 0; s_rejected = 0; s_torn = false }
@@ -207,14 +215,33 @@ let get (t : t) (key : string) : string option =
 
 (** Record [key -> value], appending and flushing one log record.
     First-wins: a key already present is left untouched (replies are pure
-    functions of the key, so a re-put can only be the same bytes). *)
+    functions of the key, so a re-put can only be the same bytes).
+
+    The append goes through the disk-fault layer and fails closed: on an
+    injected (or real) fault the log is truncated back to its pre-append
+    length — a short write must not leave a torn record framing later
+    appends out of reach — and the channel is dropped so the next put
+    reopens and retries.  The in-memory tier still serves the value; only
+    its durability is lost. *)
 let put (t : t) (key : string) (value : string) : unit =
   Mutex.protect t.s_lock (fun () ->
       if not (Hashtbl.mem t.s_tbl key) then begin
         Hashtbl.replace t.s_tbl key value;
         let oc = append_channel t in
-        output_string oc (record_bytes key value);
-        flush oc
+        (* every append is flushed, so file length = true append offset *)
+        let before =
+          try Some (Unix.stat t.s_path).Unix.st_size
+          with Unix.Unix_error _ -> None
+        in
+        match Fsio.output ~op:"store" ~path:t.s_path oc (record_bytes key value) with
+        | () -> ()
+        | exception Fsio.Disk_fault _ ->
+            Fsio.record_write_error ();
+            close_out_noerr oc;
+            t.s_oc <- None;
+            (match before with
+            | Some len -> ignore (Fsio.truncate_back t.s_path len)
+            | None -> ())
       end)
 
 let length (t : t) : int =

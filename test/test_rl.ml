@@ -413,7 +413,7 @@ let test_checkpoint_state_roundtrip () =
       ts_history =
         [ { Rl.Train_state.update = 5; steps = 250; reward_mean = 0.25;
             loss = 0.5; entropy_mean = 1.2 } ];
-      ts_optim = Nn.Optim.adam ~lr:1e-3 () }
+      ts_optim = Nn.Optim.adam ~lr:1e-3 (); ts_rollbacks = 0 }
   in
   with_temp (fun path ->
       Rl.Checkpoint.save ~state:st agent path;
